@@ -1,0 +1,67 @@
+//! Criterion ablation benches for the design choices DESIGN.md calls
+//! out: estimator choice (Huber vs OLS), tuning mode cost (observational
+//! model+LP vs a round of experimental search), and experiment-design
+//! analysis cost. Quality-of-result ablations (accuracy rather than
+//! runtime) live in `--bin ablation`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kea_core::whatif::{FitMethod, Granularity, WhatIfEngine};
+use kea_core::{optimize_max_containers, OperatingPoint, PerformanceMonitor};
+use kea_sim::{run, ClusterSpec, SimConfig};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+fn bench_fit_methods(c: &mut Criterion) {
+    let out = run(&SimConfig::baseline(ClusterSpec::tiny(), 48, 3));
+    let monitor = PerformanceMonitor::new(&out.telemetry);
+    for (name, method) in [("huber", FitMethod::Huber), ("ols", FitMethod::Ols)] {
+        c.bench_function(&format!("whatif_fit_hourly_{name}"), |b| {
+            b.iter(|| {
+                WhatIfEngine::fit_at(
+                    black_box(&monitor),
+                    method,
+                    Granularity::Hourly,
+                    24,
+                )
+                .unwrap()
+            })
+        });
+    }
+}
+
+fn bench_observational_vs_experimental(c: &mut Criterion) {
+    // Observational tuning: one telemetry window, then model + LP.
+    let out = run(&SimConfig::baseline(ClusterSpec::tiny(), 48, 4));
+    let monitor = PerformanceMonitor::new(&out.telemetry);
+    let engine =
+        WhatIfEngine::fit_at(&monitor, FitMethod::Huber, Granularity::Hourly, 24).unwrap();
+    let counts: BTreeMap<_, _> = monitor
+        .group_utilization()
+        .into_iter()
+        .map(|g| (g.group, g.machines))
+        .collect();
+    c.bench_function("observational_model_plus_lp", |b| {
+        b.iter(|| {
+            optimize_max_containers(
+                black_box(&engine),
+                black_box(&counts),
+                1.0,
+                OperatingPoint::Median,
+            )
+            .unwrap()
+        })
+    });
+    // Experimental tuning: every candidate evaluation costs a production
+    // experiment — here, a full simulated flighting round. One round is
+    // enough to show the orders-of-magnitude cost gap the paper's §5
+    // argues motivates observational tuning.
+    let mut group = c.benchmark_group("experimental");
+    group.sample_size(10);
+    group.bench_function("one_flighting_round", |b| {
+        b.iter(|| run(&SimConfig::baseline(black_box(ClusterSpec::tiny()), 24, 6)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit_methods, bench_observational_vs_experimental);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p kea-bench --bin repro -- all          # everything
+//! cargo run --release -p kea-bench --bin repro -- fig9 fig10   # a subset
+//! cargo run --release -p kea-bench --bin repro -- --full all   # headline scale
+//! ```
+
+use kea_bench::experiments::ALL;
+use kea_bench::ExperimentScale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = ExperimentScale::Quick;
+    let mut names: Vec<String> = Vec::new();
+    for a in &args {
+        match a.as_str() {
+            "--full" => scale = ExperimentScale::Full,
+            "--quick" => scale = ExperimentScale::Quick,
+            other => names.push(other.to_string()),
+        }
+    }
+    if names.is_empty() || names.iter().any(|n| n == "all") {
+        names = ALL.iter().map(|(n, _)| n.to_string()).collect();
+    }
+    let mut unknown = Vec::new();
+    for name in &names {
+        match ALL.iter().find(|(n, _)| n == name) {
+            Some((_, f)) => {
+                let started = std::time::Instant::now();
+                let report = f(scale);
+                report.print();
+                println!("  ({}; {:.1?})", name, started.elapsed());
+            }
+            None => unknown.push(name.clone()),
+        }
+    }
+    if !unknown.is_empty() {
+        eprintln!(
+            "unknown experiments: {unknown:?}; available: {:?}",
+            ALL.iter().map(|(n, _)| *n).collect::<Vec<_>>()
+        );
+        std::process::exit(2);
+    }
+}

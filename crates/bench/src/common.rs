@@ -1,0 +1,161 @@
+//! Shared plumbing for the reproduction experiments.
+
+use kea_sim::{run, ClusterSpec, ConfigPlan, SimConfig, SimOutput, WorkloadSpec, SC1};
+
+/// How big to run an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExperimentScale {
+    /// CI-friendly: small cluster, short windows (seconds of wall time).
+    Quick,
+    /// The headline reproduction: medium cluster, week-long windows.
+    Full,
+}
+
+impl ExperimentScale {
+    /// The cluster used at this scale.
+    pub fn cluster(&self) -> ClusterSpec {
+        match self {
+            ExperimentScale::Quick => ClusterSpec::small(),
+            ExperimentScale::Full => ClusterSpec::medium(),
+        }
+    }
+
+    /// Observation-window length in hours.
+    pub fn observe_hours(&self) -> u64 {
+        match self {
+            ExperimentScale::Quick => 48,
+            ExperimentScale::Full => 168,
+        }
+    }
+}
+
+/// A printed experiment report: a title, labelled rows, and free-form
+/// notes. Everything the `repro` binary prints goes through this type so
+/// integration tests can assert on structured values instead of scraping
+/// stdout.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Experiment id, e.g. "Figure 9".
+    pub id: String,
+    /// What the paper reported (for side-by-side reading).
+    pub paper_claim: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Table rows: label + numeric cells.
+    pub rows: Vec<(String, Vec<f64>)>,
+    /// Free-form observations.
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(id: &str, paper_claim: &str) -> Self {
+        Report {
+            id: id.to_string(),
+            paper_claim: paper_claim.to_string(),
+            ..Default::default()
+        }
+    }
+
+    /// Sets the column headers.
+    pub fn headers(&mut self, headers: &[&str]) -> &mut Self {
+        self.headers = headers.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, label: &str, cells: Vec<f64>) -> &mut Self {
+        self.rows.push((label.to_string(), cells));
+        self
+    }
+
+    /// Appends a note.
+    pub fn note(&mut self, note: String) -> &mut Self {
+        self.notes.push(note);
+        self
+    }
+
+    /// Looks up a row by label.
+    pub fn get(&self, label: &str) -> Option<&[f64]> {
+        self.rows
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, cells)| cells.as_slice())
+    }
+
+    /// Renders the report to stdout in a fixed-width layout.
+    pub fn print(&self) {
+        println!("\n=== {} ===", self.id);
+        println!("paper: {}", self.paper_claim);
+        if !self.headers.is_empty() {
+            print!("{:<28}", "");
+            for h in &self.headers {
+                print!("{h:>14}");
+            }
+            println!();
+        }
+        for (label, cells) in &self.rows {
+            print!("{label:<28}");
+            for c in cells {
+                if c.abs() >= 1000.0 {
+                    print!("{c:>14.0}");
+                } else {
+                    print!("{c:>14.3}");
+                }
+            }
+            println!();
+        }
+        for note in &self.notes {
+            println!("  · {note}");
+        }
+    }
+}
+
+/// Runs a baseline observation window: manual-tuning config, SC1, the
+/// default workload at the given demand pressure.
+pub fn observe(
+    cluster: &ClusterSpec,
+    occupancy: f64,
+    hours: u64,
+    seed: u64,
+) -> SimOutput {
+    run(&SimConfig {
+        cluster: cluster.clone(),
+        workload: WorkloadSpec::default_for(cluster, occupancy),
+        plan: ConfigPlan::baseline(&cluster.skus, SC1),
+        duration_hours: hours,
+        seed,
+        task_log_every: 10,
+        adhoc_job_log_every: 8,
+    })
+}
+
+/// The demand pressure used by observational experiments: high enough
+/// that peaks saturate (queues exist, Figure 12) while troughs keep the
+/// operating-point spread of Figures 8–9.
+pub const STANDARD_OCCUPANCY: f64 = 0.95;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_round_trips_rows() {
+        let mut r = Report::new("Test", "claim");
+        r.headers(&["a", "b"]);
+        r.row("x", vec![1.0, 2.0]);
+        r.note("hello".to_string());
+        assert_eq!(r.get("x"), Some(&[1.0, 2.0][..]));
+        assert_eq!(r.get("missing"), None);
+        r.print(); // must not panic
+    }
+
+    #[test]
+    fn scales_differ() {
+        assert!(
+            ExperimentScale::Quick.cluster().n_machines()
+                < ExperimentScale::Full.cluster().n_machines()
+        );
+        assert!(ExperimentScale::Quick.observe_hours() < ExperimentScale::Full.observe_hours());
+    }
+}

@@ -1,0 +1,39 @@
+//! Figure 11 — runtime distribution of the three benchmark jobs before
+//! and after the KEA deployment (paper: 6% mean improvement).
+
+use crate::common::{ExperimentScale, Report};
+use kea_core::apps::yarn_config::{pooled_benchmark_test, run_yarn_tuning, YarnTuningParams};
+
+/// Regenerates the benchmark-job comparison by running the full
+/// observational-tuning pipeline.
+pub fn run(scale: ExperimentScale) -> Report {
+    let mut params = YarnTuningParams::quick(scale.cluster(), 28);
+    params.observe_hours = scale.observe_hours();
+    params.eval_hours = scale.observe_hours();
+    let outcome = run_yarn_tuning(&params).expect("pipeline runs");
+    let mut r = Report::new(
+        "Figure 11: benchmark-job runtimes before/after deployment",
+        "average benchmark job runtime improved by 6%",
+    );
+    r.headers(&["n before", "n after", "mean before s", "mean after s", "change %"]);
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    for b in &outcome.benchmarks {
+        r.row(
+            &b.name,
+            vec![
+                b.before_runtimes_s.len() as f64,
+                b.after_runtimes_s.len() as f64,
+                mean(&b.before_runtimes_s),
+                mean(&b.after_runtimes_s),
+                b.mean_change_pct,
+            ],
+        );
+    }
+    if let Ok(test) = pooled_benchmark_test(&outcome.benchmarks) {
+        r.note(format!(
+            "pooled Welch test (after < before): t = {:.2}, p = {:.3}",
+            test.t, test.p_value
+        ));
+    }
+    r
+}

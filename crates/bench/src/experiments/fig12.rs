@@ -1,0 +1,47 @@
+//! Figure 12 — number of queued containers and p99 queueing latency per
+//! SKU: faster machines de-queue faster, so queues differ sharply.
+
+use crate::common::{observe, ExperimentScale, Report};
+use kea_sim::SC1;
+use kea_telemetry::{GroupKey, Metric};
+
+/// Regenerates the queueing panels. Queues only exist under saturation,
+/// so this experiment runs at elevated demand (the regime the paper's
+/// discussion §5.3 targets).
+pub fn run(scale: ExperimentScale) -> Report {
+    let cluster = scale.cluster();
+    let out = observe(&cluster, 1.02, scale.observe_hours().min(72), 31);
+    let mut r = Report::new(
+        "Figure 12: queued containers & p99 queueing latency per SKU",
+        "queue length and latency vary significantly across SKUs",
+    );
+    r.headers(&["mean queued", "p99 wait ms", "machine-hours"]);
+    for sku in &cluster.skus {
+        let group = GroupKey::new(sku.id, SC1);
+        let recs: Vec<_> = out
+            .telemetry
+            .by_group(group)
+            .filter(|rec| rec.hour >= 4)
+            .collect();
+        let mean_q = recs
+            .iter()
+            .map(|rec| Metric::QueuedContainers.value(&rec.metrics))
+            .sum::<f64>()
+            / recs.len() as f64;
+        // p99 of the hourly p99s is noisy; report the mean of non-zero
+        // hourly p99s, which tracks the paper's per-SKU ordering.
+        let waits: Vec<f64> = recs
+            .iter()
+            .map(|rec| Metric::QueueLatencyP99.value(&rec.metrics))
+            .filter(|w| *w > 0.0)
+            .collect();
+        let mean_wait = if waits.is_empty() {
+            0.0
+        } else {
+            waits.iter().sum::<f64>() / waits.len() as f64
+        };
+        r.row(&sku.name, vec![mean_q, mean_wait, recs.len() as f64]);
+    }
+    r.note("slower generations hold longer queues and higher p99 waits — the headroom the queue-length tuning of §5.3 exploits".to_string());
+    r
+}

@@ -1,0 +1,67 @@
+//! Figure 14 — expected cost with respect to different (SSD, RAM)
+//! configurations for the future 128-core SKU: a sweet spot between
+//! stranding penalties and idle-capacity waste.
+
+use crate::common::{observe, ExperimentScale, Report, STANDARD_OCCUPANCY};
+use kea_core::apps::sku_design::{run_sku_design, CostModel, SkuDesignParams};
+use kea_core::PerformanceMonitor;
+use kea_sim::SC1;
+use kea_telemetry::{GroupKey, SkuId};
+
+/// Regenerates the cost surface and the winning design.
+pub fn run(scale: ExperimentScale) -> Report {
+    let cluster = scale.cluster();
+    let out = observe(&cluster, STANDARD_OCCUPANCY, scale.observe_hours(), 33);
+    let monitor = PerformanceMonitor::new(&out.telemetry);
+    let params = SkuDesignParams {
+        source_group: GroupKey::new(SkuId(4), SC1),
+        future_cores: 128,
+        // Grids bracket the Figure 13 projection (~1.2 TB SSD, ~0.5 TB
+        // RAM at 128 cores) so the sweet spot is interior.
+        candidate_ssd_gb: vec![768.0, 1024.0, 1280.0, 1536.0, 2048.0, 3072.0],
+        candidate_ram_gb: vec![384.0, 448.0, 512.0, 576.0, 640.0, 768.0],
+        cost: CostModel::default(),
+        draws: 1000,
+        seed: 34,
+    };
+    let outcome = run_sku_design(&monitor, &params).expect("study runs");
+    let mut r = Report::new(
+        "Figure 14: expected cost per (SSD, RAM) design, 128-core SKU",
+        "under-provisioning is dominated by stranding penalties; over-provisioning by idle cost; a sweet spot minimizes",
+    );
+    // Rows = SSD candidates, columns = RAM candidates (normalized cost).
+    let headers: Vec<String> = params
+        .candidate_ram_gb
+        .iter()
+        .map(|ram| format!("{ram:.0}GB RAM"))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    r.headers(&header_refs);
+    let best_cost = outcome.best.expected_cost;
+    for ssd in &params.candidate_ssd_gb {
+        let cells: Vec<f64> = params
+            .candidate_ram_gb
+            .iter()
+            .map(|ram| {
+                outcome
+                    .surface
+                    .iter()
+                    .find(|d| d.ssd_gb == *ssd && d.ram_gb == *ram)
+                    .map(|d| d.expected_cost / best_cost)
+                    .expect("full grid")
+            })
+            .collect();
+        r.row(&format!("{ssd:.0}GB SSD"), cells);
+    }
+    r.note(format!(
+        "sweet spot: {:.0} GB SSD, {:.0} GB RAM (normalized cost 1.0); usage models p: {:.1}+{:.2}c, q: {:.1}+{:.2}c from {} observations",
+        outcome.best.ssd_gb,
+        outcome.best.ram_gb,
+        outcome.ssd_model.intercept(),
+        outcome.ssd_model.slope(),
+        outcome.ram_model.intercept(),
+        outcome.ram_model.slope(),
+        outcome.n_observations,
+    ));
+    r
+}

@@ -1,0 +1,50 @@
+//! Figure 8 — the scatter view: Total Data Read vs CPU utilization is
+//! linear, with a distribution that varies across machine groups.
+
+use crate::common::{observe, ExperimentScale, Report, STANDARD_OCCUPANCY};
+use kea_core::PerformanceMonitor;
+use kea_ml::LinearModel1D;
+use kea_sim::SC1;
+use kea_telemetry::{GroupKey, Metric};
+
+/// Regenerates the Figure 8 scatter per group, summarized as a fitted
+/// line plus correlation (a printed report cannot carry 50k dots).
+pub fn run(scale: ExperimentScale) -> Report {
+    let cluster = scale.cluster();
+    let out = observe(&cluster, STANDARD_OCCUPANCY, scale.observe_hours(), 25);
+    let monitor = PerformanceMonitor::new(&out.telemetry);
+    let mut r = Report::new(
+        "Figure 8: Total Data Read vs CPU utilization (scatter view)",
+        "a linear trend between throughput and utilization, varying by group",
+    );
+    r.headers(&["points", "slope GB/%", "intercept", "corr"]);
+    for sku in &cluster.skus {
+        let group = GroupKey::new(sku.id, SC1);
+        let pts = monitor.scatter_view(group, Metric::CpuUtilization, Metric::TotalDataRead);
+        let busy: Vec<_> = pts.iter().filter(|p| p.y > 0.0).collect();
+        let xs: Vec<f64> = busy.iter().map(|p| p.x).collect();
+        let ys: Vec<f64> = busy.iter().map(|p| p.y).collect();
+        let line = LinearModel1D::fit_ols(&xs, &ys).expect("enough busy hours");
+        r.row(
+            &sku.name,
+            vec![
+                busy.len() as f64,
+                line.slope(),
+                line.intercept(),
+                correlation(&xs, &ys),
+            ],
+        );
+    }
+    r.note("positive slope for every group: throughput rises linearly with utilization".to_string());
+    r
+}
+
+fn correlation(xs: &[f64], ys: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let cov: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let vx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    let vy: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    cov / (vx.sqrt() * vy.sqrt())
+}

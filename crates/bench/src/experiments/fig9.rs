@@ -1,0 +1,48 @@
+//! Figure 9 — the set of calibrated Huber models per SC-SKU: running
+//! containers vs CPU utilization and task execution time vs CPU
+//! utilization, with the median operating point.
+
+use crate::common::{observe, ExperimentScale, Report, STANDARD_OCCUPANCY};
+use kea_core::whatif::{FitMethod, Granularity, WhatIfEngine};
+use kea_core::PerformanceMonitor;
+
+/// Regenerates the calibrated-model panel.
+pub fn run(scale: ExperimentScale) -> Report {
+    let cluster = scale.cluster();
+    let out = observe(&cluster, STANDARD_OCCUPANCY, scale.observe_hours(), 26);
+    let monitor = PerformanceMonitor::new(&out.telemetry);
+    let engine = WhatIfEngine::fit_at(&monitor, FitMethod::Huber, Granularity::Hourly, 24)
+        .expect("enough telemetry");
+    let mut r = Report::new(
+        "Figure 9: calibrated models per SC-SKU (Huber)",
+        "containers→util and util→task-time lines per group, with median dot",
+    );
+    r.headers(&[
+        "g slope",
+        "g intcpt",
+        "g R2",
+        "f slope",
+        "f intcpt",
+        "f R2",
+        "median m",
+        "median u",
+    ]);
+    for g in engine.groups() {
+        let name = &cluster.sku(g.group.sku).name;
+        r.row(
+            name,
+            vec![
+                g.g_containers_to_util.slope(),
+                g.g_containers_to_util.intercept(),
+                g.r2.0,
+                g.f_util_to_latency.slope(),
+                g.f_util_to_latency.intercept(),
+                g.r2.2,
+                g.current_containers,
+                g.current_util,
+            ],
+        );
+    }
+    r.note("all slopes positive: utilization rises with containers, task time with utilization".to_string());
+    r
+}

@@ -1,0 +1,62 @@
+//! One module per table/figure of the paper's evaluation.
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`table1`] | Table 1 — Cosmos statistics |
+//! | [`fig1`] | Figure 1 — CPU utilization for a typical week |
+//! | [`fig2`] | Figure 2 — machine count & utilization per generation |
+//! | [`fig5`] | Figure 5 — task time distribution & critical-path skew |
+//! | [`fig6`] | Figure 6 — task-type uniformity across racks/SKUs |
+//! | [`fig8`] | Figure 8 — scatter view: throughput vs CPU utilization |
+//! | [`fig9`] | Figure 9 — calibrated Huber models per SC-SKU |
+//! | [`fig10`] | Figure 10 — suggested configuration change |
+//! | [`fig11`] | Figure 11 — benchmark-job runtimes before/after |
+//! | [`sec52`] | §5.2.2 — roll-out: +throughput, flat latency, +capacity |
+//! | [`sec53`] | §5.3 — queue-length tuning extension |
+//! | [`fig12`] | Figure 12 — queued containers & p99 queueing latency |
+//! | [`fig13`] | Figure 13 — SSD/RAM usage vs CPU cores used |
+//! | [`fig14`] | Figure 14 — expected cost vs (SSD, RAM) design |
+//! | [`table4`] | Table 4 — SC1 vs SC2 |
+//! | [`fig15`] | Figure 15 — performance impact of power capping |
+
+pub mod fig1;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig2;
+pub mod fig5;
+pub mod fig6;
+pub mod fig8;
+pub mod fig9;
+pub mod sec52;
+pub mod sec53;
+pub mod table1;
+pub mod table4;
+
+use crate::common::{ExperimentScale, Report};
+
+/// An experiment entry point.
+pub type ExperimentFn = fn(ExperimentScale) -> Report;
+
+/// All experiments in paper order, with their CLI names.
+pub const ALL: [(&str, ExperimentFn); 16] = [
+    ("table1", table1::run),
+    ("fig1", fig1::run),
+    ("fig2", fig2::run),
+    ("fig5", fig5::run),
+    ("fig6", fig6::run),
+    ("fig8", fig8::run),
+    ("fig9", fig9::run),
+    ("fig10", fig10::run),
+    ("fig11", fig11::run),
+    ("sec52", sec52::run),
+    ("sec53", sec53::run),
+    ("fig12", fig12::run),
+    ("fig13", fig13::run),
+    ("fig14", fig14::run),
+    ("table4", table4::run),
+    ("fig15", fig15::run),
+];

@@ -1,0 +1,236 @@
+//! §5.2.2 — flighting pilots and the production roll-out: +9% Total Data
+//! Read at the same latency, +2% sellable capacity, t = 4.45 / 7.13.
+
+use crate::common::{ExperimentScale, Report};
+use kea_core::apps::yarn_config::{run_yarn_tuning, YarnTuningParams};
+use kea_core::FlightingTool;
+use kea_core::experiment::{analyze, MachineSplit};
+use kea_sim::{
+    engine::run as run_sim, ClusterSpec, ConfigPatch, ConfigPlan, SimConfig, SubClusterId,
+    WorkloadSpec, SC1,
+};
+use kea_telemetry::{MachineId, Metric, SkuId};
+use std::collections::BTreeSet;
+
+/// Regenerates the §5.2.2 numbers: the first two pilot flights (config
+/// effectiveness checks) and the full roll-out treatment effects.
+pub fn run(scale: ExperimentScale) -> Report {
+    let cluster = scale.cluster();
+    let mut r = Report::new(
+        "Section 5.2.2: pilots and production roll-out",
+        "+9% Total Data Read at same latency; +2% capacity; t = 4.45 / 7.13",
+    );
+
+    // ---- Pilot flights 1 & 2: does the knob actually move the metric? --
+    let (p1, p2) = pilot_flights(&cluster, 29);
+    r.headers(&["change % / thr", "t / lat", "- / cap"]);
+    r.row("pilot 1: Gen1.1 max-1, containers", vec![p1.0, p1.1, f64::NAN]);
+    r.row("pilot 2: Gen4.1 max+4, containers", vec![p2.0, p2.1, f64::NAN]);
+
+    // ---- Pilots 3 & 4: sub-cluster validation ---------------------------
+    // Deploy the tuned configuration to one sub-cluster and compare its
+    // throughput against an untouched sub-cluster over the same window
+    // ("the third piloting experiment was on two sub-clusters … the
+    // fourth validated the benefits of tuning").
+    let (p3_thr, p3_t) = subcluster_pilot(&cluster, 31);
+    r.row("pilot 3+4: tuned sub-cluster thr", vec![p3_thr, p3_t, f64::NAN]);
+
+    // ---- Full roll-out -------------------------------------------------
+    // The paper evaluates one cluster over a month; a scaled-down world
+    // lacks that statistical power, so we pool several independent
+    // simulated worlds (seeds) and report per-seed plus mean effects.
+    let seeds: &[u64] = match scale {
+        ExperimentScale::Quick => &[30, 31, 32, 33],
+        ExperimentScale::Full => &[30, 31],
+    };
+    let mut thr = Vec::new();
+    let mut lat = Vec::new();
+    let mut cap = Vec::new();
+    let mut approved = 0;
+    for &seed in seeds {
+        let mut params = YarnTuningParams::quick(cluster.clone(), seed);
+        params.observe_hours = scale.observe_hours();
+        params.eval_hours = scale.observe_hours();
+        let outcome = run_yarn_tuning(&params).expect("pipeline runs");
+        r.row(
+            &format!("rollout[{seed}]: thr/lat/cap %"),
+            vec![
+                outcome.throughput_change_pct,
+                outcome.latency_change_pct,
+                outcome.capacity_change_pct,
+            ],
+        );
+        thr.push(outcome.throughput_change_pct);
+        lat.push(outcome.latency_change_pct);
+        cap.push(outcome.capacity_change_pct);
+        approved += u32::from(outcome.deployment.approved);
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    r.row(
+        "rollout MEAN: thr/lat/cap %",
+        vec![mean(&thr), mean(&lat), mean(&cap)],
+    );
+    r.note(format!(
+        "latency guardrail passed in {approved}/{} worlds (≤ +2% at α = 0.05)",
+        seeds.len()
+    ));
+    r.note(
+        "paper: +9% Total Data Read, ~0% latency, +2% capacity; direction is the repro target"
+            .to_string(),
+    );
+    // §5.3: convert the mean capacity gain into money at the paper's
+    // fleet scale (300k machines).
+    let mut skus = kea_sim::default_skus(1);
+    for s in &mut skus {
+        s.machine_count *= 200;
+    }
+    let fleet = ClusterSpec::build(skus, 3);
+    if let Ok(value) = kea_core::capacity_gain_value(
+        &fleet,
+        &kea_core::FleetCostModel::default(),
+        mean(&cap) / 100.0,
+        260.0,
+    ) {
+        r.note(format!(
+            "at the paper's 300k-machine scale, a {:+.2}% capacity gain is worth ${:.1}M/year (paper: tens of millions)",
+            mean(&cap),
+            value.total_per_year / 1e6
+        ));
+    }
+    r
+}
+
+/// Pilots 3 & 4: apply a conservative tuned configuration (slow SKUs −1,
+/// fast SKUs +1) to sub-cluster 0 only, and compare its Total Data Read
+/// against sub-cluster 1 over the same saturated window. Returns
+/// (throughput change %, t).
+fn subcluster_pilot(cluster: &ClusterSpec, seed: u64) -> (f64, f64) {
+    let hours = 30;
+    let warmup = 4;
+    let sub0: BTreeSet<MachineId> = cluster
+        .machines_of_subcluster(SubClusterId(0))
+        .map(|m| m.id)
+        .collect();
+    let sub1: BTreeSet<MachineId> = cluster
+        .machines_of_subcluster(SubClusterId(1))
+        .map(|m| m.id)
+        .collect();
+    let mut plan = ConfigPlan::baseline(&cluster.skus, SC1);
+    for sku in &cluster.skus {
+        // The Figure-10 direction, applied wholesale: oldest two SKUs
+        // down one, newest three up one.
+        let delta: i64 = match sku.id.0 {
+            0 | 1 => -1,
+            2 => 0,
+            _ => 1,
+        };
+        if delta == 0 {
+            continue;
+        }
+        let targets: BTreeSet<MachineId> = sub0
+            .iter()
+            .copied()
+            .filter(|id| cluster.machine(*id).sku == sku.id)
+            .collect();
+        if targets.is_empty() {
+            continue;
+        }
+        let new_max = (sku.default_max_containers as i64 + delta).max(1) as u32;
+        plan.add_flight(
+            kea_core::FlightingTool::flight(
+                &format!("pilot3-{}", sku.name),
+                targets,
+                0,
+                hours,
+                ConfigPatch {
+                    max_running_containers: Some(new_max),
+                    ..Default::default()
+                },
+            )
+            .expect("valid flight"),
+        );
+    }
+    let out = run_sim(&SimConfig {
+        cluster: cluster.clone(),
+        workload: WorkloadSpec::default_for(cluster, 1.05),
+        plan,
+        duration_hours: hours,
+        seed,
+        task_log_every: 0,
+        adhoc_job_log_every: 0,
+    });
+    let split = MachineSplit {
+        control: sub1,
+        treatment: sub0,
+    };
+    let res = analyze(&out.telemetry, &split, warmup, hours, Metric::TotalDataRead)
+        .expect("sub-clusters populated");
+    (res.effect.percent_change(), res.effect.test.t)
+}
+
+/// Pilots 1 and 2: flight a max-container change on one SKU's machines
+/// and verify the observed running containers move accordingly.
+/// Returns ((pilot1 change %, t), (pilot2 change %, t)).
+fn pilot_flights(cluster: &ClusterSpec, seed: u64) -> ((f64, f64), (f64, f64)) {
+    let hours = 48;
+    let mut plan = ConfigPlan::baseline(&cluster.skus, SC1);
+    let gen11: BTreeSet<MachineId> = cluster
+        .machines_of_sku(SkuId(0))
+        .take(40)
+        .map(|m| m.id)
+        .collect();
+    let gen41: BTreeSet<MachineId> = cluster
+        .machines_of_sku(SkuId(5))
+        .take(40)
+        .map(|m| m.id)
+        .collect();
+    let old_max_11 = plan.base[&SkuId(0)].max_running_containers;
+    let old_max_41 = plan.base[&SkuId(5)].max_running_containers;
+    plan.add_flight(
+        FlightingTool::flight(
+            "pilot-1",
+            gen11.clone(),
+            hours / 2,
+            hours,
+            ConfigPatch {
+                max_running_containers: Some(old_max_11 - 1),
+                ..Default::default()
+            },
+        )
+        .expect("valid flight"),
+    );
+    plan.add_flight(
+        FlightingTool::flight(
+            "pilot-2",
+            gen41.clone(),
+            hours / 2,
+            hours,
+            ConfigPatch {
+                max_running_containers: Some(old_max_41 + 4),
+                ..Default::default()
+            },
+        )
+        .expect("valid flight"),
+    );
+    let out = run_sim(&SimConfig {
+        cluster: cluster.clone(),
+        workload: WorkloadSpec::default_for(cluster, 1.05),
+        plan: plan.clone(),
+        duration_hours: hours,
+        seed,
+        task_log_every: 0,
+        adhoc_job_log_every: 0,
+    });
+    let eff = |machines: &BTreeSet<MachineId>, flight_idx: usize| {
+        let e = FlightingTool::before_after(
+            &out.telemetry,
+            &plan.flights[flight_idx],
+            2,
+            Metric::AverageRunningContainers,
+        )
+        .expect("windows populated");
+        let _ = machines;
+        (e.percent_change(), e.test.t)
+    };
+    (eff(&gen11, 0), eff(&gen41, 1))
+}

@@ -1,0 +1,17 @@
+//! Reproduction harness for the KEA paper's evaluation.
+//!
+//! Every table and figure in the paper's evaluation maps to a module in
+//! [`experiments`]; `cargo run --release -p kea-bench --bin repro -- all`
+//! regenerates the full set, printing the same rows/series the paper
+//! reports. `EXPERIMENTS.md` at the repository root records
+//! paper-vs-measured for each.
+//!
+//! Absolute numbers differ from the paper — the substrate is a simulator,
+//! not the Cosmos production fleet — but the *shape* of every result
+//! (who wins, directionality, where crossovers fall) is the reproduction
+//! target.
+
+pub mod common;
+pub mod experiments;
+
+pub use common::{ExperimentScale, Report};

@@ -1,0 +1,224 @@
+//! Model-based anomaly screening for the Performance Monitor.
+//!
+//! The calibrated group models describe how a *healthy* machine of a
+//! group behaves; a machine whose hours systematically sit far from the
+//! group line is draining, mis-configured, or sick. The paper's ecosystem
+//! has a dedicated system for job-level anomaly reasoning (Griffon,
+//! the paper's reference 45); at the machine level the same idea is a residual
+//! screen over the What-if models — and it doubles as input hygiene:
+//! §5.2.1 chose Huber precisely because such machines exist in the
+//! training data.
+
+use crate::error::KeaError;
+use crate::whatif::WhatIfEngine;
+use kea_telemetry::{GroupKey, MachineId, TelemetryStore};
+use std::collections::BTreeMap;
+
+/// One flagged machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineAnomaly {
+    /// The machine.
+    pub machine: MachineId,
+    /// Its group.
+    pub group: GroupKey,
+    /// Hours with tasks that contributed to the score.
+    pub hours_observed: usize,
+    /// Mean standardized latency residual against the group model
+    /// (positive = slower than the group line predicts).
+    pub mean_z: f64,
+}
+
+/// Screens every machine against its group's latency model
+/// (`f_k(g_k(containers))`): hours with completed tasks produce residuals
+/// `observed_latency − predicted_latency`, standardized by the group's
+/// residual spread; machines whose *mean* standardized residual exceeds
+/// `z_threshold` (in absolute value) over at least `min_hours` busy hours
+/// are flagged, most anomalous first.
+///
+/// # Errors
+/// Every telemetry group must have calibrated models in the engine
+/// (fit the engine on the same window).
+pub fn screen_machines(
+    engine: &WhatIfEngine,
+    store: &TelemetryStore,
+    z_threshold: f64,
+    min_hours: usize,
+) -> Result<Vec<MachineAnomaly>, KeaError> {
+    if !(z_threshold > 0.0 && z_threshold.is_finite()) {
+        return Err(KeaError::Design("z_threshold must be positive".to_string()));
+    }
+    // Pass 1: residuals per machine and pooled spread per group.
+    struct Acc {
+        sum: f64,
+        count: usize,
+        group: GroupKey,
+    }
+    let mut per_machine: BTreeMap<MachineId, Acc> = BTreeMap::new();
+    let mut group_sq: BTreeMap<GroupKey, (f64, usize)> = BTreeMap::new();
+    for rec in store.iter() {
+        if rec.metrics.tasks_finished <= 0.0 {
+            continue;
+        }
+        let models = engine
+            .group(rec.group)
+            .ok_or_else(|| KeaError::NoObservations {
+                what: format!("no calibrated models for {:?}", rec.group),
+            })?;
+        let predicted =
+            models.predict_latency(models.predict_util(rec.metrics.avg_running_containers));
+        let residual = rec.metrics.avg_task_latency_s - predicted;
+        let acc = per_machine.entry(rec.machine).or_insert(Acc {
+            sum: 0.0,
+            count: 0,
+            group: rec.group,
+        });
+        acc.sum += residual;
+        acc.count += 1;
+        let g = group_sq.entry(rec.group).or_insert((0.0, 0));
+        g.0 += residual * residual;
+        g.1 += 1;
+    }
+    let spread: BTreeMap<GroupKey, f64> = group_sq
+        .into_iter()
+        .map(|(g, (sq, n))| (g, (sq / n.max(1) as f64).sqrt().max(1e-9)))
+        .collect();
+
+    // Pass 2: standardized per-machine means.
+    let mut flagged: Vec<MachineAnomaly> = per_machine
+        .into_iter()
+        .filter(|(_, acc)| acc.count >= min_hours)
+        .filter_map(|(machine, acc)| {
+            let sd = spread.get(&acc.group)?;
+            let mean_resid = acc.sum / acc.count as f64;
+            // Standard error of the machine's mean under the group noise.
+            let z = mean_resid / (sd / (acc.count as f64).sqrt());
+            (z.abs() >= z_threshold).then_some(MachineAnomaly {
+                machine,
+                group: acc.group,
+                hours_observed: acc.count,
+                mean_z: z,
+            })
+        })
+        .collect();
+    flagged.sort_by(|a, b| b.mean_z.abs().total_cmp(&a.mean_z.abs()));
+    Ok(flagged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::PerformanceMonitor;
+    use crate::whatif::{FitMethod, Granularity};
+    use kea_telemetry::{MachineHourRecord, MetricValues, ScId, SkuId};
+
+    /// Healthy machines follow latency = 100 + 3·util exactly (plus tiny
+    /// per-machine jitter); machine 13 runs 40% slower every hour.
+    fn store_with_sick_machine() -> TelemetryStore {
+        let mut s = TelemetryStore::new();
+        for m in 0..20u32 {
+            for h in 0..48u64 {
+                let containers = 5.0 + (m % 4) as f64 + (h % 6) as f64 * 0.5;
+                let util = 4.0 * containers;
+                let mut latency = 100.0 + 3.0 * util + ((m as u64 + h) % 5) as f64 * 0.4;
+                if m == 13 {
+                    latency *= 1.4;
+                }
+                s.push(MachineHourRecord {
+                    machine: MachineId(m),
+                    group: GroupKey::new(SkuId(0), ScId(1)),
+                    hour: h,
+                    metrics: MetricValues {
+                        avg_running_containers: containers,
+                        cpu_utilization: util,
+                        tasks_finished: 10.0,
+                        avg_task_latency_s: latency,
+                        ..Default::default()
+                    },
+                });
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn flags_the_sick_machine_first() {
+        let store = store_with_sick_machine();
+        let monitor = PerformanceMonitor::new(&store);
+        let engine = WhatIfEngine::fit_at(&monitor, FitMethod::Huber, Granularity::Hourly, 24)
+            .expect("fits");
+        let flagged = screen_machines(&engine, &store, 4.0, 12).expect("screens");
+        assert!(!flagged.is_empty(), "the 40%-slow machine must be caught");
+        assert_eq!(flagged[0].machine, MachineId(13));
+        assert!(flagged[0].mean_z > 4.0);
+        // Healthy machines are not flagged at this threshold.
+        assert!(
+            flagged.iter().all(|f| f.machine == MachineId(13)),
+            "{flagged:?}"
+        );
+    }
+
+    #[test]
+    fn clean_fleet_produces_no_flags() {
+        let mut store = TelemetryStore::new();
+        for m in 0..20u32 {
+            for h in 0..48u64 {
+                let containers = 5.0 + (m % 4) as f64 + (h % 6) as f64 * 0.5;
+                let util = 4.0 * containers;
+                // Jitter uncorrelated with machine id.
+                let latency = 100.0 + 3.0 * util + ((m as u64 * 7 + h * 3) % 11) as f64 * 0.3;
+                store.push(MachineHourRecord {
+                    machine: MachineId(m),
+                    group: GroupKey::new(SkuId(0), ScId(1)),
+                    hour: h,
+                    metrics: MetricValues {
+                        avg_running_containers: containers,
+                        cpu_utilization: util,
+                        tasks_finished: 10.0,
+                        avg_task_latency_s: latency,
+                        ..Default::default()
+                    },
+                });
+            }
+        }
+        let monitor = PerformanceMonitor::new(&store);
+        let engine = WhatIfEngine::fit_at(&monitor, FitMethod::Huber, Granularity::Hourly, 24)
+            .expect("fits");
+        let flagged = screen_machines(&engine, &store, 6.0, 12).expect("screens");
+        assert!(flagged.is_empty(), "{flagged:?}");
+    }
+
+    #[test]
+    fn respects_min_hours_and_validates() {
+        let store = store_with_sick_machine();
+        let monitor = PerformanceMonitor::new(&store);
+        let engine = WhatIfEngine::fit_at(&monitor, FitMethod::Huber, Granularity::Hourly, 24)
+            .expect("fits");
+        // min_hours above the window length: nothing qualifies.
+        let flagged = screen_machines(&engine, &store, 4.0, 1000).expect("screens");
+        assert!(flagged.is_empty());
+        assert!(screen_machines(&engine, &store, 0.0, 2).is_err());
+        assert!(screen_machines(&engine, &store, f64::NAN, 2).is_err());
+    }
+
+    #[test]
+    fn works_on_simulated_telemetry() {
+        // End-to-end smoke: a real simulation should produce few or no
+        // anomalies at a high threshold (no machine is *systematically*
+        // off its group line — the noise is workload, not hardware).
+        let out = kea_sim::run(&kea_sim::SimConfig::baseline(
+            kea_sim::ClusterSpec::tiny(),
+            30,
+            71,
+        ));
+        let monitor = PerformanceMonitor::new(&out.telemetry);
+        let engine = WhatIfEngine::fit_at(&monitor, FitMethod::Huber, Granularity::Hourly, 24)
+            .expect("fits");
+        let flagged = screen_machines(&engine, &out.telemetry, 10.0, 8).expect("screens");
+        let fleet = kea_sim::ClusterSpec::tiny().n_machines();
+        assert!(
+            flagged.len() <= fleet / 5,
+            "too many anomalies on a healthy fleet: {}",
+            flagged.len()
+        );
+    }
+}

@@ -1,0 +1,222 @@
+//! Phase I: system conceptualization checks (§3.2, Figures 4–6).
+//!
+//! The abstraction ladder Level I → Level V is only sound if three
+//! empirical facts hold; the data scientists "validate" each before any
+//! model is built. This module runs those validations on simulator ground
+//! truth:
+//!
+//! * **Critical-path skew** (Level III, Figure 5): tasks landing on
+//!   slower machines are disproportionately likely to be on a job's
+//!   critical path.
+//! * **Placement uniformity** (Levels IV–V, Figure 6): the task-type mix
+//!   each rack/SKU receives matches the cluster-wide mix.
+
+use crate::error::KeaError;
+use kea_sim::{ClusterSpec, SimOutput, TaskType};
+use kea_telemetry::SkuId;
+
+/// Per-SKU critical-path statistics (the Figure 5 panel).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalPathStat {
+    /// The SKU.
+    pub sku: SkuId,
+    /// SKU display name.
+    pub sku_name: String,
+    /// Completed tasks observed.
+    pub tasks: u64,
+    /// Probability a task on this SKU was its stage's slowest.
+    pub critical_probability: f64,
+    /// Mean sampled task duration on this SKU, seconds.
+    pub mean_duration_s: f64,
+}
+
+/// Outcome of the Level-III validation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalPathReport {
+    /// Per-SKU statistics, oldest generation first.
+    pub by_sku: Vec<CriticalPathStat>,
+    /// Spearman-style direction check: true when critical-path
+    /// probability decreases as machines get faster.
+    pub skew_confirmed: bool,
+}
+
+/// Validates the critical-path abstraction on a simulation output.
+///
+/// # Errors
+/// Every SKU in the cluster must have completed tasks (run the
+/// observation window longer otherwise).
+pub fn validate_critical_path(
+    cluster: &ClusterSpec,
+    out: &SimOutput,
+) -> Result<CriticalPathReport, KeaError> {
+    let mut by_sku = Vec::with_capacity(cluster.skus.len());
+    for sku in &cluster.skus {
+        let tasks = out.counters.by_sku.get(&sku.id).copied().unwrap_or(0);
+        let p = out
+            .counters
+            .critical_path_probability(sku.id)
+            .ok_or_else(|| KeaError::NoObservations {
+                what: format!("no completed tasks on {}", sku.name),
+            })?;
+        let durations: Vec<f64> = out
+            .tasks
+            .iter()
+            .filter(|t| t.sku == sku.id)
+            .map(|t| t.duration_s)
+            .collect();
+        let mean_duration_s = if durations.is_empty() {
+            f64::NAN
+        } else {
+            durations.iter().sum::<f64>() / durations.len() as f64
+        };
+        by_sku.push(CriticalPathStat {
+            sku: sku.id,
+            sku_name: sku.name.clone(),
+            tasks,
+            critical_probability: p,
+            mean_duration_s,
+        });
+    }
+    // The catalog orders SKUs oldest→newest (slow→fast); confirm the
+    // critical-path probability is non-increasing along that order,
+    // allowing small inversions between adjacent near-identical SKUs.
+    let probs: Vec<f64> = by_sku.iter().map(|s| s.critical_probability).collect();
+    let skew_confirmed = probs.first() > probs.last()
+        && probs.windows(2).filter(|w| w[0] < w[1]).count() <= 1;
+    Ok(CriticalPathReport {
+        by_sku,
+        skew_confirmed,
+    })
+}
+
+/// Outcome of the placement-uniformity validation (Figure 6).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UniformityReport {
+    /// Cluster-wide task-type shares, in [`TaskType::ALL`] order.
+    pub global_shares: [f64; 4],
+    /// Maximum absolute deviation of any rack's share from the global.
+    pub max_rack_deviation: f64,
+    /// Maximum absolute deviation of any SKU's share from the global.
+    pub max_sku_deviation: f64,
+    /// Racks with enough tasks to be compared.
+    pub racks_checked: usize,
+    /// SKUs compared.
+    pub skus_checked: usize,
+    /// True when both deviations are below the tolerance.
+    pub uniform: bool,
+}
+
+/// Validates that tasks spread uniformly (in type mix) across racks and
+/// SKUs. Racks with fewer than `min_tasks` completed tasks are skipped —
+/// small-sample shares are meaningless.
+///
+/// # Errors
+/// The output must contain completed tasks.
+pub fn validate_uniformity(
+    cluster: &ClusterSpec,
+    out: &SimOutput,
+    min_tasks: u64,
+    tolerance: f64,
+) -> Result<UniformityReport, KeaError> {
+    if out.counters.total == 0 {
+        return Err(KeaError::NoObservations {
+            what: "no completed tasks".to_string(),
+        });
+    }
+    // Global mix.
+    let mut global = [0u64; 4];
+    for ((_, t), n) in &out.counters.by_sku_type {
+        let idx = TaskType::ALL
+            .iter()
+            .position(|x| x == t)
+            .expect("task type in ALL");
+        global[idx] += n;
+    }
+    let total: u64 = global.iter().sum();
+    let mut global_shares = [0.0; 4];
+    for (s, g) in global_shares.iter_mut().zip(&global) {
+        *s = *g as f64 / total as f64;
+    }
+
+    let mut max_rack_deviation = 0.0_f64;
+    let mut racks_checked = 0;
+    for rack in 0..cluster.n_racks() {
+        let rack_id = kea_sim::RackId(rack);
+        let rack_total: u64 = TaskType::ALL
+            .iter()
+            .filter_map(|t| out.counters.by_rack_type.get(&(rack_id, *t)))
+            .sum();
+        if rack_total < min_tasks {
+            continue;
+        }
+        if let Some(shares) = out.counters.type_shares_by_rack(rack_id) {
+            racks_checked += 1;
+            for (s, g) in shares.iter().zip(&global_shares) {
+                max_rack_deviation = max_rack_deviation.max((s - g).abs());
+            }
+        }
+    }
+
+    let mut max_sku_deviation = 0.0_f64;
+    let mut skus_checked = 0;
+    for sku in &cluster.skus {
+        if let Some(shares) = out.counters.type_shares_by_sku(sku.id) {
+            skus_checked += 1;
+            for (s, g) in shares.iter().zip(&global_shares) {
+                max_sku_deviation = max_sku_deviation.max((s - g).abs());
+            }
+        }
+    }
+
+    Ok(UniformityReport {
+        global_shares,
+        max_rack_deviation,
+        max_sku_deviation,
+        racks_checked,
+        skus_checked,
+        uniform: max_rack_deviation < tolerance && max_sku_deviation < tolerance,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kea_sim::{run, SimConfig};
+
+    fn sim() -> (ClusterSpec, SimOutput) {
+        let cluster = ClusterSpec::tiny();
+        let out = run(&SimConfig::baseline(cluster.clone(), 24, 31));
+        (cluster, out)
+    }
+
+    #[test]
+    fn critical_path_skew_holds_in_simulation() {
+        let (cluster, out) = sim();
+        let report = validate_critical_path(&cluster, &out).unwrap();
+        assert_eq!(report.by_sku.len(), 6);
+        assert!(report.skew_confirmed, "report: {report:#?}");
+        // Oldest SKU carries the highest critical-path probability.
+        let first = report.by_sku.first().unwrap();
+        let last = report.by_sku.last().unwrap();
+        assert!(first.critical_probability > last.critical_probability);
+        assert!(first.mean_duration_s > last.mean_duration_s);
+    }
+
+    #[test]
+    fn uniformity_holds_in_simulation() {
+        let (cluster, out) = sim();
+        let report = validate_uniformity(&cluster, &out, 200, 0.10).unwrap();
+        assert!(report.uniform, "report: {report:#?}");
+        assert!(report.racks_checked > 0);
+        assert_eq!(report.skus_checked, 6);
+        assert!((report.global_shares.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_output_errors() {
+        let cluster = ClusterSpec::tiny();
+        let empty = SimOutput::default();
+        assert!(validate_critical_path(&cluster, &empty).is_err());
+        assert!(validate_uniformity(&cluster, &empty, 10, 0.1).is_err());
+    }
+}

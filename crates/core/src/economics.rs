@@ -1,0 +1,202 @@
+//! Converting performance into money (§5.3).
+//!
+//! "Based on the ML models proposed in Equations (1)–(6), KEA can also be
+//! used to convert any performance improvement into capacity gain (given
+//! the same task latency), allowing detailed quantitative evaluation for
+//! all engineering changes in monetary values." The paper's headline —
+//! "tens of millions of dollars per year" from a 2% capacity gain on a
+//! fleet worth over $1B — is exactly this arithmetic. This module makes
+//! it a typed, testable calculation instead of a slide.
+
+use crate::error::KeaError;
+use kea_sim::ClusterSpec;
+
+/// Cost structure of a machine fleet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetCostModel {
+    /// Amortized capital cost per machine per year (purchase price /
+    /// depreciation years).
+    pub capex_per_machine_year: f64,
+    /// Datacenter overhead per machine per year (rack, cooling, space —
+    /// the fixed costs §4.2's power-capping application amortizes).
+    pub facility_per_machine_year: f64,
+    /// Electricity price per kWh.
+    pub price_per_kwh: f64,
+}
+
+impl Default for FleetCostModel {
+    fn default() -> Self {
+        // Public warehouse-scale ballparks (Barroso et al., the paper's
+        // reference [7]): ~$6k server amortized over 4 years, facility
+        // overhead of similar order, industrial electricity ~$0.07/kWh.
+        FleetCostModel {
+            capex_per_machine_year: 1_500.0,
+            facility_per_machine_year: 1_200.0,
+            price_per_kwh: 0.07,
+        }
+    }
+}
+
+/// The annual value of a tuning outcome on a given fleet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnnualValue {
+    /// Fleet size the estimate is for.
+    pub machines: usize,
+    /// Total annual cost of owning the fleet (capex + facility + power).
+    pub fleet_cost_per_year: f64,
+    /// Value of the capacity gain: the machines you no longer have to
+    /// buy to serve the same (grown) demand.
+    pub capacity_value_per_year: f64,
+    /// Value of harvested power headroom (power-capping): extra machines
+    /// the same provisioned megawatts can host, priced at facility cost.
+    pub power_value_per_year: f64,
+    /// Sum of the above.
+    pub total_per_year: f64,
+}
+
+/// Prices a capacity gain (e.g. the +2% of §5.2.2) on a fleet: a `g`%
+/// capacity gain is worth `g`% of the fleet's annual ownership cost —
+/// the machines that gain substitutes for.
+///
+/// `mean_power_w` is the fleet-average electrical draw per machine (from
+/// telemetry), used for the power component of ownership cost.
+///
+/// # Errors
+/// The gain must be a finite fraction > −1 and the power non-negative.
+pub fn capacity_gain_value(
+    cluster: &ClusterSpec,
+    cost: &FleetCostModel,
+    capacity_gain_fraction: f64,
+    mean_power_w: f64,
+) -> Result<AnnualValue, KeaError> {
+    if !capacity_gain_fraction.is_finite() || capacity_gain_fraction <= -1.0 {
+        return Err(KeaError::Design(
+            "capacity gain must be a finite fraction above -1".to_string(),
+        ));
+    }
+    if !mean_power_w.is_finite() || mean_power_w < 0.0 {
+        return Err(KeaError::Design("mean power must be non-negative".to_string()));
+    }
+    let machines = cluster.n_machines();
+    let power_cost_per_machine = mean_power_w / 1000.0 * 24.0 * 365.0 * cost.price_per_kwh;
+    let per_machine_year =
+        cost.capex_per_machine_year + cost.facility_per_machine_year + power_cost_per_machine;
+    let fleet_cost_per_year = per_machine_year * machines as f64;
+    let capacity_value_per_year = fleet_cost_per_year * capacity_gain_fraction;
+    Ok(AnnualValue {
+        machines,
+        fleet_cost_per_year,
+        capacity_value_per_year,
+        power_value_per_year: 0.0,
+        total_per_year: capacity_value_per_year,
+    })
+}
+
+/// Prices harvested provisioned power (the power-capping application):
+/// capping every machine by `harvested_w_per_machine` frees megawatts
+/// that host `freed / per_machine_provisioned` additional machines in the
+/// same datacenter, each saving the *facility* cost that would otherwise
+/// be spent building new capacity.
+///
+/// # Errors
+/// The harvested power must be non-negative and below the provisioned
+/// level of every SKU.
+pub fn harvested_power_value(
+    cluster: &ClusterSpec,
+    cost: &FleetCostModel,
+    harvested_w_per_machine: f64,
+) -> Result<AnnualValue, KeaError> {
+    if !harvested_w_per_machine.is_finite() || harvested_w_per_machine < 0.0 {
+        return Err(KeaError::Design(
+            "harvested power must be non-negative".to_string(),
+        ));
+    }
+    let mean_provisioned: f64 = cluster
+        .skus
+        .iter()
+        .map(|s| s.provisioned_power_w * s.machine_count as f64)
+        .sum::<f64>()
+        / cluster.n_machines() as f64;
+    if harvested_w_per_machine >= mean_provisioned {
+        return Err(KeaError::Design(
+            "cannot harvest more than the provisioned level".to_string(),
+        ));
+    }
+    let machines = cluster.n_machines();
+    let freed_w = harvested_w_per_machine * machines as f64;
+    let new_provision_per_machine = mean_provisioned - harvested_w_per_machine;
+    let extra_machines = freed_w / new_provision_per_machine;
+    let power_value_per_year = extra_machines * cost.facility_per_machine_year;
+    Ok(AnnualValue {
+        machines,
+        fleet_cost_per_year: 0.0,
+        capacity_value_per_year: 0.0,
+        power_value_per_year,
+        total_per_year: power_value_per_year,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_percent_on_a_large_fleet_is_tens_of_millions() {
+        // Scale the paper's arithmetic: 300k machines, +2% capacity.
+        let mut skus = kea_sim::default_skus(1);
+        for s in &mut skus {
+            s.machine_count *= 200; // 1.5k → 300k
+        }
+        let fleet = ClusterSpec::build(skus, 3);
+        let value = capacity_gain_value(&fleet, &FleetCostModel::default(), 0.02, 250.0)
+            .expect("valid inputs");
+        assert!(
+            value.total_per_year > 10_000_000.0,
+            "paper: tens of millions; got ${:.0}",
+            value.total_per_year
+        );
+        assert!(value.total_per_year < 100_000_000.0, "sanity upper bound");
+        assert_eq!(value.capacity_value_per_year, value.total_per_year);
+    }
+
+    #[test]
+    fn value_scales_linearly_in_the_gain() {
+        let cluster = ClusterSpec::small();
+        let cost = FleetCostModel::default();
+        let one = capacity_gain_value(&cluster, &cost, 0.01, 250.0).unwrap();
+        let three = capacity_gain_value(&cluster, &cost, 0.03, 250.0).unwrap();
+        assert!((three.total_per_year / one.total_per_year - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_gains_price_as_losses() {
+        let cluster = ClusterSpec::small();
+        let v = capacity_gain_value(&cluster, &FleetCostModel::default(), -0.01, 250.0)
+            .unwrap();
+        assert!(v.total_per_year < 0.0);
+    }
+
+    #[test]
+    fn harvested_power_hosts_more_machines() {
+        let cluster = ClusterSpec::default_cluster();
+        let cost = FleetCostModel::default();
+        // Cap ~15% below a ~450W mean provision: ~67W per machine.
+        let v = harvested_power_value(&cluster, &cost, 67.0).unwrap();
+        assert!(v.power_value_per_year > 0.0);
+        // More harvest, more value; super-linear because the denominator
+        // shrinks too.
+        let v2 = harvested_power_value(&cluster, &cost, 134.0).unwrap();
+        assert!(v2.power_value_per_year > 2.0 * v.power_value_per_year);
+    }
+
+    #[test]
+    fn input_validation() {
+        let cluster = ClusterSpec::tiny();
+        let cost = FleetCostModel::default();
+        assert!(capacity_gain_value(&cluster, &cost, f64::NAN, 250.0).is_err());
+        assert!(capacity_gain_value(&cluster, &cost, -1.5, 250.0).is_err());
+        assert!(capacity_gain_value(&cluster, &cost, 0.02, -1.0).is_err());
+        assert!(harvested_power_value(&cluster, &cost, -5.0).is_err());
+        assert!(harvested_power_value(&cluster, &cost, 10_000.0).is_err());
+    }
+}

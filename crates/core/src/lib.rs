@@ -1,0 +1,82 @@
+//! # KEA: data-driven tuning of an exabyte-scale data infrastructure
+//!
+//! A from-scratch Rust reproduction of *"KEA: Tuning an Exabyte-Scale
+//! Data Infrastructure"* (SIGMOD 2021). KEA replaces manual cluster
+//! tuning with models learned from passively observed telemetry,
+//! escalating to production experiments only as a last resort.
+//!
+//! ## Architecture (Figure 7 of the paper)
+//!
+//! * [`monitor`] — the **Performance Monitor**: joins telemetry and
+//!   computes the machine-group metrics of Table 2.
+//! * [`whatif`] — the **Modeling Module**'s What-if Engine: per-group
+//!   Huber regressions `g_k`, `h_k`, `f_k` (Equations 1–6).
+//! * [`optimizer`] — the **Optimizer**: the container-rebalancing LP
+//!   (Equations 7–10) solved with a from-scratch simplex.
+//! * [`experiment`] — the **Experiment Module**: ideal / time-slicing /
+//!   hybrid designs and treatment-effect analysis (§7).
+//! * [`flighting`] — the **Flighting Tool** and **Deployment Module**:
+//!   windowed config overrides, before/after evaluation, guardrails.
+//! * [`conceptualization`] — Phase I validations of the abstraction
+//!   ladder (Figures 4–6).
+//! * [`methodology`] — the Phase I→II→III project state machine of
+//!   Figure 3, with the gates the paper's process implies.
+//! * [`slo`] — implicit-SLO validation at the job level (§3.2 Level II).
+//! * [`anomaly`] — model-based screening of machines that drift off
+//!   their group's calibrated line (the Griffon-adjacent hygiene the
+//!   Huber choice of §5.2.1 implies).
+//! * [`economics`] — converting capacity and power gains into dollars
+//!   (§5.3's "monetary values").
+//! * [`apps`] — the four production applications of Table 3, plus the
+//!   §5.3 queue-length extension.
+//!
+//! The proprietary Cosmos fleet is replaced by the [`kea_sim`] simulator
+//! (see `DESIGN.md` for the substitution argument); everything else —
+//! models, optimizer, statistics, experiment designs — is exactly the
+//! paper's machinery.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use kea_core::monitor::PerformanceMonitor;
+//! use kea_core::whatif::{FitMethod, WhatIfEngine};
+//! use kea_sim::{run, ClusterSpec, SimConfig};
+//!
+//! // Observe a (simulated) cluster for two days.
+//! let out = run(&SimConfig::baseline(ClusterSpec::tiny(), 48, 7));
+//! // Calibrate the What-if Engine from telemetry alone.
+//! let monitor = PerformanceMonitor::new(&out.telemetry);
+//! let engine = WhatIfEngine::fit(&monitor, FitMethod::Huber, 4).unwrap();
+//! // Ask a what-if question: utilization at 10 containers per machine.
+//! let group = engine.groups().next().unwrap().group;
+//! let (util, tasks_per_hour, latency) = engine.predict(group, 10.0).unwrap();
+//! assert!(util > 0.0 && tasks_per_hour > 0.0 && latency > 0.0);
+//! ```
+
+pub mod anomaly;
+pub mod apps;
+pub mod conceptualization;
+pub mod economics;
+pub mod error;
+pub mod experiment;
+pub mod flighting;
+pub mod methodology;
+pub mod monitor;
+pub mod optimizer;
+pub mod slo;
+pub mod whatif;
+
+pub use anomaly::{screen_machines, MachineAnomaly};
+pub use apps::TuningApproach;
+pub use economics::{capacity_gain_value, harvested_power_value, AnnualValue, FleetCostModel};
+pub use error::KeaError;
+pub use methodology::{Approach, Phase, TuningProject};
+pub use slo::{check_implicit_slos, SloReport};
+pub use experiment::{
+    analyze, analyze_time_slices, hybrid_groups, ideal_setting, required_machine_hours,
+    time_slices, MachineSplit,
+};
+pub use flighting::{evaluate_deployment, DeploymentReport, FlightingTool, Guardrail};
+pub use monitor::PerformanceMonitor;
+pub use optimizer::{optimize_max_containers, OperatingPoint, YarnOptimization};
+pub use whatif::{FitMethod, GroupModels, WhatIfEngine};

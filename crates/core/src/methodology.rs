@@ -1,0 +1,294 @@
+//! The KEA project methodology as a typed state machine (§3.1, Figure 3).
+//!
+//! A tuning project moves through three phases:
+//!
+//! * **Phase I — Fact Finding & System Conceptualization**: stakeholders
+//!   agree on objective, constraints, and controllable configurations;
+//!   the abstraction ladder is validated on data (our
+//!   [`crate::conceptualization`] checks).
+//! * **Phase II — Modeling & Optimization**: calibrated models + an
+//!   optimal configuration proposal.
+//! * **Phase III — Deployment**: flighting, guardrail evaluation, and the
+//!   final roll-out decision.
+//!
+//! The paper stresses that phases gate each other ("note that at this
+//! stage we have not built ML models yet" in Phase I; flighting before
+//! any roll-out in Phase III). Encoding the gates in the type system
+//! turns that process discipline into a compile-/run-time guarantee: a
+//! project cannot record an optimization before its conceptualization is
+//! validated, and cannot be approved for roll-out before flighting.
+
+use crate::error::KeaError;
+
+/// Phase of a tuning project.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Phase {
+    /// Phase I: fact finding and system conceptualization.
+    Conceptualization,
+    /// Phase II: modeling and optimization.
+    Modeling,
+    /// Phase III: deployment (flighting → roll-out).
+    Deployment,
+    /// Terminal: rolled out (or abandoned).
+    Concluded,
+}
+
+/// Which of §4.2's tuning approaches the project uses. Hypothetical
+/// projects skip Phase III entirely — there is nothing to deploy on
+/// machines that do not exist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Approach {
+    /// Model from passive telemetry, flight as a safety check.
+    Observational,
+    /// Model from passive telemetry; output is a plan, not a deployment.
+    Hypothetical,
+    /// Deploy experiments to create the operating points.
+    Experimental,
+}
+
+/// A tuning project's recorded state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuningProject {
+    name: String,
+    approach: Approach,
+    phase: Phase,
+    objective: String,
+    constraints: Vec<String>,
+    tunables: Vec<String>,
+    conceptualization_validated: bool,
+    model_summary: Option<String>,
+    proposal: Option<String>,
+    flights_passed: u32,
+    log: Vec<String>,
+}
+
+impl TuningProject {
+    /// Opens a project in Phase I.
+    pub fn new(name: &str, approach: Approach, objective: &str) -> Self {
+        TuningProject {
+            name: name.to_string(),
+            approach,
+            phase: Phase::Conceptualization,
+            objective: objective.to_string(),
+            constraints: Vec::new(),
+            tunables: Vec::new(),
+            conceptualization_validated: false,
+            model_summary: None,
+            proposal: None,
+            flights_passed: 0,
+            log: Vec::new(),
+        }
+    }
+
+    /// Project name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// The chosen tuning approach.
+    pub fn approach(&self) -> Approach {
+        self.approach
+    }
+
+    /// The objective agreed in Phase I.
+    pub fn objective(&self) -> &str {
+        &self.objective
+    }
+
+    /// Project event log (for the write-up).
+    pub fn log(&self) -> &[String] {
+        &self.log
+    }
+
+    /// Phase I: records a practical constraint (e.g. "task latency must
+    /// not regress").
+    ///
+    /// # Errors
+    /// Only allowed during Phase I.
+    pub fn add_constraint(&mut self, constraint: &str) -> Result<(), KeaError> {
+        self.require(Phase::Conceptualization, "add constraints")?;
+        self.constraints.push(constraint.to_string());
+        self.log.push(format!("constraint: {constraint}"));
+        Ok(())
+    }
+
+    /// Phase I: records a controllable configuration.
+    ///
+    /// # Errors
+    /// Only allowed during Phase I.
+    pub fn add_tunable(&mut self, tunable: &str) -> Result<(), KeaError> {
+        self.require(Phase::Conceptualization, "add tunables")?;
+        self.tunables.push(tunable.to_string());
+        self.log.push(format!("tunable: {tunable}"));
+        Ok(())
+    }
+
+    /// Phase I → Phase II gate: the conceptualization must be validated
+    /// on data (Figures 5–6 style checks) and at least one tunable and
+    /// one constraint recorded.
+    ///
+    /// # Errors
+    /// Rejects un-validated conceptualizations or empty scopes.
+    pub fn complete_conceptualization(&mut self, validated: bool) -> Result<(), KeaError> {
+        self.require(Phase::Conceptualization, "complete Phase I")?;
+        if !validated {
+            return Err(KeaError::Design(
+                "conceptualization checks failed; do not proceed to modeling".to_string(),
+            ));
+        }
+        if self.tunables.is_empty() || self.constraints.is_empty() {
+            return Err(KeaError::Design(
+                "Phase I must produce tunables and constraints".to_string(),
+            ));
+        }
+        self.conceptualization_validated = true;
+        self.phase = Phase::Modeling;
+        self.log.push("phase I complete".to_string());
+        Ok(())
+    }
+
+    /// Phase II: records the calibrated models and the optimizer's
+    /// proposal, moving to Phase III (or concluding, for hypothetical
+    /// projects whose output *is* the proposal).
+    ///
+    /// # Errors
+    /// Only allowed during Phase II.
+    pub fn record_proposal(&mut self, models: &str, proposal: &str) -> Result<(), KeaError> {
+        self.require(Phase::Modeling, "record a proposal")?;
+        self.model_summary = Some(models.to_string());
+        self.proposal = Some(proposal.to_string());
+        self.log.push(format!("proposal: {proposal}"));
+        self.phase = match self.approach {
+            Approach::Hypothetical => Phase::Concluded,
+            _ => Phase::Deployment,
+        };
+        Ok(())
+    }
+
+    /// Phase III: records one flighting round and its verdict.
+    ///
+    /// # Errors
+    /// Only allowed during Phase III; a failed flight sends the project
+    /// back to Phase II ("iteratively, DS fine-tunes the models").
+    pub fn record_flight(&mut self, label: &str, passed: bool) -> Result<(), KeaError> {
+        self.require(Phase::Deployment, "record a flight")?;
+        self.log.push(format!(
+            "flight '{label}': {}",
+            if passed { "passed" } else { "failed" }
+        ));
+        if passed {
+            self.flights_passed += 1;
+        } else {
+            self.phase = Phase::Modeling;
+        }
+        Ok(())
+    }
+
+    /// Phase III → conclusion: approve the roll-out. The paper's process
+    /// required multiple flighting rounds before the first deployment
+    /// (five in §5.2.2); the gate enforces a minimum.
+    ///
+    /// # Errors
+    /// Needs Phase III and at least `min_flights` passed flights.
+    pub fn approve_rollout(&mut self, min_flights: u32) -> Result<(), KeaError> {
+        self.require(Phase::Deployment, "approve the roll-out")?;
+        if self.flights_passed < min_flights {
+            return Err(KeaError::GuardrailViolated(format!(
+                "only {}/{} flighting rounds passed",
+                self.flights_passed, min_flights
+            )));
+        }
+        self.phase = Phase::Concluded;
+        self.log.push("rolled out".to_string());
+        Ok(())
+    }
+
+    fn require(&self, phase: Phase, action: &str) -> Result<(), KeaError> {
+        if self.phase == phase {
+            Ok(())
+        } else {
+            Err(KeaError::Design(format!(
+                "cannot {action} in {:?} (requires {phase:?})",
+                self.phase
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phase_one_done(approach: Approach) -> TuningProject {
+        let mut p = TuningProject::new("yarn", approach, "maximize sellable capacity");
+        p.add_constraint("cluster-average task latency must not regress")
+            .unwrap();
+        p.add_tunable("max_num_running_containers per SC-SKU").unwrap();
+        p.complete_conceptualization(true).unwrap();
+        p
+    }
+
+    #[test]
+    fn happy_path_observational() {
+        let mut p = phase_one_done(Approach::Observational);
+        assert_eq!(p.phase(), Phase::Modeling);
+        p.record_proposal("huber g/h/f per group", "±1 container per SKU")
+            .unwrap();
+        assert_eq!(p.phase(), Phase::Deployment);
+        for i in 0..5 {
+            p.record_flight(&format!("pilot {i}"), true).unwrap();
+        }
+        p.approve_rollout(5).unwrap();
+        assert_eq!(p.phase(), Phase::Concluded);
+        assert!(p.log().iter().any(|l| l.contains("rolled out")));
+    }
+
+    #[test]
+    fn hypothetical_projects_skip_deployment() {
+        let mut p = phase_one_done(Approach::Hypothetical);
+        p.record_proposal("p/q usage models", "128 cores, 1.28TB SSD, 576GB RAM")
+            .unwrap();
+        assert_eq!(p.phase(), Phase::Concluded);
+        // No flights possible.
+        assert!(p.record_flight("x", true).is_err());
+    }
+
+    #[test]
+    fn phase_gates_are_enforced() {
+        let mut p = TuningProject::new("q", Approach::Observational, "obj");
+        // Cannot model or deploy from Phase I.
+        assert!(p.record_proposal("m", "p").is_err());
+        assert!(p.record_flight("f", true).is_err());
+        assert!(p.approve_rollout(1).is_err());
+        // Cannot finish Phase I without scope.
+        assert!(p.complete_conceptualization(true).is_err());
+        p.add_constraint("c").unwrap();
+        p.add_tunable("t").unwrap();
+        // Failed validation blocks progression.
+        assert!(p.complete_conceptualization(false).is_err());
+        assert_eq!(p.phase(), Phase::Conceptualization);
+        p.complete_conceptualization(true).unwrap();
+        // Phase I actions now rejected.
+        assert!(p.add_constraint("late").is_err());
+    }
+
+    #[test]
+    fn failed_flights_send_the_project_back_to_modeling() {
+        let mut p = phase_one_done(Approach::Experimental);
+        p.record_proposal("capping models", "cap at 20%").unwrap();
+        p.record_flight("group C pilot", false).unwrap();
+        assert_eq!(p.phase(), Phase::Modeling);
+        // Re-propose and fly again.
+        p.record_proposal("capping models v2", "cap at 15%").unwrap();
+        p.record_flight("group C pilot v2", true).unwrap();
+        assert!(p.approve_rollout(2).is_err(), "needs two passed flights");
+        p.record_flight("group D pilot", true).unwrap();
+        p.approve_rollout(2).unwrap();
+        assert_eq!(p.phase(), Phase::Concluded);
+    }
+}

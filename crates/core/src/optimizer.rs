@@ -1,0 +1,435 @@
+//! The Optimizer for YARN configuration tuning (§5.2, Equations 7–10).
+//!
+//! The paper maximizes total running containers `Σ m_k n_k` subject to
+//! the cluster-wide average task latency not regressing:
+//! `W̄(m) ≤ W̄(m')` with `W̄ = Σ w_k l_k n_k / Σ l_k n_k`, where `w_k` and
+//! `l_k` are themselves functions of `m_k` through the calibrated models.
+//! That constraint is nonlinear in `m`; the paper solves a linear program,
+//! which implies linearization around the current operating point — and
+//! production only ever moves "by a small margin, i.e. decrease or
+//! increase the maximum running containers … by one", so a first-order
+//! model is exact enough by construction. We therefore solve, in the step
+//! variables `d_k = m_k − m'_k`:
+//!
+//! ```text
+//! max  Σ n_k d_k
+//! s.t. Σ (∂W̄/∂m_k)|_{m'} · d_k ≤ 0        (latency budget, linearized)
+//!      −δ ≤ d_k ≤ δ                        (conservative roll-out)
+//! ```
+//!
+//! and verify the *nonlinear* W̄ at the rounded solution before reporting.
+
+use crate::error::KeaError;
+use crate::whatif::WhatIfEngine;
+use kea_opt::{LpProblem, Relation};
+use kea_telemetry::GroupKey;
+use std::collections::BTreeMap;
+
+/// Which operating point to linearize around.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OperatingPoint {
+    /// The median observed load (the paper's default run).
+    Median,
+    /// A high-load percentile of observed containers (the paper's
+    /// sensitivity run, e.g. 90.0).
+    Percentile(f64),
+}
+
+/// A per-group suggested configuration change.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupSuggestion {
+    /// The machine group.
+    pub group: GroupKey,
+    /// Machines in the group.
+    pub n_machines: usize,
+    /// Operating point used (`m'_k`).
+    pub current_containers: f64,
+    /// Continuous LP solution `d_k`.
+    pub delta_continuous: f64,
+    /// Conservative integer step (rounded, clamped to the step limit).
+    pub delta_step: i32,
+    /// Latency gradient `∂W̄/∂m_k` at the operating point (s/container).
+    pub latency_gradient: f64,
+}
+
+/// Result of the YARN optimization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct YarnOptimization {
+    /// Per-group suggestions, sorted by group key.
+    pub suggestions: Vec<GroupSuggestion>,
+    /// Cluster-average latency at the operating point, seconds.
+    pub baseline_latency: f64,
+    /// Predicted cluster-average latency after applying the *integer*
+    /// steps, via the full nonlinear models.
+    pub predicted_latency: f64,
+    /// Predicted relative capacity gain: `Σ n_k d_k / Σ n_k m'_k`.
+    pub predicted_capacity_gain: f64,
+}
+
+impl YarnOptimization {
+    /// Suggested integer steps as a map (for feeding into a
+    /// [`kea_sim::ConfigPlan`]).
+    pub fn steps(&self) -> BTreeMap<GroupKey, i32> {
+        self.suggestions
+            .iter()
+            .map(|s| (s.group, s.delta_step))
+            .collect()
+    }
+}
+
+/// Cluster-average latency `W̄` at container vector `m` (nonlinear, via
+/// the calibrated models).
+fn cluster_latency(
+    engine: &WhatIfEngine,
+    counts: &BTreeMap<GroupKey, usize>,
+    m: &BTreeMap<GroupKey, f64>,
+) -> Result<f64, KeaError> {
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (group, &containers) in m {
+        let n = *counts.get(group).unwrap_or(&0) as f64;
+        if n == 0.0 {
+            continue;
+        }
+        let (_, tasks, latency) = engine.predict(*group, containers)?;
+        num += latency * tasks * n;
+        den += tasks * n;
+    }
+    if den <= 0.0 {
+        return Err(KeaError::NoObservations {
+            what: "cluster latency denominator is zero".to_string(),
+        });
+    }
+    Ok(num / den)
+}
+
+/// Solves the YARN `max_running_containers` tuning problem.
+///
+/// `machine_counts` gives `n_k` per group; `max_step` is the conservative
+/// roll-out bound `δ` (the paper used 1 for the first round, 2 for the
+/// next).
+///
+/// # Errors
+/// Needs at least two calibrated groups (with one group there is nothing
+/// to re-balance), a positive step, and a solvable LP.
+pub fn optimize_max_containers(
+    engine: &WhatIfEngine,
+    machine_counts: &BTreeMap<GroupKey, usize>,
+    max_step: f64,
+    at: OperatingPoint,
+) -> Result<YarnOptimization, KeaError> {
+    if max_step <= 0.0 {
+        return Err(KeaError::Opt(kea_opt::OptError::InvalidParameter(
+            "max_step must be positive",
+        )));
+    }
+    let groups: Vec<GroupKey> = engine
+        .groups()
+        .map(|g| g.group)
+        .filter(|g| machine_counts.get(g).copied().unwrap_or(0) > 0)
+        .collect();
+    if groups.len() < 2 {
+        return Err(KeaError::Design(
+            "re-balancing needs at least two machine groups".to_string(),
+        ));
+    }
+
+    // Operating point m'.
+    let current: BTreeMap<GroupKey, f64> = groups
+        .iter()
+        .map(|&g| {
+            let models = engine.group(g).expect("group listed by engine");
+            let c = match at {
+                OperatingPoint::Median => models.current_containers,
+                OperatingPoint::Percentile(p) => models.containers_percentile(p),
+            };
+            (g, c)
+        })
+        .collect();
+    let baseline_latency = cluster_latency(engine, machine_counts, &current)?;
+
+    // Numerical gradient of W̄ w.r.t. each m_k (central difference).
+    let eps = 0.05;
+    let mut gradients = Vec::with_capacity(groups.len());
+    for &g in &groups {
+        let mut plus = current.clone();
+        *plus.get_mut(&g).expect("group in map") += eps;
+        let mut minus = current.clone();
+        *minus.get_mut(&g).expect("group in map") -= eps;
+        let w_plus = cluster_latency(engine, machine_counts, &plus)?;
+        let w_minus = cluster_latency(engine, machine_counts, &minus)?;
+        gradients.push((w_plus - w_minus) / (2.0 * eps));
+    }
+
+    // LP in the step variables.
+    let objective: Vec<f64> = groups
+        .iter()
+        .map(|g| machine_counts[g] as f64)
+        .collect();
+    let mut lp = LpProblem::maximize(objective).constraint(
+        gradients.clone(),
+        Relation::Le,
+        0.0,
+    )?;
+    for i in 0..groups.len() {
+        lp = lp.bounds(i, -max_step, Some(max_step))?;
+    }
+    let sol = lp.solve()?;
+
+    // Conservative integer rounding, re-checked against the latency
+    // budget: shrink positive steps until the nonlinear W̄ clears the
+    // baseline (rounding error can otherwise leak latency).
+    let mut steps: Vec<i32> = sol
+        .x
+        .iter()
+        .map(|&d| d.round().clamp(-max_step, max_step) as i32)
+        .collect();
+    let latency_of = |steps: &[i32]| -> Result<f64, KeaError> {
+        let proposal: BTreeMap<GroupKey, f64> = groups
+            .iter()
+            .zip(steps)
+            .map(|(&g, &s)| (g, current[&g] + s as f64))
+            .collect();
+        cluster_latency(engine, machine_counts, &proposal)
+    };
+    loop {
+        if latency_of(&steps)? <= baseline_latency * (1.0 + 1e-9) {
+            break;
+        }
+        // Withdraw the positive step with the worst latency gradient.
+        let Some(worst) = steps
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s > 0)
+            .max_by(|(i, _), (j, _)| gradients[*i].total_cmp(&gradients[*j]))
+            .map(|(i, _)| i)
+        else {
+            break; // No positive steps left; accept.
+        };
+        steps[worst] -= 1;
+    }
+    // Rounding can also strand capacity: a continuous +0.4 rounds to 0
+    // while a −0.6 rounds to −1, leaving Σ n_k·d_k < 0 even though the
+    // continuous optimum was non-negative (d = 0 is always feasible).
+    // Relax negative steps back toward zero where the latency budget
+    // allows, largest machine groups first; if the plan still loses
+    // capacity, fall back to the do-nothing plan.
+    let net = |steps: &[i32]| -> f64 {
+        groups
+            .iter()
+            .zip(steps)
+            .map(|(g, &s)| s as f64 * machine_counts[g] as f64)
+            .sum()
+    };
+    while net(&steps) < 0.0 {
+        let mut candidates: Vec<usize> = steps
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s < 0)
+            .map(|(i, _)| i)
+            .collect();
+        candidates.sort_by_key(|&i| std::cmp::Reverse(machine_counts[&groups[i]]));
+        let mut relaxed = false;
+        for i in candidates {
+            steps[i] += 1;
+            if latency_of(&steps)? <= baseline_latency * (1.0 + 1e-9) {
+                relaxed = true;
+                break;
+            }
+            steps[i] -= 1;
+        }
+        if !relaxed {
+            for s in &mut steps {
+                *s = 0;
+            }
+            break;
+        }
+    }
+
+    let proposal: BTreeMap<GroupKey, f64> = groups
+        .iter()
+        .zip(&steps)
+        .map(|(&g, &s)| (g, current[&g] + s as f64))
+        .collect();
+    let predicted_latency = cluster_latency(engine, machine_counts, &proposal)?;
+
+    let total_current: f64 = groups
+        .iter()
+        .map(|g| current[g] * machine_counts[g] as f64)
+        .sum();
+    let total_delta: f64 = groups
+        .iter()
+        .zip(&steps)
+        .map(|(g, &s)| s as f64 * machine_counts[g] as f64)
+        .sum();
+
+    let suggestions = groups
+        .iter()
+        .enumerate()
+        .map(|(i, &g)| GroupSuggestion {
+            group: g,
+            n_machines: machine_counts[&g],
+            current_containers: current[&g],
+            delta_continuous: sol.x[i],
+            delta_step: steps[i],
+            latency_gradient: gradients[i],
+        })
+        .collect();
+
+    Ok(YarnOptimization {
+        suggestions,
+        baseline_latency,
+        predicted_latency,
+        predicted_capacity_gain: total_delta / total_current,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::PerformanceMonitor;
+    use crate::whatif::FitMethod;
+    use kea_telemetry::{
+        MachineHourRecord, MachineId, MetricValues, ScId, SkuId, TelemetryStore,
+    };
+
+    /// Two synthetic groups: group 0 is "slow" (steep latency-vs-util),
+    /// group 1 is "fast" (shallow). Rebalancing should shift containers
+    /// from slow to fast.
+    fn two_group_store() -> TelemetryStore {
+        let mut s = TelemetryStore::new();
+        for m in 0..20u32 {
+            let slow = m < 10;
+            let sku = if slow { 0 } else { 5 };
+            for h in 0..72u64 {
+                let containers = 6.0 + (m % 5) as f64 * 0.8 + (h % 6) as f64 * 0.4;
+                let util = if slow {
+                    8.0 * containers
+                } else {
+                    3.0 * containers
+                };
+                let latency = if slow {
+                    200.0 + 6.0 * util
+                } else {
+                    100.0 + 1.0 * util
+                };
+                let tasks = if slow { 1.2 * util } else { 3.0 * util };
+                s.push(MachineHourRecord {
+                    machine: MachineId(m),
+                    group: kea_telemetry::GroupKey::new(SkuId(sku), ScId(1)),
+                    hour: h,
+                    metrics: MetricValues {
+                        avg_running_containers: containers,
+                        cpu_utilization: util,
+                        tasks_finished: tasks,
+                        avg_task_latency_s: latency,
+                        ..Default::default()
+                    },
+                });
+            }
+        }
+        s
+    }
+
+    fn counts() -> BTreeMap<kea_telemetry::GroupKey, usize> {
+        [
+            (kea_telemetry::GroupKey::new(SkuId(0), ScId(1)), 100),
+            (kea_telemetry::GroupKey::new(SkuId(5), ScId(1)), 100),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    fn engine(store: &TelemetryStore) -> (PerformanceMonitor<'_>, WhatIfEngine) {
+        let mon = PerformanceMonitor::new(store);
+        let eng = WhatIfEngine::fit(&mon, FitMethod::Huber, 5).unwrap();
+        (mon, eng)
+    }
+
+    #[test]
+    fn shifts_load_from_slow_to_fast() {
+        let store = two_group_store();
+        let (_mon, eng) = engine(&store);
+        let opt =
+            optimize_max_containers(&eng, &counts(), 1.0, OperatingPoint::Median).unwrap();
+        let slow = &opt.suggestions[0];
+        let fast = &opt.suggestions[1];
+        assert_eq!(slow.group.sku, SkuId(0));
+        assert!(
+            slow.delta_step <= 0,
+            "slow group should shrink: {:?}",
+            slow
+        );
+        assert!(fast.delta_step >= 1, "fast group should grow: {:?}", fast);
+        // Latency budget respected by the integer plan.
+        assert!(opt.predicted_latency <= opt.baseline_latency * (1.0 + 1e-9));
+        // The paper's direction: net capacity should not fall.
+        assert!(opt.predicted_capacity_gain >= 0.0);
+    }
+
+    #[test]
+    fn high_percentile_run_same_direction() {
+        // Figure 10: "the suggested configuration change is the same in
+        // terms of the direction for the gradients" under heavy load.
+        let store = two_group_store();
+        let (_mon, eng) = engine(&store);
+        let median =
+            optimize_max_containers(&eng, &counts(), 1.0, OperatingPoint::Median).unwrap();
+        let p90 = optimize_max_containers(
+            &eng,
+            &counts(),
+            1.0,
+            OperatingPoint::Percentile(90.0),
+        )
+        .unwrap();
+        for (a, b) in median.suggestions.iter().zip(&p90.suggestions) {
+            assert_eq!(
+                a.delta_step.signum(),
+                b.delta_step.signum(),
+                "direction must agree: {a:?} vs {b:?}"
+            );
+        }
+        // Operating points differ though.
+        assert!(p90.suggestions[0].current_containers > median.suggestions[0].current_containers);
+    }
+
+    #[test]
+    fn larger_step_bound_allows_bigger_moves() {
+        let store = two_group_store();
+        let (_mon, eng) = engine(&store);
+        let one = optimize_max_containers(&eng, &counts(), 1.0, OperatingPoint::Median).unwrap();
+        let two = optimize_max_containers(&eng, &counts(), 2.0, OperatingPoint::Median).unwrap();
+        let gain = |o: &YarnOptimization| o.predicted_capacity_gain;
+        assert!(gain(&two) >= gain(&one) - 1e-9);
+        for s in &two.suggestions {
+            assert!(s.delta_step.abs() <= 2);
+        }
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        let store = two_group_store();
+        let (_mon, eng) = engine(&store);
+        assert!(optimize_max_containers(&eng, &counts(), 0.0, OperatingPoint::Median).is_err());
+        // Single group: nothing to rebalance.
+        let single: BTreeMap<_, _> = counts().into_iter().take(1).collect();
+        assert!(matches!(
+            optimize_max_containers(&eng, &single, 1.0, OperatingPoint::Median),
+            Err(KeaError::Design(_))
+        ));
+    }
+
+    #[test]
+    fn gradients_reflect_latency_steepness() {
+        let store = two_group_store();
+        let (_mon, eng) = engine(&store);
+        let opt =
+            optimize_max_containers(&eng, &counts(), 1.0, OperatingPoint::Median).unwrap();
+        let slow = &opt.suggestions[0];
+        let fast = &opt.suggestions[1];
+        assert!(
+            slow.latency_gradient > fast.latency_gradient,
+            "slow group must have the steeper latency gradient"
+        );
+    }
+}

@@ -1,0 +1,207 @@
+//! Implicit-SLO validation (§3.2, Level II).
+//!
+//! "Most jobs in Cosmos have implicit runtime SLOs": the recent runtime
+//! behaviour of a job template induces an expectation on its next run, so
+//! a configuration change is acceptable only if, for every template,
+//! `runtime(job_i, conf_new) ≤ runtime(job_i, conf_old)` *statistically*
+//! — "these constraints are statistical in nature due to naturally
+//! occurring variances". This module turns job logs into per-template
+//! verdicts with one-sided Welch tests, the job-level guardrail that sits
+//! above the machine-level metrics.
+
+use crate::error::KeaError;
+use kea_sim::JobRecord;
+use kea_stats::{t_test_welch, Alternative};
+use std::collections::BTreeMap;
+
+/// Per-template SLO verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TemplateSlo {
+    /// The job template name.
+    pub template: String,
+    /// Instances observed under the old configuration.
+    pub n_before: usize,
+    /// Instances observed under the new configuration.
+    pub n_after: usize,
+    /// Mean runtime before, seconds.
+    pub mean_before_s: f64,
+    /// Mean runtime after, seconds.
+    pub mean_after_s: f64,
+    /// One-sided p-value for "runtime regressed" (after > before);
+    /// small means a *violation*.
+    pub regression_p: f64,
+    /// Whether the implicit SLO holds at the configured significance.
+    pub holds: bool,
+}
+
+/// Aggregate report over all templates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloReport {
+    /// Per-template verdicts, sorted by name.
+    pub templates: Vec<TemplateSlo>,
+    /// Significance used for the regression tests.
+    pub alpha: f64,
+    /// Templates skipped for lack of instances on either side.
+    pub skipped: Vec<String>,
+    /// True when every testable template holds its implicit SLO.
+    pub all_hold: bool,
+}
+
+/// Checks implicit SLOs: for each template present in both logs with at
+/// least `min_instances` runs per side, a one-sided Welch test for
+/// regression at level `alpha`. Templates with too few runs are listed
+/// in `skipped`, not silently passed.
+///
+/// # Errors
+/// `alpha` must lie in (0, 1) and `min_instances` be at least 2.
+pub fn check_implicit_slos(
+    before: &[JobRecord],
+    after: &[JobRecord],
+    min_instances: usize,
+    alpha: f64,
+) -> Result<SloReport, KeaError> {
+    if !(alpha > 0.0 && alpha < 1.0) {
+        return Err(KeaError::Stats(kea_stats::StatsError::InvalidParameter(
+            "alpha must be in (0, 1)",
+        )));
+    }
+    if min_instances < 2 {
+        return Err(KeaError::Stats(kea_stats::StatsError::InvalidParameter(
+            "min_instances must be at least 2",
+        )));
+    }
+    let group = |jobs: &[JobRecord]| -> BTreeMap<String, Vec<f64>> {
+        let mut map: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+        for j in jobs {
+            map.entry(j.template_name.clone())
+                .or_default()
+                .push(j.runtime_s);
+        }
+        map
+    };
+    let before_by = group(before);
+    let after_by = group(after);
+
+    let mut templates = Vec::new();
+    let mut skipped = Vec::new();
+    for (name, b_runs) in &before_by {
+        let Some(a_runs) = after_by.get(name) else {
+            skipped.push(name.clone());
+            continue;
+        };
+        if b_runs.len() < min_instances || a_runs.len() < min_instances {
+            skipped.push(name.clone());
+            continue;
+        }
+        // H1: after > before (regression). Zero-variance degenerate
+        // cases (identical constant runtimes) trivially hold.
+        let verdict = match t_test_welch(a_runs, b_runs, Alternative::Greater) {
+            Ok(test) => (test.p_value, test.p_value >= alpha),
+            Err(kea_stats::StatsError::ZeroVariance) => (1.0, true),
+            Err(e) => return Err(KeaError::Stats(e)),
+        };
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        templates.push(TemplateSlo {
+            template: name.clone(),
+            n_before: b_runs.len(),
+            n_after: a_runs.len(),
+            mean_before_s: mean(b_runs),
+            mean_after_s: mean(a_runs),
+            regression_p: verdict.0,
+            holds: verdict.1,
+        });
+    }
+    let all_hold = templates.iter().all(|t| t.holds);
+    Ok(SloReport {
+        templates,
+        alpha,
+        skipped,
+        all_hold,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn jobs(template: &str, runtimes: &[f64]) -> Vec<JobRecord> {
+        runtimes
+            .iter()
+            .enumerate()
+            .map(|(i, &rt)| JobRecord {
+                template: 0,
+                template_name: template.to_string(),
+                arrival_hour: i as f64,
+                runtime_s: rt,
+                tasks: 1,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn stable_runtimes_hold_their_slo() {
+        let before = jobs("etl", &[100.0, 104.0, 98.0, 101.0, 99.0]);
+        let after = jobs("etl", &[101.0, 99.0, 103.0, 100.0, 98.0]);
+        let report = check_implicit_slos(&before, &after, 3, 0.05).unwrap();
+        assert!(report.all_hold);
+        assert_eq!(report.templates.len(), 1);
+        assert!(report.templates[0].holds);
+        assert!(report.templates[0].regression_p > 0.05);
+    }
+
+    #[test]
+    fn clear_regressions_are_violations() {
+        let before = jobs("etl", &[100.0, 104.0, 98.0, 101.0, 99.0]);
+        let after = jobs("etl", &[130.0, 128.0, 135.0, 131.0, 127.0]);
+        let report = check_implicit_slos(&before, &after, 3, 0.05).unwrap();
+        assert!(!report.all_hold);
+        assert!(!report.templates[0].holds);
+        assert!(report.templates[0].regression_p < 0.01);
+    }
+
+    #[test]
+    fn improvements_hold_trivially() {
+        let before = jobs("etl", &[100.0, 104.0, 98.0, 101.0]);
+        let after = jobs("etl", &[80.0, 78.0, 82.0, 79.0]);
+        let report = check_implicit_slos(&before, &after, 3, 0.05).unwrap();
+        assert!(report.all_hold);
+        assert!(report.templates[0].mean_after_s < report.templates[0].mean_before_s);
+    }
+
+    #[test]
+    fn sparse_templates_are_skipped_not_passed() {
+        let mut before = jobs("etl", &[100.0, 104.0, 98.0]);
+        before.extend(jobs("rare", &[50.0]));
+        let mut after = jobs("etl", &[101.0, 99.0, 103.0]);
+        after.extend(jobs("rare", &[500.0]));
+        let report = check_implicit_slos(&before, &after, 3, 0.05).unwrap();
+        assert_eq!(report.skipped, vec!["rare".to_string()]);
+        assert_eq!(report.templates.len(), 1);
+        // A missing-on-one-side template is skipped too.
+        let lonely = jobs("gone", &[10.0, 11.0, 12.0]);
+        let report = check_implicit_slos(&lonely, &jobs("other", &[1.0, 2.0, 3.0]), 3, 0.05)
+            .unwrap();
+        assert!(report.templates.is_empty());
+        assert_eq!(report.skipped, vec!["gone".to_string()]);
+    }
+
+    #[test]
+    fn constant_runtimes_do_not_crash() {
+        let before = jobs("cron", &[60.0, 60.0, 60.0]);
+        let after = jobs("cron", &[60.0, 60.0, 60.0]);
+        let report = check_implicit_slos(&before, &after, 3, 0.05).unwrap();
+        assert!(report.all_hold);
+        assert_eq!(report.templates[0].regression_p, 1.0);
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(check_implicit_slos(&[], &[], 3, 0.0).is_err());
+        assert!(check_implicit_slos(&[], &[], 3, 1.0).is_err());
+        assert!(check_implicit_slos(&[], &[], 1, 0.05).is_err());
+        // Empty logs: nothing testable, vacuously holds.
+        let report = check_implicit_slos(&[], &[], 2, 0.05).unwrap();
+        assert!(report.all_hold);
+        assert!(report.templates.is_empty());
+    }
+}

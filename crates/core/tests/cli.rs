@@ -1,0 +1,76 @@
+//! End-to-end tests of the `kea` binary: the CLI is an API surface too.
+
+use std::process::Command;
+
+fn kea(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_kea"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn help_lists_all_commands() {
+    let out = kea(&["help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for cmd in [
+        "observe", "models", "optimize", "yarn", "sku-design", "power", "sc", "queues", "value",
+    ] {
+        assert!(text.contains(cmd), "help missing '{cmd}'");
+    }
+}
+
+#[test]
+fn observe_models_optimize_round_trip() {
+    let dir = std::env::temp_dir().join(format!("kea-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let csv = dir.join("telemetry.csv");
+    let csv_str = csv.to_str().expect("utf-8 path");
+
+    let out = kea(&[
+        "observe", "--cluster", "tiny", "--hours", "26", "--seed", "5", "--out", csv_str,
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(csv.exists());
+
+    let out = kea(&["models", "--telemetry", csv_str]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("sku0"), "models table present: {text}");
+
+    let out = kea(&["optimize", "--telemetry", csv_str, "--max-step", "1"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("predicted capacity gain"), "{text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn value_reproduces_the_headline_arithmetic() {
+    let out = kea(&["value", "--machines", "300000", "--gain-pct", "2"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    // "tens of millions of dollars per year" — extract the final $M figure.
+    let value: f64 = text
+        .rsplit_once('$')
+        .and_then(|(_, rest)| rest.split('M').next())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("no $M figure in: {text}"));
+    assert!((10.0..100.0).contains(&value), "got ${value}M");
+}
+
+#[test]
+fn unknown_commands_and_flags_fail_loudly() {
+    let out = kea(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    let out = kea(&["observe", "--no-such-flag", "1"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"));
+
+    let out = kea(&["models", "--telemetry", "/nonexistent/file.csv"]);
+    assert!(!out.status.success());
+}

@@ -1,0 +1,68 @@
+//! Error type for model fitting.
+
+use std::fmt;
+
+/// Errors raised while building or fitting a model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MlError {
+    /// Feature matrix and target vector disagree on the number of rows.
+    ShapeMismatch {
+        /// Rows in the feature matrix.
+        x_rows: usize,
+        /// Entries in the target vector.
+        y_len: usize,
+    },
+    /// Not enough observations to identify the coefficients.
+    InsufficientData {
+        /// Observations required (≥ number of coefficients).
+        required: usize,
+        /// Observations provided.
+        actual: usize,
+    },
+    /// The normal-equations system was singular (e.g. perfectly collinear
+    /// features or a constant regressor next to the intercept).
+    SingularSystem,
+    /// Input contained NaN or infinity.
+    NonFiniteInput,
+    /// A hyper-parameter was out of range (message explains which).
+    InvalidParameter(&'static str),
+    /// IRLS failed to converge within the iteration budget.
+    DidNotConverge {
+        /// Iterations performed.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::ShapeMismatch { x_rows, y_len } => {
+                write!(f, "shape mismatch: X has {x_rows} rows but y has {y_len}")
+            }
+            MlError::InsufficientData { required, actual } => {
+                write!(f, "need at least {required} observations, got {actual}")
+            }
+            MlError::SingularSystem => write!(f, "normal equations are singular"),
+            MlError::NonFiniteInput => write!(f, "input contains NaN or infinite values"),
+            MlError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            MlError::DidNotConverge { iterations } => {
+                write!(f, "IRLS did not converge within {iterations} iterations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MlError::ShapeMismatch { x_rows: 3, y_len: 4 };
+        assert!(e.to_string().contains("3"));
+        assert!(e.to_string().contains("4"));
+        assert!(MlError::SingularSystem.to_string().contains("singular"));
+    }
+}

@@ -1,0 +1,198 @@
+//! Feature transforms: polynomial expansion and standardization.
+//!
+//! The latency-vs-utilization relationship (`f_k`) curves upward near
+//! saturation; a degree-2 polynomial feature on top of a linear estimator
+//! captures that without giving up explainability.
+
+use crate::error::MlError;
+
+/// Expands univariate inputs into polynomial features
+/// `[x, x², …, x^degree]` (no constant column — estimators add their own
+/// intercept).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PolynomialFeatures {
+    degree: usize,
+}
+
+impl PolynomialFeatures {
+    /// Creates an expansion of the given degree (≥ 1).
+    ///
+    /// # Errors
+    /// Degree zero would duplicate the intercept and is rejected.
+    pub fn new(degree: usize) -> Result<Self, MlError> {
+        if degree == 0 {
+            return Err(MlError::InvalidParameter("degree must be at least 1"));
+        }
+        Ok(PolynomialFeatures { degree })
+    }
+
+    /// The expansion degree.
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// Transforms a batch of scalar inputs into feature rows.
+    pub fn transform(&self, x: &[f64]) -> Vec<Vec<f64>> {
+        x.iter().map(|&v| self.transform_one(v)).collect()
+    }
+
+    /// Transforms one scalar input.
+    pub fn transform_one(&self, x: f64) -> Vec<f64> {
+        let mut row = Vec::with_capacity(self.degree);
+        let mut acc = 1.0;
+        for _ in 0..self.degree {
+            acc *= x;
+            row.push(acc);
+        }
+        row
+    }
+}
+
+/// Column-wise standardizer `(x − mean) / std`.
+///
+/// Columns with zero variance are mapped to zero rather than dividing by
+/// zero (they carry no information for a linear model).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fits the scaler on training rows.
+    ///
+    /// # Errors
+    /// Rows must be non-empty, rectangular, and finite.
+    pub fn fit(rows: &[Vec<f64>]) -> Result<Self, MlError> {
+        if rows.is_empty() || rows[0].is_empty() {
+            return Err(MlError::InvalidParameter("scaler input must be non-empty"));
+        }
+        let p = rows[0].len();
+        if rows.iter().any(|r| r.len() != p) {
+            return Err(MlError::InvalidParameter("ragged rows"));
+        }
+        if rows.iter().flatten().any(|v| !v.is_finite()) {
+            return Err(MlError::NonFiniteInput);
+        }
+        let n = rows.len() as f64;
+        let mut means = vec![0.0; p];
+        for r in rows {
+            for (m, v) in means.iter_mut().zip(r) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut vars = vec![0.0; p];
+        for r in rows {
+            for ((var, v), m) in vars.iter_mut().zip(r).zip(&means) {
+                let d = v - m;
+                *var += d * d;
+            }
+        }
+        let stds = vars.iter().map(|v| (v / n).sqrt()).collect();
+        Ok(StandardScaler { means, stds })
+    }
+
+    /// Per-column means learned at fit time.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Per-column standard deviations learned at fit time.
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
+    }
+
+    /// Standardizes a batch of rows.
+    ///
+    /// # Errors
+    /// Rows must have the fitted width.
+    pub fn transform(&self, rows: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, MlError> {
+        rows.iter().map(|r| self.transform_one(r)).collect()
+    }
+
+    /// Standardizes a single row.
+    ///
+    /// # Errors
+    /// The row must have the fitted width.
+    pub fn transform_one(&self, row: &[f64]) -> Result<Vec<f64>, MlError> {
+        if row.len() != self.means.len() {
+            return Err(MlError::InvalidParameter("row width mismatch"));
+        }
+        Ok(row
+            .iter()
+            .zip(self.means.iter().zip(&self.stds))
+            .map(|(v, (m, s))| if *s == 0.0 { 0.0 } else { (v - m) / s })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polynomial_degree_two() {
+        let p = PolynomialFeatures::new(2).unwrap();
+        assert_eq!(p.transform_one(3.0), vec![3.0, 9.0]);
+        assert_eq!(p.transform(&[2.0, -1.0]), vec![vec![2.0, 4.0], vec![-1.0, 1.0]]);
+    }
+
+    #[test]
+    fn polynomial_degree_one_is_identity_ish() {
+        let p = PolynomialFeatures::new(1).unwrap();
+        assert_eq!(p.transform_one(5.0), vec![5.0]);
+    }
+
+    #[test]
+    fn polynomial_rejects_degree_zero() {
+        assert!(PolynomialFeatures::new(0).is_err());
+    }
+
+    #[test]
+    fn polynomial_enables_quadratic_fit() {
+        use crate::linreg::LinearRegression;
+        use crate::Regressor;
+        // y = 1 + 2x + 0.5x²
+        let xs: Vec<f64> = (0..20).map(|i| i as f64 * 0.25).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 1.0 + 2.0 * x + 0.5 * x * x).collect();
+        let p = PolynomialFeatures::new(2).unwrap();
+        let m = LinearRegression::fit(&p.transform(&xs), &ys).unwrap();
+        assert!((m.intercept() - 1.0).abs() < 1e-7);
+        assert!((m.coefficients()[0] - 2.0).abs() < 1e-7);
+        assert!((m.coefficients()[1] - 0.5).abs() < 1e-7);
+        assert!((m.predict_row(&p.transform_one(10.0)) - 71.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scaler_standardizes_to_zero_mean_unit_var() {
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, 100.0 + 2.0 * i as f64]).collect();
+        let s = StandardScaler::fit(&rows).unwrap();
+        let t = s.transform(&rows).unwrap();
+        for col in 0..2 {
+            let mean: f64 = t.iter().map(|r| r[col]).sum::<f64>() / t.len() as f64;
+            let var: f64 = t.iter().map(|r| r[col] * r[col]).sum::<f64>() / t.len() as f64;
+            assert!(mean.abs() < 1e-12);
+            assert!((var - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn scaler_constant_column_maps_to_zero() {
+        let rows = vec![vec![5.0, 1.0], vec![5.0, 2.0], vec![5.0, 3.0]];
+        let s = StandardScaler::fit(&rows).unwrap();
+        let t = s.transform_one(&[5.0, 2.0]).unwrap();
+        assert_eq!(t[0], 0.0);
+    }
+
+    #[test]
+    fn scaler_rejects_bad_input() {
+        assert!(StandardScaler::fit(&[]).is_err());
+        assert!(StandardScaler::fit(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+        assert!(StandardScaler::fit(&[vec![f64::INFINITY]]).is_err());
+        let s = StandardScaler::fit(&[vec![1.0], vec![2.0]]).unwrap();
+        assert!(s.transform_one(&[1.0, 2.0]).is_err());
+    }
+}

@@ -1,0 +1,172 @@
+//! Univariate linear models with exact inverses.
+//!
+//! Every calibrated model in the paper's equations (1)–(6) and (11)–(12) is
+//! a univariate map between two machine-group metrics: containers → CPU
+//! utilization (`g_k`), utilization → tasks/hour (`h_k`), utilization →
+//! task latency (`f_k`), cores → SSD (`p`), cores → RAM (`q`). The SKU
+//! design optimizer additionally needs the inverse maps `p⁻¹`, `q⁻¹`
+//! (§6.1, step 2). [`LinearModel1D`] packages a fitted line with its
+//! inverse and provenance.
+
+use crate::error::MlError;
+use crate::huber::HuberRegressor;
+use crate::linreg::LinearRegression;
+use crate::Regressor;
+
+/// Which estimator produced a [`LinearModel1D`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Estimator {
+    /// Ordinary least squares.
+    Ols,
+    /// Huber robust regression (the paper's default for the What-if Engine).
+    Huber,
+    /// Parameters supplied directly rather than fitted.
+    Manual,
+}
+
+/// A univariate linear model `y = intercept + slope·x`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearModel1D {
+    intercept: f64,
+    slope: f64,
+    estimator: Estimator,
+    n_obs: usize,
+}
+
+impl LinearModel1D {
+    /// Fits by OLS.
+    ///
+    /// # Errors
+    /// Needs at least two finite observations with varying `x`.
+    pub fn fit_ols(x: &[f64], y: &[f64]) -> Result<Self, MlError> {
+        let rows: Vec<Vec<f64>> = x.iter().map(|&v| vec![v]).collect();
+        let m = LinearRegression::fit(&rows, y)?;
+        Ok(LinearModel1D {
+            intercept: m.intercept(),
+            slope: m.coefficients()[0],
+            estimator: Estimator::Ols,
+            n_obs: x.len(),
+        })
+    }
+
+    /// Fits by Huber robust regression (the paper's choice, §5.2.1).
+    ///
+    /// # Errors
+    /// Same as [`LinearModel1D::fit_ols`], plus IRLS convergence failures.
+    pub fn fit_huber(x: &[f64], y: &[f64]) -> Result<Self, MlError> {
+        let rows: Vec<Vec<f64>> = x.iter().map(|&v| vec![v]).collect();
+        let m = HuberRegressor::fit(&rows, y)?;
+        Ok(LinearModel1D {
+            intercept: m.intercept(),
+            slope: m.coefficients()[0],
+            estimator: Estimator::Huber,
+            n_obs: x.len(),
+        })
+    }
+
+    /// Builds a model from known parameters.
+    pub fn from_parameters(intercept: f64, slope: f64) -> Self {
+        LinearModel1D {
+            intercept,
+            slope,
+            estimator: Estimator::Manual,
+            n_obs: 0,
+        }
+    }
+
+    /// Intercept (`α` in the paper's Equations 11–12).
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+
+    /// Slope (`β` in the paper's Equations 11–12).
+    pub fn slope(&self) -> f64 {
+        self.slope
+    }
+
+    /// Which estimator produced this model.
+    pub fn estimator(&self) -> Estimator {
+        self.estimator
+    }
+
+    /// Number of observations the model was fitted on (0 for manual).
+    pub fn n_obs(&self) -> usize {
+        self.n_obs
+    }
+
+    /// Forward prediction `y = intercept + slope·x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+
+    /// Exact inverse `x = (y − intercept) / slope` — the `p⁻¹`, `q⁻¹` of
+    /// §6.1.
+    ///
+    /// # Errors
+    /// The slope must be non-zero for the inverse to exist.
+    pub fn inverse(&self, y: f64) -> Result<f64, MlError> {
+        if self.slope == 0.0 {
+            return Err(MlError::InvalidParameter(
+                "inverse undefined for zero slope",
+            ));
+        }
+        Ok((y - self.intercept) / self.slope)
+    }
+}
+
+impl Regressor for LinearModel1D {
+    fn predict_row(&self, features: &[f64]) -> f64 {
+        self.predict(features[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_ols_recovers_line() {
+        let x: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 1.0 + 0.5 * v).collect();
+        let m = LinearModel1D::fit_ols(&x, &y).unwrap();
+        assert!((m.intercept() - 1.0).abs() < 1e-9);
+        assert!((m.slope() - 0.5).abs() < 1e-9);
+        assert_eq!(m.estimator(), Estimator::Ols);
+        assert_eq!(m.n_obs(), 10);
+    }
+
+    #[test]
+    fn fit_huber_ignores_outliers() {
+        let x: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(i, v)| 2.0 + 3.0 * v + if i % 9 == 4 { 500.0 } else { 0.0 })
+            .collect();
+        let huber = LinearModel1D::fit_huber(&x, &y).unwrap();
+        let ols = LinearModel1D::fit_ols(&x, &y).unwrap();
+        assert!((huber.slope() - 3.0).abs() < 0.05);
+        assert!((huber.slope() - 3.0).abs() < (ols.slope() - 3.0).abs());
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let m = LinearModel1D::from_parameters(10.0, 2.5);
+        for x in [-3.0, 0.0, 7.25] {
+            let y = m.predict(x);
+            assert!((m.inverse(y).unwrap() - x).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn inverse_rejects_flat_line() {
+        let m = LinearModel1D::from_parameters(4.0, 0.0);
+        assert!(m.inverse(4.0).is_err());
+    }
+
+    #[test]
+    fn regressor_trait_matches_predict() {
+        let m = LinearModel1D::from_parameters(1.0, 2.0);
+        assert_eq!(m.predict_row(&[5.0]), m.predict(5.0));
+    }
+}

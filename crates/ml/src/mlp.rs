@@ -1,0 +1,350 @@
+//! A small multi-layer perceptron regressor.
+//!
+//! §5.1 lists the What-if Engine's candidate predictors as "linear
+//! regression (LR), support vector machines (SVM), or deep neural nets
+//! (DNN)", before settling on linear models because they are "more
+//! explainable, which is critical for domain experts". This module
+//! supplies the DNN option for the cases where a relationship genuinely
+//! curves (e.g. latency near saturation): one hidden layer of tanh units,
+//! full-batch gradient descent with momentum, inputs and targets
+//! standardized internally so learning rates are scale-free.
+//!
+//! Deliberately minimal — KEA's models have a handful of inputs and a few
+//! hundred to a few thousand training rows; anything deeper is
+//! unjustifiable for this data regime.
+
+use crate::error::MlError;
+use crate::features::StandardScaler;
+use crate::Regressor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Hyper-parameters for [`MlpRegressor::fit`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MlpConfig {
+    /// Hidden units (one layer).
+    pub hidden: usize,
+    /// Full-batch gradient steps.
+    pub epochs: usize,
+    /// Learning rate (on standardized data).
+    pub learning_rate: f64,
+    /// Classical momentum coefficient.
+    pub momentum: f64,
+    /// RNG seed for weight initialisation.
+    pub seed: u64,
+}
+
+impl Default for MlpConfig {
+    fn default() -> Self {
+        MlpConfig {
+            hidden: 16,
+            epochs: 2000,
+            learning_rate: 0.05,
+            momentum: 0.9,
+            seed: 0,
+        }
+    }
+}
+
+/// A fitted one-hidden-layer MLP regressor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpRegressor {
+    // Layer 1: hidden × inputs weights + hidden biases.
+    w1: Vec<f64>,
+    b1: Vec<f64>,
+    // Layer 2: hidden weights + scalar bias.
+    w2: Vec<f64>,
+    b2: f64,
+    n_inputs: usize,
+    x_scaler: StandardScaler,
+    y_mean: f64,
+    y_std: f64,
+    final_loss: f64,
+}
+
+impl MlpRegressor {
+    /// Fits the network on `(x_rows, y)` with the given config.
+    ///
+    /// # Errors
+    /// Shapes must agree, inputs must be finite, and there must be at
+    /// least `hidden + 2` rows (a looser-than-statistical bound that
+    /// catches obviously underdetermined calls).
+    pub fn fit(x_rows: &[Vec<f64>], y: &[f64], config: MlpConfig) -> Result<Self, MlError> {
+        if config.hidden == 0 || config.epochs == 0 {
+            return Err(MlError::InvalidParameter(
+                "hidden units and epochs must be positive",
+            ));
+        }
+        if !(config.learning_rate > 0.0 && config.learning_rate.is_finite()) {
+            return Err(MlError::InvalidParameter("learning rate must be positive"));
+        }
+        if !(0.0..1.0).contains(&config.momentum) {
+            return Err(MlError::InvalidParameter("momentum must be in [0, 1)"));
+        }
+        if x_rows.len() != y.len() {
+            return Err(MlError::ShapeMismatch {
+                x_rows: x_rows.len(),
+                y_len: y.len(),
+            });
+        }
+        if x_rows.len() < config.hidden + 2 {
+            return Err(MlError::InsufficientData {
+                required: config.hidden + 2,
+                actual: x_rows.len(),
+            });
+        }
+        if y.iter().any(|v| !v.is_finite()) {
+            return Err(MlError::NonFiniteInput);
+        }
+        let n_inputs = x_rows[0].len();
+        if n_inputs == 0 || x_rows.iter().any(|r| r.len() != n_inputs) {
+            return Err(MlError::InvalidParameter("ragged or empty feature rows"));
+        }
+
+        // Standardize inputs and target.
+        let x_scaler = StandardScaler::fit(x_rows)?;
+        let xs = x_scaler.transform(x_rows)?;
+        let y_mean = y.iter().sum::<f64>() / y.len() as f64;
+        let y_var = y.iter().map(|v| (v - y_mean) * (v - y_mean)).sum::<f64>() / y.len() as f64;
+        let y_std = y_var.sqrt().max(1e-12);
+        let yt: Vec<f64> = y.iter().map(|v| (v - y_mean) / y_std).collect();
+
+        // Xavier-ish init.
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let h = config.hidden;
+        let scale1 = (1.0 / n_inputs as f64).sqrt();
+        let scale2 = (1.0 / h as f64).sqrt();
+        let mut w1: Vec<f64> = (0..h * n_inputs)
+            .map(|_| rng.gen_range(-scale1..scale1))
+            .collect();
+        let mut b1 = vec![0.0; h];
+        let mut w2: Vec<f64> = (0..h).map(|_| rng.gen_range(-scale2..scale2)).collect();
+        let mut b2 = 0.0;
+
+        // Momentum buffers.
+        let mut vw1 = vec![0.0; w1.len()];
+        let mut vb1 = vec![0.0; h];
+        let mut vw2 = vec![0.0; h];
+        let mut vb2 = 0.0;
+
+        let n = xs.len() as f64;
+        let mut hidden_act = vec![0.0; h];
+        let mut final_loss = f64::INFINITY;
+        for _ in 0..config.epochs {
+            // Accumulate full-batch gradients.
+            let mut gw1 = vec![0.0; w1.len()];
+            let mut gb1 = vec![0.0; h];
+            let mut gw2 = vec![0.0; h];
+            let mut gb2 = 0.0;
+            let mut loss = 0.0;
+            for (row, &target) in xs.iter().zip(&yt) {
+                // Forward.
+                for j in 0..h {
+                    let mut z = b1[j];
+                    for (i, &xi) in row.iter().enumerate() {
+                        z += w1[j * n_inputs + i] * xi;
+                    }
+                    hidden_act[j] = z.tanh();
+                }
+                let pred: f64 =
+                    b2 + w2.iter().zip(&hidden_act).map(|(w, a)| w * a).sum::<f64>();
+                let err = pred - target;
+                loss += err * err;
+                // Backward.
+                gb2 += err;
+                for j in 0..h {
+                    gw2[j] += err * hidden_act[j];
+                    let d_hidden = err * w2[j] * (1.0 - hidden_act[j] * hidden_act[j]);
+                    gb1[j] += d_hidden;
+                    for (i, &xi) in row.iter().enumerate() {
+                        gw1[j * n_inputs + i] += d_hidden * xi;
+                    }
+                }
+            }
+            final_loss = loss / n;
+            // Momentum update.
+            let lr = config.learning_rate / n;
+            for (w, (g, v)) in w1.iter_mut().zip(gw1.iter().zip(vw1.iter_mut())) {
+                *v = config.momentum * *v - lr * g;
+                *w += *v;
+            }
+            for (b, (g, v)) in b1.iter_mut().zip(gb1.iter().zip(vb1.iter_mut())) {
+                *v = config.momentum * *v - lr * g;
+                *b += *v;
+            }
+            for (w, (g, v)) in w2.iter_mut().zip(gw2.iter().zip(vw2.iter_mut())) {
+                *v = config.momentum * *v - lr * g;
+                *w += *v;
+            }
+            vb2 = config.momentum * vb2 - lr * gb2;
+            b2 += vb2;
+        }
+        if !final_loss.is_finite() {
+            return Err(MlError::InvalidParameter(
+                "training diverged; lower the learning rate",
+            ));
+        }
+        Ok(MlpRegressor {
+            w1,
+            b1,
+            w2,
+            b2,
+            n_inputs,
+            x_scaler,
+            y_mean,
+            y_std,
+            final_loss,
+        })
+    }
+
+    /// Mean squared error on standardized targets at the last epoch.
+    pub fn training_loss(&self) -> f64 {
+        self.final_loss
+    }
+
+    /// Number of input features the network expects.
+    pub fn n_inputs(&self) -> usize {
+        self.n_inputs
+    }
+}
+
+impl Regressor for MlpRegressor {
+    fn predict_row(&self, features: &[f64]) -> f64 {
+        let row = self
+            .x_scaler
+            .transform_one(features)
+            .expect("feature width matches training");
+        let h = self.b1.len();
+        let mut out = self.b2;
+        for j in 0..h {
+            let mut z = self.b1[j];
+            for (i, &xi) in row.iter().enumerate() {
+                z += self.w1[j * self.n_inputs + i] * xi;
+            }
+            out += self.w2[j] * z.tanh();
+        }
+        out * self.y_std + self.y_mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linreg::LinearRegression;
+    use crate::metrics::r2_score;
+
+    fn curved_data() -> (Vec<Vec<f64>>, Vec<f64>) {
+        // Latency-vs-utilization-like curve: flat then convex blow-up —
+        // exactly what a line cannot capture.
+        let x: Vec<Vec<f64>> = (0..120).map(|i| vec![i as f64 / 120.0]).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|r| {
+                let u = r[0];
+                100.0 + 20.0 * u + 300.0 * (u - 0.6).max(0.0).powi(2)
+            })
+            .collect();
+        (x, y)
+    }
+
+    #[test]
+    fn learns_a_linear_function() {
+        let x: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64 * 0.1]).collect();
+        let y: Vec<f64> = x.iter().map(|r| 3.0 + 2.0 * r[0]).collect();
+        let mlp = MlpRegressor::fit(&x, &y, MlpConfig::default()).unwrap();
+        let pred: Vec<f64> = x.iter().map(|r| mlp.predict_row(r)).collect();
+        let r2 = r2_score(&y, &pred).unwrap();
+        assert!(r2 > 0.999, "R² = {r2}");
+    }
+
+    #[test]
+    fn beats_linear_regression_on_curved_data() {
+        let (x, y) = curved_data();
+        let mlp = MlpRegressor::fit(&x, &y, MlpConfig::default()).unwrap();
+        let lin = LinearRegression::fit(&x, &y).unwrap();
+        let mlp_pred: Vec<f64> = x.iter().map(|r| mlp.predict_row(r)).collect();
+        let lin_pred = lin.predict(&x);
+        let mlp_r2 = r2_score(&y, &mlp_pred).unwrap();
+        let lin_r2 = r2_score(&y, &lin_pred).unwrap();
+        assert!(
+            mlp_r2 > lin_r2 + 0.01,
+            "MLP {mlp_r2} must beat linear {lin_r2} on a curve"
+        );
+        assert!(mlp_r2 > 0.98, "MLP R² = {mlp_r2}");
+    }
+
+    #[test]
+    fn multivariate_inputs_work() {
+        let x: Vec<Vec<f64>> = (0..200)
+            .map(|i| vec![(i % 10) as f64, (i % 7) as f64])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| (r[0] * r[1]).sqrt() + r[0]).collect();
+        let mlp = MlpRegressor::fit(&x, &y, MlpConfig::default()).unwrap();
+        let pred: Vec<f64> = x.iter().map(|r| mlp.predict_row(r)).collect();
+        assert!(r2_score(&y, &pred).unwrap() > 0.95);
+        assert_eq!(mlp.n_inputs(), 2);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (x, y) = curved_data();
+        let a = MlpRegressor::fit(&x, &y, MlpConfig::default()).unwrap();
+        let b = MlpRegressor::fit(&x, &y, MlpConfig::default()).unwrap();
+        assert_eq!(a, b);
+        let c = MlpRegressor::fit(
+            &x,
+            &y,
+            MlpConfig {
+                seed: 99,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_ne!(a.predict_row(&[0.5]), c.predict_row(&[0.5]));
+    }
+
+    #[test]
+    fn rejects_bad_hyperparameters_and_shapes() {
+        let (x, y) = curved_data();
+        let bad = |cfg: MlpConfig| MlpRegressor::fit(&x, &y, cfg).is_err();
+        assert!(bad(MlpConfig {
+            hidden: 0,
+            ..Default::default()
+        }));
+        assert!(bad(MlpConfig {
+            epochs: 0,
+            ..Default::default()
+        }));
+        assert!(bad(MlpConfig {
+            learning_rate: -1.0,
+            ..Default::default()
+        }));
+        assert!(bad(MlpConfig {
+            momentum: 1.0,
+            ..Default::default()
+        }));
+        assert!(matches!(
+            MlpRegressor::fit(&x[..3], &y[..3], MlpConfig::default()),
+            Err(MlError::InsufficientData { .. })
+        ));
+        assert!(matches!(
+            MlpRegressor::fit(&x, &y[..10], MlpConfig::default()),
+            Err(MlError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn diverging_learning_rate_is_reported() {
+        let (x, y) = curved_data();
+        let result = MlpRegressor::fit(
+            &x,
+            &y,
+            MlpConfig {
+                learning_rate: 1e6,
+                epochs: 50,
+                ..Default::default()
+            },
+        );
+        assert!(matches!(result, Err(MlError::InvalidParameter(_))));
+    }
+}

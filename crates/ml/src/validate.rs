@@ -1,0 +1,197 @@
+//! Train/test splitting and k-fold cross-validation.
+//!
+//! KEA validates calibrated models before the optimizer is allowed to act
+//! on them (Phase II → Phase III gate in Figure 3). Splits are seeded so a
+//! validation run is reproducible alongside the rest of the pipeline.
+
+use crate::error::MlError;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Index-level train/test split.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Split {
+    /// Indices assigned to the training set.
+    pub train: Vec<usize>,
+    /// Indices assigned to the test set.
+    pub test: Vec<usize>,
+}
+
+/// Randomly splits `n` observation indices with the given test fraction.
+///
+/// # Errors
+/// `test_fraction` must be strictly inside `(0, 1)` and both resulting sets
+/// must be non-empty.
+pub fn train_test_split<R: Rng + ?Sized>(
+    n: usize,
+    test_fraction: f64,
+    rng: &mut R,
+) -> Result<Split, MlError> {
+    if !(test_fraction > 0.0 && test_fraction < 1.0) {
+        return Err(MlError::InvalidParameter("test_fraction must be in (0, 1)"));
+    }
+    let n_test = ((n as f64) * test_fraction).round() as usize;
+    if n_test == 0 || n_test >= n {
+        return Err(MlError::InsufficientData {
+            required: 2,
+            actual: n,
+        });
+    }
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+    let test = idx.split_off(n - n_test);
+    Ok(Split { train: idx, test })
+}
+
+/// K-fold index partitions for cross-validation.
+///
+/// # Errors
+/// Needs `2 ≤ k ≤ n`.
+pub fn k_folds<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> Result<Vec<Split>, MlError> {
+    if k < 2 {
+        return Err(MlError::InvalidParameter("k must be at least 2"));
+    }
+    if k > n {
+        return Err(MlError::InsufficientData {
+            required: k,
+            actual: n,
+        });
+    }
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+    let mut folds = Vec::with_capacity(k);
+    let base = n / k;
+    let extra = n % k;
+    let mut start = 0;
+    for f in 0..k {
+        let size = base + usize::from(f < extra);
+        let test: Vec<usize> = idx[start..start + size].to_vec();
+        let train: Vec<usize> = idx[..start]
+            .iter()
+            .chain(&idx[start + size..])
+            .copied()
+            .collect();
+        folds.push(Split { train, test });
+        start += size;
+    }
+    Ok(folds)
+}
+
+/// Cross-validated score of an arbitrary fit/score procedure.
+///
+/// `fit_score` receives (train_x, train_y, test_x, test_y) and returns the
+/// fold's score; the mean across folds is returned. Errors from any fold
+/// propagate.
+///
+/// # Errors
+/// Shapes must agree; see [`k_folds`] for fold-count constraints.
+pub fn cross_val_score<R, F>(
+    x_rows: &[Vec<f64>],
+    y: &[f64],
+    k: usize,
+    rng: &mut R,
+    mut fit_score: F,
+) -> Result<f64, MlError>
+where
+    R: Rng + ?Sized,
+    F: FnMut(&[Vec<f64>], &[f64], &[Vec<f64>], &[f64]) -> Result<f64, MlError>,
+{
+    if x_rows.len() != y.len() {
+        return Err(MlError::ShapeMismatch {
+            x_rows: x_rows.len(),
+            y_len: y.len(),
+        });
+    }
+    let folds = k_folds(x_rows.len(), k, rng)?;
+    let mut total = 0.0;
+    for fold in &folds {
+        let tx: Vec<Vec<f64>> = fold.train.iter().map(|&i| x_rows[i].clone()).collect();
+        let ty: Vec<f64> = fold.train.iter().map(|&i| y[i]).collect();
+        let vx: Vec<Vec<f64>> = fold.test.iter().map(|&i| x_rows[i].clone()).collect();
+        let vy: Vec<f64> = fold.test.iter().map(|&i| y[i]).collect();
+        total += fit_score(&tx, &ty, &vx, &vy)?;
+    }
+    Ok(total / folds.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn split_is_a_partition() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = train_test_split(100, 0.25, &mut rng).unwrap();
+        assert_eq!(s.test.len(), 25);
+        assert_eq!(s.train.len(), 75);
+        let mut all: Vec<usize> = s.train.iter().chain(&s.test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_deterministic_under_seed() {
+        let a = train_test_split(50, 0.2, &mut StdRng::seed_from_u64(9)).unwrap();
+        let b = train_test_split(50, 0.2, &mut StdRng::seed_from_u64(9)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn split_rejects_degenerate_fractions() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(train_test_split(10, 0.0, &mut rng).is_err());
+        assert!(train_test_split(10, 1.0, &mut rng).is_err());
+        assert!(train_test_split(1, 0.5, &mut rng).is_err());
+    }
+
+    #[test]
+    fn k_folds_partition_everything() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let folds = k_folds(23, 5, &mut rng).unwrap();
+        assert_eq!(folds.len(), 5);
+        let mut seen: Vec<usize> = folds.iter().flat_map(|f| f.test.clone()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..23).collect::<Vec<_>>());
+        // Sizes differ by at most one.
+        let sizes: Vec<usize> = folds.iter().map(|f| f.test.len()).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+        // train ∪ test = everything for each fold.
+        for f in &folds {
+            assert_eq!(f.train.len() + f.test.len(), 23);
+        }
+    }
+
+    #[test]
+    fn k_folds_rejects_bad_k() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(k_folds(10, 1, &mut rng).is_err());
+        assert!(k_folds(3, 4, &mut rng).is_err());
+    }
+
+    #[test]
+    fn cross_val_scores_a_linear_model() {
+        use crate::linreg::LinearRegression;
+        use crate::metrics::r2_score;
+        use crate::Regressor;
+        let x: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..60)
+            .map(|i| 2.0 + 1.5 * i as f64 + ((i * 7) % 5) as f64 * 0.01)
+            .collect();
+        let mut rng = StdRng::seed_from_u64(2);
+        let score = cross_val_score(&x, &y, 5, &mut rng, |tx, ty, vx, vy| {
+            let m = LinearRegression::fit(tx, ty)?;
+            r2_score(vy, &m.predict(vx))
+        })
+        .unwrap();
+        assert!(score > 0.999, "cv R² = {score}");
+    }
+
+    #[test]
+    fn cross_val_shape_mismatch() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let r = cross_val_score(&[vec![1.0]], &[1.0, 2.0], 2, &mut rng, |_, _, _, _| Ok(0.0));
+        assert!(matches!(r, Err(MlError::ShapeMismatch { .. })));
+    }
+}

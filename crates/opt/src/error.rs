@@ -1,0 +1,59 @@
+//! Error type for optimization routines.
+
+use std::fmt;
+
+/// Errors raised by the optimizers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptError {
+    /// The LP has no feasible point (phase-1 artificials stayed positive).
+    Infeasible,
+    /// The LP objective is unbounded in the optimization direction.
+    Unbounded,
+    /// A problem was constructed with inconsistent dimensions.
+    DimensionMismatch {
+        /// Expected number of variables.
+        expected: usize,
+        /// Number supplied.
+        actual: usize,
+    },
+    /// A parameter was out of its domain (message names it).
+    InvalidParameter(&'static str),
+    /// Input contained NaN or infinity.
+    NonFiniteInput,
+    /// The search space was empty (no candidates / empty grid axis).
+    EmptySearchSpace,
+}
+
+impl fmt::Display for OptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptError::Infeasible => write!(f, "linear program is infeasible"),
+            OptError::Unbounded => write!(f, "linear program is unbounded"),
+            OptError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            OptError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            OptError::NonFiniteInput => write!(f, "input contains NaN or infinite values"),
+            OptError::EmptySearchSpace => write!(f, "search space is empty"),
+        }
+    }
+}
+
+impl std::error::Error for OptError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(OptError::Infeasible.to_string().contains("infeasible"));
+        assert!(OptError::Unbounded.to_string().contains("unbounded"));
+        assert!(OptError::DimensionMismatch {
+            expected: 3,
+            actual: 2
+        }
+        .to_string()
+        .contains("expected 3"));
+    }
+}

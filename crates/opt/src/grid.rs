@@ -1,0 +1,260 @@
+//! Exhaustive grid search.
+//!
+//! §6.2: "The optimizer can take either a closed-form formulation and use
+//! commercial solvers, or use simple heuristics." Grid search is the
+//! simple heuristic: KEA's configuration spaces are small and discrete
+//! (container counts, capping levels, candidate SSD/RAM sizes), so
+//! enumerating them with a well-defined tie-break beats anything clever.
+
+use crate::error::OptError;
+
+/// One evaluated grid point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridPoint {
+    /// Coordinates of the point (one per axis).
+    pub coords: Vec<f64>,
+    /// Objective value at the point.
+    pub value: f64,
+}
+
+/// Exhaustive search over the Cartesian product of axes.
+///
+/// ```
+/// use kea_opt::GridSearch;
+/// let grid = GridSearch::new()
+///     .linspace_axis(-2.0, 2.0, 41).unwrap();
+/// let best = grid.minimize(|c| (c[0] - 0.7).powi(2)).unwrap();
+/// assert!((best.coords[0] - 0.7).abs() < 0.06);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GridSearch {
+    axes: Vec<Vec<f64>>,
+}
+
+impl GridSearch {
+    /// Creates an empty grid; add axes with [`GridSearch::axis`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an axis with explicit candidate values.
+    ///
+    /// # Errors
+    /// The axis must be non-empty and finite.
+    pub fn axis(mut self, values: Vec<f64>) -> Result<Self, OptError> {
+        if values.is_empty() {
+            return Err(OptError::EmptySearchSpace);
+        }
+        if values.iter().any(|v| !v.is_finite()) {
+            return Err(OptError::NonFiniteInput);
+        }
+        self.axes.push(values);
+        Ok(self)
+    }
+
+    /// Adds a linearly spaced axis of `n ≥ 2` points covering `[lo, hi]`.
+    ///
+    /// # Errors
+    /// Requires `lo < hi`, `n ≥ 2`, finite endpoints.
+    pub fn linspace_axis(self, lo: f64, hi: f64, n: usize) -> Result<Self, OptError> {
+        if !lo.is_finite() || !hi.is_finite() {
+            return Err(OptError::NonFiniteInput);
+        }
+        if n < 2 {
+            return Err(OptError::InvalidParameter("linspace needs at least 2 points"));
+        }
+        if lo >= hi {
+            return Err(OptError::InvalidParameter("linspace needs lo < hi"));
+        }
+        let step = (hi - lo) / (n - 1) as f64;
+        self.axis((0..n).map(|i| lo + step * i as f64).collect())
+    }
+
+    /// Total number of grid points.
+    pub fn len(&self) -> usize {
+        self.axes.iter().map(Vec::len).product()
+    }
+
+    /// True when no axes were added.
+    pub fn is_empty(&self) -> bool {
+        self.axes.is_empty()
+    }
+
+    /// Evaluates `f` on every grid point and returns the minimizer.
+    /// Ties break toward the earlier point in row-major order, making the
+    /// result deterministic.
+    ///
+    /// # Errors
+    /// The grid must have at least one axis; `f` must return finite values.
+    pub fn minimize<F>(&self, mut f: F) -> Result<GridPoint, OptError>
+    where
+        F: FnMut(&[f64]) -> f64,
+    {
+        if self.axes.is_empty() {
+            return Err(OptError::EmptySearchSpace);
+        }
+        let mut best: Option<GridPoint> = None;
+        let mut idx = vec![0usize; self.axes.len()];
+        let mut coords: Vec<f64> = self.axes.iter().map(|a| a[0]).collect();
+        loop {
+            let value = f(&coords);
+            if !value.is_finite() {
+                return Err(OptError::NonFiniteInput);
+            }
+            if best.as_ref().is_none_or(|b| value < b.value) {
+                best = Some(GridPoint {
+                    coords: coords.clone(),
+                    value,
+                });
+            }
+            // Advance the odometer.
+            let mut pos = self.axes.len();
+            loop {
+                if pos == 0 {
+                    return Ok(best.expect("at least one point evaluated"));
+                }
+                pos -= 1;
+                idx[pos] += 1;
+                if idx[pos] < self.axes[pos].len() {
+                    coords[pos] = self.axes[pos][idx[pos]];
+                    break;
+                }
+                idx[pos] = 0;
+                coords[pos] = self.axes[pos][0];
+            }
+        }
+    }
+
+    /// Evaluates `f` on every grid point and returns the maximizer.
+    ///
+    /// # Errors
+    /// Same as [`GridSearch::minimize`].
+    pub fn maximize<F>(&self, mut f: F) -> Result<GridPoint, OptError>
+    where
+        F: FnMut(&[f64]) -> f64,
+    {
+        let flipped = self.minimize(|c| -f(c))?;
+        Ok(GridPoint {
+            value: -flipped.value,
+            coords: flipped.coords,
+        })
+    }
+
+    /// Evaluates `f` everywhere and returns all points (for heat-maps like
+    /// Figure 14).
+    ///
+    /// # Errors
+    /// Same as [`GridSearch::minimize`].
+    pub fn evaluate_all<F>(&self, mut f: F) -> Result<Vec<GridPoint>, OptError>
+    where
+        F: FnMut(&[f64]) -> f64,
+    {
+        if self.axes.is_empty() {
+            return Err(OptError::EmptySearchSpace);
+        }
+        let mut out = Vec::with_capacity(self.len());
+        let mut idx = vec![0usize; self.axes.len()];
+        let mut coords: Vec<f64> = self.axes.iter().map(|a| a[0]).collect();
+        loop {
+            let value = f(&coords);
+            if !value.is_finite() {
+                return Err(OptError::NonFiniteInput);
+            }
+            out.push(GridPoint {
+                coords: coords.clone(),
+                value,
+            });
+            let mut pos = self.axes.len();
+            loop {
+                if pos == 0 {
+                    return Ok(out);
+                }
+                pos -= 1;
+                idx[pos] += 1;
+                if idx[pos] < self.axes[pos].len() {
+                    coords[pos] = self.axes[pos][idx[pos]];
+                    break;
+                }
+                idx[pos] = 0;
+                coords[pos] = self.axes[pos][0];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_a_paraboloid() {
+        let g = GridSearch::new()
+            .linspace_axis(-2.0, 2.0, 41)
+            .unwrap()
+            .linspace_axis(-2.0, 2.0, 41)
+            .unwrap();
+        let best = g
+            .minimize(|c| (c[0] - 0.5).powi(2) + (c[1] + 1.0).powi(2))
+            .unwrap();
+        assert!((best.coords[0] - 0.5).abs() < 0.06);
+        assert!((best.coords[1] + 1.0).abs() < 0.06);
+    }
+
+    #[test]
+    fn maximize_mirrors_minimize() {
+        let g = GridSearch::new().axis(vec![1.0, 2.0, 3.0]).unwrap();
+        let best = g.maximize(|c| 10.0 - (c[0] - 2.0).powi(2)).unwrap();
+        assert_eq!(best.coords, vec![2.0]);
+        assert_eq!(best.value, 10.0);
+    }
+
+    #[test]
+    fn len_is_product_of_axes() {
+        let g = GridSearch::new()
+            .axis(vec![1.0, 2.0])
+            .unwrap()
+            .axis(vec![1.0, 2.0, 3.0])
+            .unwrap();
+        assert_eq!(g.len(), 6);
+        assert_eq!(g.evaluate_all(|_| 0.0).unwrap().len(), 6);
+    }
+
+    #[test]
+    fn evaluate_all_row_major_order() {
+        let g = GridSearch::new()
+            .axis(vec![0.0, 1.0])
+            .unwrap()
+            .axis(vec![10.0, 20.0])
+            .unwrap();
+        let pts = g.evaluate_all(|c| c[0] * 100.0 + c[1]).unwrap();
+        let values: Vec<f64> = pts.iter().map(|p| p.value).collect();
+        assert_eq!(values, vec![10.0, 20.0, 110.0, 120.0]);
+    }
+
+    #[test]
+    fn ties_break_to_first_point() {
+        let g = GridSearch::new().axis(vec![5.0, 6.0, 7.0]).unwrap();
+        let best = g.minimize(|_| 1.0).unwrap();
+        assert_eq!(best.coords, vec![5.0]);
+    }
+
+    #[test]
+    fn empty_and_invalid_inputs() {
+        assert!(GridSearch::new().minimize(|_| 0.0).is_err());
+        assert!(GridSearch::new().axis(vec![]).is_err());
+        assert!(GridSearch::new().axis(vec![f64::NAN]).is_err());
+        assert!(GridSearch::new().linspace_axis(1.0, 1.0, 5).is_err());
+        assert!(GridSearch::new().linspace_axis(0.0, 1.0, 1).is_err());
+        let g = GridSearch::new().axis(vec![1.0]).unwrap();
+        assert!(g.minimize(|_| f64::NAN).is_err());
+    }
+
+    #[test]
+    fn linspace_endpoints_included() {
+        let g = GridSearch::new().linspace_axis(0.0, 10.0, 11).unwrap();
+        let pts = g.evaluate_all(|c| c[0]).unwrap();
+        assert_eq!(pts.first().unwrap().value, 0.0);
+        assert_eq!(pts.last().unwrap().value, 10.0);
+        assert_eq!(pts.len(), 11);
+    }
+}

@@ -1,0 +1,24 @@
+//! Optimization toolkit for KEA's Optimizer module.
+//!
+//! The paper's Optimizer consumes calibrated models and picks the best
+//! configuration. Three solver families cover all four applications:
+//!
+//! * [`simplex`] — a from-scratch two-phase primal simplex solving the
+//!   linear program of §5.2 (Equations 7–10: maximize total running
+//!   containers subject to the cluster-wide average-latency constraint).
+//!   The paper uses "commercial solvers"; KEA's LPs have one variable per
+//!   SC-SKU group (K ≤ ~10), so a dense tableau is more than enough.
+//! * [`grid`] — exhaustive grid search, the "simple heuristics" fallback
+//!   mentioned in §6.2.
+//! * [`monte_carlo`] — the Monte-Carlo expected-cost minimizer of §6.1,
+//!   used to choose SSD/RAM sizes for future SKUs (Figure 14).
+
+pub mod error;
+pub mod grid;
+pub mod monte_carlo;
+pub mod simplex;
+
+pub use error::OptError;
+pub use grid::{GridPoint, GridSearch};
+pub use monte_carlo::{minimize_expected_cost, CandidateCost, MonteCarloReport};
+pub use simplex::{LpProblem, LpSolution, Relation};

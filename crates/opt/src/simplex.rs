@@ -1,0 +1,612 @@
+//! Two-phase primal simplex for small dense linear programs.
+//!
+//! Solves the YARN-tuning LP of §5.2 (Equations 7–10). The paper used a
+//! commercial solver; KEA's LPs have one decision variable per SC-SKU group
+//! (6–9 per cluster) plus a few dozen guard-rail constraints, so a dense
+//! tableau with Bland's anti-cycling rule solves them exactly and
+//! instantly.
+//!
+//! Supported form:
+//!
+//! * maximize or minimize `c·x`
+//! * constraints `a·x ≤ / ≥ / = b`
+//! * per-variable bounds `lo ≤ x ≤ hi` (default `0 ≤ x`), implemented by
+//!   shifting lower bounds to zero and materialising upper bounds as rows —
+//!   the straightforward choice at this problem size.
+
+use crate::error::OptError;
+
+/// Relation of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `a·x ≤ b`
+    Le,
+    /// `a·x ≥ b`
+    Ge,
+    /// `a·x = b`
+    Eq,
+}
+
+#[derive(Debug, Clone)]
+struct Constraint {
+    coeffs: Vec<f64>,
+    relation: Relation,
+    rhs: f64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Sense {
+    Maximize,
+    Minimize,
+}
+
+/// A linear program under construction. Builder-style:
+///
+/// ```
+/// use kea_opt::{LpProblem, Relation};
+/// // maximize 3x + 2y s.t. x + y ≤ 4, x + 3y ≤ 6, x,y ≥ 0 → (4, 0), obj 12.
+/// let sol = LpProblem::maximize(vec![3.0, 2.0])
+///     .constraint(vec![1.0, 1.0], Relation::Le, 4.0).unwrap()
+///     .constraint(vec![1.0, 3.0], Relation::Le, 6.0).unwrap()
+///     .solve().unwrap();
+/// assert!((sol.objective - 12.0).abs() < 1e-9);
+/// assert!((sol.x[0] - 4.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LpProblem {
+    objective: Vec<f64>,
+    sense: Sense,
+    constraints: Vec<Constraint>,
+    lower: Vec<f64>,
+    upper: Vec<Option<f64>>,
+}
+
+/// Optimal solution of a linear program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpSolution {
+    /// Optimal variable assignment (in original, unshifted coordinates).
+    pub x: Vec<f64>,
+    /// Optimal objective value (in the original sense).
+    pub objective: f64,
+}
+
+const EPS: f64 = 1e-9;
+
+impl LpProblem {
+    /// Starts a maximization problem with the given objective coefficients.
+    pub fn maximize(objective: Vec<f64>) -> Self {
+        Self::new(objective, Sense::Maximize)
+    }
+
+    /// Starts a minimization problem with the given objective coefficients.
+    pub fn minimize(objective: Vec<f64>) -> Self {
+        Self::new(objective, Sense::Minimize)
+    }
+
+    fn new(objective: Vec<f64>, sense: Sense) -> Self {
+        let n = objective.len();
+        LpProblem {
+            objective,
+            sense,
+            constraints: Vec::new(),
+            lower: vec![0.0; n],
+            upper: vec![None; n],
+        }
+    }
+
+    /// Number of decision variables.
+    pub fn n_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Adds a constraint `coeffs · x (relation) rhs`.
+    ///
+    /// # Errors
+    /// `coeffs` must have one entry per variable and all values finite.
+    pub fn constraint(
+        mut self,
+        coeffs: Vec<f64>,
+        relation: Relation,
+        rhs: f64,
+    ) -> Result<Self, OptError> {
+        if coeffs.len() != self.n_vars() {
+            return Err(OptError::DimensionMismatch {
+                expected: self.n_vars(),
+                actual: coeffs.len(),
+            });
+        }
+        if coeffs.iter().any(|v| !v.is_finite()) || !rhs.is_finite() {
+            return Err(OptError::NonFiniteInput);
+        }
+        self.constraints.push(Constraint {
+            coeffs,
+            relation,
+            rhs,
+        });
+        Ok(self)
+    }
+
+    /// Sets bounds `lo ≤ x_i ≤ hi` for variable `i` (`hi = None` means
+    /// unbounded above). Defaults are `0 ≤ x_i`.
+    ///
+    /// # Errors
+    /// `i` must index a variable and `lo ≤ hi` when `hi` is given.
+    pub fn bounds(mut self, i: usize, lo: f64, hi: Option<f64>) -> Result<Self, OptError> {
+        if i >= self.n_vars() {
+            return Err(OptError::DimensionMismatch {
+                expected: self.n_vars(),
+                actual: i + 1,
+            });
+        }
+        if !lo.is_finite() || hi.is_some_and(|h| !h.is_finite()) {
+            return Err(OptError::NonFiniteInput);
+        }
+        if let Some(h) = hi {
+            if h < lo {
+                return Err(OptError::InvalidParameter("upper bound below lower bound"));
+            }
+        }
+        self.lower[i] = lo;
+        self.upper[i] = hi;
+        Ok(self)
+    }
+
+    /// Solves the program.
+    ///
+    /// # Errors
+    /// [`OptError::Infeasible`] or [`OptError::Unbounded`] for degenerate
+    /// programs; [`OptError::NonFiniteInput`] if the objective contains
+    /// NaN/inf; [`OptError::InvalidParameter`] for an empty objective.
+    pub fn solve(&self) -> Result<LpSolution, OptError> {
+        if self.objective.is_empty() {
+            return Err(OptError::InvalidParameter("objective must be non-empty"));
+        }
+        if self.objective.iter().any(|v| !v.is_finite()) {
+            return Err(OptError::NonFiniteInput);
+        }
+
+        // Shift variables so every lower bound is zero: x = x' + lo.
+        // Constraint rhs becomes b − A·lo; upper bounds become rows
+        // x'_i ≤ hi_i − lo_i; the objective constant c·lo is re-added at
+        // the end.
+        let n = self.n_vars();
+        let mut rows: Vec<(Vec<f64>, Relation, f64)> = Vec::new();
+        for c in &self.constraints {
+            let shift: f64 = c.coeffs.iter().zip(&self.lower).map(|(a, l)| a * l).sum();
+            rows.push((c.coeffs.clone(), c.relation, c.rhs - shift));
+        }
+        for i in 0..n {
+            if let Some(hi) = self.upper[i] {
+                let mut coeffs = vec![0.0; n];
+                coeffs[i] = 1.0;
+                rows.push((coeffs, Relation::Le, hi - self.lower[i]));
+            }
+        }
+
+        // Objective in "maximize" convention.
+        let obj: Vec<f64> = match self.sense {
+            Sense::Maximize => self.objective.clone(),
+            Sense::Minimize => self.objective.iter().map(|v| -v).collect(),
+        };
+
+        let shifted = solve_standard(&obj, &rows)?;
+
+        let x: Vec<f64> = shifted
+            .iter()
+            .zip(&self.lower)
+            .map(|(v, l)| v + l)
+            .collect();
+        let objective: f64 = self.objective.iter().zip(&x).map(|(c, v)| c * v).sum();
+        Ok(LpSolution { x, objective })
+    }
+}
+
+/// Solves `maximize obj·x` subject to `rows`, `x ≥ 0`, via two-phase
+/// simplex. Returns the optimal `x`.
+fn solve_standard(
+    obj: &[f64],
+    rows: &[(Vec<f64>, Relation, f64)],
+) -> Result<Vec<f64>, OptError> {
+    let n = obj.len();
+
+    // Normalize rhs signs.
+    let rows: Vec<(Vec<f64>, Relation, f64)> = rows
+        .iter()
+        .map(|(coeffs, rel, rhs)| {
+            if *rhs < 0.0 {
+                let flipped = match rel {
+                    Relation::Le => Relation::Ge,
+                    Relation::Ge => Relation::Le,
+                    Relation::Eq => Relation::Eq,
+                };
+                (coeffs.iter().map(|v| -v).collect(), flipped, -rhs)
+            } else {
+                (coeffs.clone(), *rel, *rhs)
+            }
+        })
+        .collect();
+
+    let m = rows.len();
+    let n_slack = rows
+        .iter()
+        .filter(|(_, rel, _)| *rel != Relation::Eq)
+        .count();
+    let n_art = rows
+        .iter()
+        .filter(|(_, rel, _)| *rel != Relation::Le)
+        .count();
+    let total = n + n_slack + n_art;
+
+    // Tableau: m rows × (total + 1) columns, last column = rhs.
+    // Row m is the objective row (phase-specific).
+    let width = total + 1;
+    let mut t = vec![0.0; (m + 1) * width];
+    let mut basis = vec![0usize; m];
+
+    let mut slack_idx = n;
+    let mut art_idx = n + n_slack;
+    let mut artificials = Vec::new();
+    for (r, (coeffs, rel, rhs)) in rows.iter().enumerate() {
+        for (c, &v) in coeffs.iter().enumerate() {
+            t[r * width + c] = v;
+        }
+        t[r * width + total] = *rhs;
+        match rel {
+            Relation::Le => {
+                t[r * width + slack_idx] = 1.0;
+                basis[r] = slack_idx;
+                slack_idx += 1;
+            }
+            Relation::Ge => {
+                t[r * width + slack_idx] = -1.0;
+                slack_idx += 1;
+                t[r * width + art_idx] = 1.0;
+                basis[r] = art_idx;
+                artificials.push(art_idx);
+                art_idx += 1;
+            }
+            Relation::Eq => {
+                t[r * width + art_idx] = 1.0;
+                basis[r] = art_idx;
+                artificials.push(art_idx);
+                art_idx += 1;
+            }
+        }
+    }
+
+    // Phase 1: minimize sum of artificials ⇒ maximize −Σ artificials.
+    // Objective-row convention (matches phase 2): the row starts at −c,
+    // then basic columns are priced out to zero reduced cost. Here
+    // c_artificial = −1, so the row starts at +1 on artificial columns.
+    if !artificials.is_empty() {
+        for &a in &artificials {
+            t[m * width + a] = 1.0;
+        }
+        for r in 0..m {
+            if artificials.contains(&basis[r]) {
+                for c in 0..width {
+                    t[m * width + c] -= t[r * width + c];
+                }
+            }
+        }
+        run_simplex(&mut t, &mut basis, m, width)?;
+        // At optimum the stored value is z = −Σ artificials ≤ 0; feasible
+        // iff it reaches zero.
+        let phase1_obj = t[m * width + total];
+        if phase1_obj.abs() > 1e-7 {
+            return Err(OptError::Infeasible);
+        }
+        // Drive any artificial still in the basis out (degenerate case).
+        for r in 0..m {
+            if artificials.contains(&basis[r]) {
+                // Pivot on any non-artificial column with non-zero entry.
+                if let Some(c) = (0..n + n_slack).find(|&c| t[r * width + c].abs() > EPS) {
+                    pivot(&mut t, &mut basis, m, width, r, c);
+                }
+                // If none exists the row is all-zero and harmless.
+            }
+        }
+        // Zero the phase-1 objective row and forbid artificial columns.
+        for c in 0..width {
+            t[m * width + c] = 0.0;
+        }
+        for &a in &artificials {
+            for r in 0..m {
+                t[r * width + a] = 0.0;
+            }
+        }
+    }
+
+    // Phase 2: install the real objective row. Convention: row holds −c
+    // plus corrections so basic columns have zero reduced cost; then
+    // maximize by pivoting on negative entries.
+    for (c, &v) in obj.iter().enumerate() {
+        t[m * width + c] = -v;
+    }
+    for r in 0..m {
+        let b = basis[r];
+        let coeff = t[m * width + b];
+        if coeff != 0.0 {
+            for c in 0..width {
+                t[m * width + c] -= coeff * t[r * width + c];
+            }
+        }
+    }
+    run_simplex(&mut t, &mut basis, m, width)?;
+
+    let mut x = vec![0.0; n];
+    for r in 0..m {
+        if basis[r] < n {
+            x[basis[r]] = t[r * width + total];
+        }
+    }
+    Ok(x)
+}
+
+/// Runs primal simplex iterations until optimality (no negative reduced
+/// costs) using Bland's rule.
+fn run_simplex(
+    t: &mut [f64],
+    basis: &mut [usize],
+    m: usize,
+    width: usize,
+) -> Result<(), OptError> {
+    let total = width - 1;
+    // Generous iteration cap: Bland's rule guarantees termination, this is
+    // a belt-and-braces guard against numerical live-lock.
+    for _ in 0..10_000 {
+        // Entering column: first with negative reduced cost (Bland).
+        let Some(col) = (0..total).find(|&c| t[m * width + c] < -EPS) else {
+            return Ok(());
+        };
+        // Leaving row: min ratio, ties by smallest basis index (Bland).
+        let mut best: Option<(usize, f64)> = None;
+        for r in 0..m {
+            let a = t[r * width + col];
+            if a > EPS {
+                let ratio = t[r * width + total] / a;
+                match best {
+                    None => best = Some((r, ratio)),
+                    Some((br, bratio)) => {
+                        if ratio < bratio - EPS
+                            || (ratio < bratio + EPS && basis[r] < basis[br])
+                        {
+                            best = Some((r, ratio));
+                        }
+                    }
+                }
+            }
+        }
+        let Some((row, _)) = best else {
+            return Err(OptError::Unbounded);
+        };
+        pivot(t, basis, m, width, row, col);
+    }
+    Err(OptError::InvalidParameter(
+        "simplex iteration limit exceeded (numerical issue)",
+    ))
+}
+
+/// Pivots the tableau on `(row, col)`.
+fn pivot(t: &mut [f64], basis: &mut [usize], m: usize, width: usize, row: usize, col: usize) {
+    let pivot_val = t[row * width + col];
+    debug_assert!(pivot_val.abs() > EPS, "pivot on ~zero element");
+    for c in 0..width {
+        t[row * width + c] /= pivot_val;
+    }
+    for r in 0..=m {
+        if r == row {
+            continue;
+        }
+        let factor = t[r * width + col];
+        if factor == 0.0 {
+            continue;
+        }
+        for c in 0..width {
+            t[r * width + c] -= factor * t[row * width + c];
+        }
+    }
+    basis[row] = col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_maximization() {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → x=2, y=6, obj=36.
+        let sol = LpProblem::maximize(vec![3.0, 5.0])
+            .constraint(vec![1.0, 0.0], Relation::Le, 4.0)
+            .unwrap()
+            .constraint(vec![0.0, 2.0], Relation::Le, 12.0)
+            .unwrap()
+            .constraint(vec![3.0, 2.0], Relation::Le, 18.0)
+            .unwrap()
+            .solve()
+            .unwrap();
+        assert!((sol.objective - 36.0).abs() < 1e-9);
+        assert!((sol.x[0] - 2.0).abs() < 1e-9);
+        assert!((sol.x[1] - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn minimization_with_ge_constraints() {
+        // min 2x + 3y s.t. x + y ≥ 10, x ≥ 2 → x=10−y... optimum: y=0,x=10?
+        // cost(10,0)=20; cost(2,8)=28 → x=10, y=0, obj=20.
+        let sol = LpProblem::minimize(vec![2.0, 3.0])
+            .constraint(vec![1.0, 1.0], Relation::Ge, 10.0)
+            .unwrap()
+            .constraint(vec![1.0, 0.0], Relation::Ge, 2.0)
+            .unwrap()
+            .solve()
+            .unwrap();
+        assert!((sol.objective - 20.0).abs() < 1e-9);
+        assert!((sol.x[0] - 10.0).abs() < 1e-9);
+        assert!(sol.x[1].abs() < 1e-9);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // max x + y s.t. x + y = 5, x ≤ 3 → obj = 5.
+        let sol = LpProblem::maximize(vec![1.0, 1.0])
+            .constraint(vec![1.0, 1.0], Relation::Eq, 5.0)
+            .unwrap()
+            .constraint(vec![1.0, 0.0], Relation::Le, 3.0)
+            .unwrap()
+            .solve()
+            .unwrap();
+        assert!((sol.objective - 5.0).abs() < 1e-9);
+        assert!((sol.x[0] + sol.x[1] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let r = LpProblem::maximize(vec![1.0])
+            .constraint(vec![1.0], Relation::Le, 1.0)
+            .unwrap()
+            .constraint(vec![1.0], Relation::Ge, 2.0)
+            .unwrap()
+            .solve();
+        assert_eq!(r, Err(OptError::Infeasible));
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let r = LpProblem::maximize(vec![1.0, 1.0])
+            .constraint(vec![1.0, -1.0], Relation::Le, 1.0)
+            .unwrap()
+            .solve();
+        assert_eq!(r, Err(OptError::Unbounded));
+    }
+
+    #[test]
+    fn variable_bounds_respected() {
+        // max x + y with 1 ≤ x ≤ 2, 0 ≤ y ≤ 3, x + y ≤ 4 → x=2 (or 1..2),
+        // best is x=2,y=2? x+y≤4 binds: obj=4... but y≤3 allows x=1,y=3 also
+        // obj 4. Objective tie; check feasibility and objective only.
+        let sol = LpProblem::maximize(vec![1.0, 1.0])
+            .constraint(vec![1.0, 1.0], Relation::Le, 4.0)
+            .unwrap()
+            .bounds(0, 1.0, Some(2.0))
+            .unwrap()
+            .bounds(1, 0.0, Some(3.0))
+            .unwrap()
+            .solve()
+            .unwrap();
+        assert!((sol.objective - 4.0).abs() < 1e-9);
+        assert!(sol.x[0] >= 1.0 - 1e-9 && sol.x[0] <= 2.0 + 1e-9);
+        assert!(sol.x[1] >= -1e-9 && sol.x[1] <= 3.0 + 1e-9);
+    }
+
+    #[test]
+    fn negative_lower_bounds() {
+        // min x with −5 ≤ x ≤ 5 → x = −5.
+        let sol = LpProblem::minimize(vec![1.0])
+            .bounds(0, -5.0, Some(5.0))
+            .unwrap()
+            .solve()
+            .unwrap();
+        assert!((sol.x[0] + 5.0).abs() < 1e-9);
+        assert!((sol.objective + 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_rhs_normalized() {
+        // x ≥ −1 written as −x ≤ 1; minimize x with bound x ≥ −1 via
+        // constraint −x ≤ 1 and free-ish shifted bounds.
+        let sol = LpProblem::minimize(vec![1.0])
+            .bounds(0, -10.0, None)
+            .unwrap()
+            .constraint(vec![-1.0], Relation::Le, 1.0)
+            .unwrap()
+            .solve()
+            .unwrap();
+        assert!((sol.x[0] + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn yarn_shaped_lp() {
+        // A miniature of Equations (7)-(10): maximize Σ m_k n_k with a
+        // weighted-average-latency budget. Three groups, n = [100, 50, 20],
+        // per-container latency weights w = [1.0, 0.8, 0.5]; latency budget
+        // forces trading slow-group containers for fast-group ones.
+        let n = [100.0, 50.0, 20.0];
+        let w = [1.0, 0.8, 0.5];
+        let budget = 900.0; // Σ w_k m_k n_k ≤ 900
+        let sol = LpProblem::maximize(vec![n[0], n[1], n[2]])
+            .constraint(
+                vec![w[0] * n[0], w[1] * n[1], w[2] * n[2]],
+                Relation::Le,
+                budget,
+            )
+            .unwrap()
+            .bounds(0, 4.0, Some(12.0))
+            .unwrap()
+            .bounds(1, 4.0, Some(12.0))
+            .unwrap()
+            .bounds(2, 4.0, Some(12.0))
+            .unwrap()
+            .solve()
+            .unwrap();
+        // Cheapest latency-per-container is group 2 (w=0.5): expect it to
+        // be maxed out, and the most expensive (group 0) to be minimal.
+        assert!((sol.x[2] - 12.0).abs() < 1e-6, "x = {:?}", sol.x);
+        assert!(sol.x[0] < sol.x[2]);
+        // Constraint respected.
+        let used: f64 = (0..3).map(|k| w[k] * n[k] * sol.x[k]).sum();
+        assert!(used <= budget + 1e-6);
+    }
+
+    #[test]
+    fn dimension_checks() {
+        assert!(matches!(
+            LpProblem::maximize(vec![1.0, 2.0]).constraint(vec![1.0], Relation::Le, 1.0),
+            Err(OptError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            LpProblem::maximize(vec![1.0]).bounds(3, 0.0, None),
+            Err(OptError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            LpProblem::maximize(vec![1.0]).bounds(0, 2.0, Some(1.0)),
+            Err(OptError::InvalidParameter(_))
+        ));
+        assert!(LpProblem::maximize(vec![]).solve().is_err());
+        assert!(matches!(
+            LpProblem::maximize(vec![f64::NAN])
+                .solve(),
+            Err(OptError::NonFiniteInput)
+        ));
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Classic degeneracy: multiple constraints active at the optimum.
+        let sol = LpProblem::maximize(vec![1.0, 1.0])
+            .constraint(vec![1.0, 0.0], Relation::Le, 1.0)
+            .unwrap()
+            .constraint(vec![0.0, 1.0], Relation::Le, 1.0)
+            .unwrap()
+            .constraint(vec![1.0, 1.0], Relation::Le, 2.0)
+            .unwrap()
+            .solve()
+            .unwrap();
+        assert!((sol.objective - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equality_only_system() {
+        // max 2x + y s.t. x + y = 3, x − y = 1 → x=2, y=1, obj=5.
+        let sol = LpProblem::maximize(vec![2.0, 1.0])
+            .constraint(vec![1.0, 1.0], Relation::Eq, 3.0)
+            .unwrap()
+            .constraint(vec![1.0, -1.0], Relation::Eq, 1.0)
+            .unwrap()
+            .solve()
+            .unwrap();
+        assert!((sol.x[0] - 2.0).abs() < 1e-9);
+        assert!((sol.x[1] - 1.0).abs() < 1e-9);
+        assert!((sol.objective - 5.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests for the optimizers: the simplex must always
+//! return *feasible* and *optimal-or-better-than-sampled* solutions.
+
+use kea_opt::{GridSearch, LpProblem, Relation};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn simplex_solutions_are_feasible(
+        n in 2usize..6,
+        seed in 0u64..500,
+    ) {
+        // Random LP: maximize c·x, constraints a·x ≤ b with a ≥ 0 and
+        // b > 0 (x = 0 always feasible), plus box bounds.
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / u32::MAX as f64
+        };
+        let c: Vec<f64> = (0..n).map(|_| next() * 10.0).collect();
+        let n_cons = 2 + (seed % 3) as usize;
+        let mut lp = LpProblem::maximize(c.clone());
+        let mut constraints = Vec::new();
+        for _ in 0..n_cons {
+            let a: Vec<f64> = (0..n).map(|_| next() * 5.0).collect();
+            let b = 1.0 + next() * 20.0;
+            constraints.push((a.clone(), b));
+            lp = lp.constraint(a, Relation::Le, b).unwrap();
+        }
+        let mut uppers = Vec::new();
+        for i in 0..n {
+            let hi = 0.5 + next() * 10.0;
+            uppers.push(hi);
+            lp = lp.bounds(i, 0.0, Some(hi)).unwrap();
+        }
+        let sol = lp.solve().unwrap();
+        // Feasibility.
+        for (i, &x) in sol.x.iter().enumerate() {
+            prop_assert!(x >= -1e-7 && x <= uppers[i] + 1e-7, "bounds violated");
+        }
+        for (a, b) in &constraints {
+            let lhs: f64 = a.iter().zip(&sol.x).map(|(ai, xi)| ai * xi).sum();
+            prop_assert!(lhs <= b + 1e-6, "constraint violated: {} > {}", lhs, b);
+        }
+        // Optimality vs sampled feasible points: scale random box points
+        // into the feasible region and compare objectives.
+        for _ in 0..20 {
+            let mut candidate: Vec<f64> = (0..n).map(|i| next() * uppers[i]).collect();
+            // Shrink until feasible.
+            let mut worst = 1.0f64;
+            for (a, b) in &constraints {
+                let lhs: f64 = a.iter().zip(&candidate).map(|(ai, xi)| ai * xi).sum();
+                if lhs > *b {
+                    worst = worst.max(lhs / b);
+                }
+            }
+            for x in &mut candidate {
+                *x /= worst;
+            }
+            let cand_obj: f64 = c.iter().zip(&candidate).map(|(ci, xi)| ci * xi).sum();
+            prop_assert!(
+                sol.objective >= cand_obj - 1e-6,
+                "sampled point beats 'optimal': {} > {}", cand_obj, sol.objective
+            );
+        }
+    }
+
+    #[test]
+    fn grid_minimum_is_global_over_the_grid(
+        a in -3.0..3.0f64,
+        b in -3.0..3.0f64,
+    ) {
+        let g = GridSearch::new()
+            .linspace_axis(-5.0, 5.0, 21).unwrap()
+            .linspace_axis(-5.0, 5.0, 21).unwrap();
+        let f = |c: &[f64]| (c[0] - a).powi(2) + (c[1] - b).powi(2) + (c[0] * c[1]).sin();
+        let best = g.minimize(f).unwrap();
+        for pt in g.evaluate_all(f).unwrap() {
+            prop_assert!(best.value <= pt.value + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! Cluster configuration and time-windowed overrides (flighting).
+//!
+//! KEA tunes *cluster-wide, per-group* configuration (§2), and deploys
+//! candidate values to machine subsets through the flighting tool: "users
+//! can specify the machine names and the starting/ending time of each
+//! flighting" (§4.1). [`MachineConfig`] is the tunable surface,
+//! [`ConfigPatch`] a partial override, and [`ConfigPlan`] the composition
+//! of per-SKU baselines with a list of [`Flight`]s.
+
+use kea_telemetry::{MachineId, ScId, SkuId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The per-machine tunable configuration — the knobs of Table 3.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineConfig {
+    /// YARN `max_num_running_containers` (application 1).
+    pub max_running_containers: u32,
+    /// Power cap as a fraction below the provisioned level: 0.10 caps at
+    /// 90% of provisioned power; 0.0 disables capping (application 3).
+    pub power_cap_fraction: f64,
+    /// Processor acceleration feature flag ("Feature" in §7.2).
+    pub feature_on: bool,
+    /// Software configuration (application 4).
+    pub sc: ScId,
+    /// Maximum low-priority containers queued per machine (the §5.3
+    /// extension knob). `u32::MAX` disables the cap (the baseline).
+    pub max_queue_length: u32,
+}
+
+/// A partial configuration override; `None` fields inherit.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ConfigPatch {
+    /// Override for `max_running_containers`.
+    pub max_running_containers: Option<u32>,
+    /// Override for `power_cap_fraction`.
+    pub power_cap_fraction: Option<f64>,
+    /// Override for `feature_on`.
+    pub feature_on: Option<bool>,
+    /// Override for the software configuration.
+    pub sc: Option<ScId>,
+    /// Override for `max_queue_length`.
+    pub max_queue_length: Option<u32>,
+}
+
+impl ConfigPatch {
+    /// Applies this patch on top of `base`.
+    pub fn apply(&self, base: MachineConfig) -> MachineConfig {
+        MachineConfig {
+            max_running_containers: self
+                .max_running_containers
+                .unwrap_or(base.max_running_containers),
+            power_cap_fraction: self.power_cap_fraction.unwrap_or(base.power_cap_fraction),
+            feature_on: self.feature_on.unwrap_or(base.feature_on),
+            sc: self.sc.unwrap_or(base.sc),
+            max_queue_length: self.max_queue_length.unwrap_or(base.max_queue_length),
+        }
+    }
+
+    /// True when the patch overrides nothing.
+    pub fn is_empty(&self) -> bool {
+        *self == ConfigPatch::default()
+    }
+}
+
+/// A flighting deployment: a patch applied to a set of machines during
+/// `[start_hour, end_hour)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Flight {
+    /// Human-readable label for reports.
+    pub label: String,
+    /// Target machines.
+    pub machines: BTreeSet<MachineId>,
+    /// First hour (inclusive) the patch is live.
+    pub start_hour: u64,
+    /// First hour (exclusive) after the patch ends.
+    pub end_hour: u64,
+    /// The configuration override.
+    pub patch: ConfigPatch,
+}
+
+impl Flight {
+    /// Whether the flight is live at simulation time `hour`.
+    pub fn active_at(&self, hour: f64) -> bool {
+        hour >= self.start_hour as f64 && hour < self.end_hour as f64
+    }
+}
+
+/// The full configuration plan for a simulation run: per-SKU baselines
+/// plus flights. Later flights win when several target the same machine.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ConfigPlan {
+    /// Baseline config per SKU.
+    pub base: BTreeMap<SkuId, MachineConfig>,
+    /// Time-windowed overrides, applied in order.
+    pub flights: Vec<Flight>,
+}
+
+impl ConfigPlan {
+    /// The manual-tuning baseline: every SKU at its
+    /// `default_max_containers`, no power cap, Feature off, SC1 — the
+    /// pre-KEA production state.
+    pub fn baseline(skus: &[crate::catalog::SkuSpec], sc: ScId) -> Self {
+        let base = skus
+            .iter()
+            .map(|s| {
+                (
+                    s.id,
+                    MachineConfig {
+                        max_running_containers: s.default_max_containers,
+                        power_cap_fraction: 0.0,
+                        feature_on: false,
+                        sc,
+                        max_queue_length: u32::MAX,
+                    },
+                )
+            })
+            .collect();
+        ConfigPlan {
+            base,
+            flights: Vec::new(),
+        }
+    }
+
+    /// Sets the baseline `max_running_containers` for one SKU.
+    ///
+    /// # Panics
+    /// The SKU must exist in the plan.
+    pub fn set_max_containers(&mut self, sku: SkuId, max: u32) {
+        self.base
+            .get_mut(&sku)
+            .expect("SKU present in plan")
+            .max_running_containers = max;
+    }
+
+    /// Adds a flight.
+    pub fn add_flight(&mut self, flight: Flight) {
+        self.flights.push(flight);
+    }
+
+    /// Resolves the effective configuration of `machine` (of `sku`) at
+    /// simulation time `hour` (fractional hours are fine).
+    ///
+    /// # Panics
+    /// The SKU must exist in the plan.
+    pub fn effective(&self, machine: MachineId, sku: SkuId, hour: f64) -> MachineConfig {
+        let mut cfg = *self.base.get(&sku).expect("SKU present in plan");
+        for flight in &self.flights {
+            if flight.active_at(hour) && flight.machines.contains(&machine) {
+                cfg = flight.patch.apply(cfg);
+            }
+        }
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{default_skus, SC1, SC2};
+
+    fn plan() -> ConfigPlan {
+        ConfigPlan::baseline(&default_skus(50), SC1)
+    }
+
+    #[test]
+    fn baseline_uses_manual_defaults() {
+        let skus = default_skus(50);
+        let p = ConfigPlan::baseline(&skus, SC1);
+        for sku in &skus {
+            let cfg = p.effective(MachineId(0), sku.id, 0.0);
+            assert_eq!(cfg.max_running_containers, sku.default_max_containers);
+            assert_eq!(cfg.power_cap_fraction, 0.0);
+            assert!(!cfg.feature_on);
+            assert_eq!(cfg.sc, SC1);
+        }
+    }
+
+    #[test]
+    fn patch_apply_overrides_only_set_fields() {
+        let base = MachineConfig {
+            max_running_containers: 10,
+            power_cap_fraction: 0.0,
+            feature_on: false,
+            sc: SC1,
+            max_queue_length: u32::MAX,
+        };
+        let patch = ConfigPatch {
+            max_running_containers: Some(12),
+            sc: Some(SC2),
+            ..Default::default()
+        };
+        let out = patch.apply(base);
+        assert_eq!(out.max_running_containers, 12);
+        assert_eq!(out.sc, SC2);
+        assert_eq!(out.power_cap_fraction, 0.0);
+        assert!(!out.feature_on);
+        assert!(ConfigPatch::default().is_empty());
+        assert!(!patch.is_empty());
+    }
+
+    #[test]
+    fn flight_window_respected() {
+        let mut p = plan();
+        let sku = SkuId(0);
+        p.add_flight(Flight {
+            label: "pilot".to_string(),
+            machines: [MachineId(0)].into_iter().collect(),
+            start_hour: 24,
+            end_hour: 48,
+            patch: ConfigPatch {
+                max_running_containers: Some(99),
+                ..Default::default()
+            },
+        });
+        assert_ne!(
+            p.effective(MachineId(0), sku, 23.9).max_running_containers,
+            99
+        );
+        assert_eq!(
+            p.effective(MachineId(0), sku, 24.0).max_running_containers,
+            99
+        );
+        assert_eq!(
+            p.effective(MachineId(0), sku, 47.9).max_running_containers,
+            99
+        );
+        assert_ne!(
+            p.effective(MachineId(0), sku, 48.0).max_running_containers,
+            99
+        );
+        // Non-target machine unaffected.
+        assert_ne!(
+            p.effective(MachineId(1), sku, 30.0).max_running_containers,
+            99
+        );
+    }
+
+    #[test]
+    fn later_flights_win() {
+        let mut p = plan();
+        let m: BTreeSet<MachineId> = [MachineId(5)].into_iter().collect();
+        for (i, v) in [(0u64, 20u32), (0, 30)] {
+            p.add_flight(Flight {
+                label: format!("f{i}"),
+                machines: m.clone(),
+                start_hour: 0,
+                end_hour: 100,
+                patch: ConfigPatch {
+                    max_running_containers: Some(v),
+                    ..Default::default()
+                },
+            });
+        }
+        assert_eq!(
+            p.effective(MachineId(5), SkuId(0), 1.0).max_running_containers,
+            30
+        );
+    }
+
+    #[test]
+    fn set_max_containers_mutates_baseline() {
+        let mut p = plan();
+        p.set_max_containers(SkuId(5), 25);
+        assert_eq!(
+            p.effective(MachineId(0), SkuId(5), 0.0).max_running_containers,
+            25
+        );
+    }
+}

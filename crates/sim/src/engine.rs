@@ -1,0 +1,1019 @@
+//! The discrete-event simulation engine.
+//!
+//! A classic event-driven core: job arrivals release stage tasks, a
+//! YARN-like scheduler places each task on a uniformly random machine with
+//! a free container slot (queueing it as a low-priority container when the
+//! probed machines are full — §5.3), and task completions drive stage and
+//! job completion. Machine state (running containers, queue length) is
+//! integrated piecewise-constantly into per-machine-hour accumulators that
+//! flush into a [`kea_telemetry::TelemetryStore`] at the end of the run.
+//!
+//! Determinism: all randomness flows through one seeded `StdRng`, so a
+//! `SimConfig` fully determines the output.
+
+use crate::cluster::ClusterSpec;
+use crate::config::ConfigPlan;
+use crate::machine::{self};
+use crate::output::{JobRecord, SimOutput, TaskRecord};
+use crate::rng::{exponential, lognormal_mean, normal};
+use crate::workload::{Schedule, TaskType, WorkloadSpec};
+use kea_telemetry::{GroupKey, MachineHourRecord, MachineId, MetricValues};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Full specification of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Cluster topology and SKU catalog.
+    pub cluster: ClusterSpec,
+    /// Workload templates and seasonality.
+    pub workload: WorkloadSpec,
+    /// Configuration plan (baselines + flights).
+    pub plan: ConfigPlan,
+    /// Simulated duration in hours.
+    pub duration_hours: u64,
+    /// RNG seed; equal configs with equal seeds give identical outputs.
+    pub seed: u64,
+    /// Sample every Nth completed task into the task log (0 disables).
+    pub task_log_every: u32,
+    /// Log every Nth Poisson-scheduled (ad-hoc) job; recurring jobs are
+    /// always logged. 1 logs everything.
+    pub adhoc_job_log_every: u32,
+}
+
+impl SimConfig {
+    /// A ready-to-run baseline: the given cluster under manual-tuning
+    /// defaults (SC1, no capping, Feature off) with the default workload
+    /// at 75% target occupancy.
+    pub fn baseline(cluster: ClusterSpec, duration_hours: u64, seed: u64) -> Self {
+        let workload = WorkloadSpec::default_for(&cluster, 0.75);
+        let plan = ConfigPlan::baseline(&cluster.skus, crate::catalog::SC1);
+        SimConfig {
+            cluster,
+            workload,
+            plan,
+            duration_hours,
+            seed,
+            task_log_every: 10,
+            adhoc_job_log_every: 8,
+        }
+    }
+}
+
+/// Runs a simulation to completion.
+///
+/// # Panics
+/// Panics on nonsensical configs (zero duration, zero-`max_containers`
+/// baselines) — these indicate caller bugs, not runtime conditions.
+pub fn run(cfg: &SimConfig) -> SimOutput {
+    assert!(cfg.duration_hours > 0, "duration must be positive");
+    for (sku, mc) in &cfg.plan.base {
+        assert!(
+            mc.max_running_containers > 0,
+            "max_running_containers must be positive for {sku:?}"
+        );
+    }
+    Engine::new(cfg).run()
+}
+
+// ---------------------------------------------------------------------
+// Event queue
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum EventKind {
+    JobArrival { template: usize },
+    PoissonCandidate { template: usize },
+    TaskFinish { task: u32 },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Ev {
+    time_s: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Ev {
+    fn eq(&self, other: &Self) -> bool {
+        self.time_s == other.time_s && self.seq == other.seq
+    }
+}
+impl Eq for Ev {}
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        other
+            .time_s
+            .total_cmp(&self.time_s)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-machine accumulation
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Default)]
+struct HourAcc {
+    container_seconds: f64,
+    util_seconds: f64,
+    power_joules: f64,
+    cores_seconds: f64,
+    ram_seconds: f64,
+    ssd_seconds: f64,
+    network_seconds: f64,
+    queue_len_seconds: f64,
+    tasks_finished: u32,
+    data_read_gb: f64,
+    exec_time_s: f64,
+    cpu_time_s: f64,
+    // Latency is attributed to the hour a task *starts*, pairing each
+    // observation with the utilization that caused it; throughput
+    // metrics are attributed to the completion hour.
+    latency_sum_s: f64,
+    latency_count: u32,
+    queue_waits_s: Vec<f64>,
+}
+
+#[derive(Debug)]
+struct MachState {
+    sku_idx: usize,
+    running: u32,
+    queue: VecDeque<(u32, f64)>, // (task index, enqueue time)
+    last_s: f64,
+    hours: Vec<HourAcc>,
+}
+
+// ---------------------------------------------------------------------
+// Task / job slabs (free-listed: completed entries are recycled)
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+struct TaskRun {
+    job: u32,
+    base_cpu_s: f64,
+    input_gb: f64,
+    io_heavy: bool,
+    task_type: TaskType,
+    machine: u32,
+    queue_wait_s: f64,
+    duration_s: f64,
+    cpu_time_s: f64,
+    log_index: u32, // u32::MAX = unsampled
+}
+
+#[derive(Debug, Clone)]
+struct JobRun {
+    template: usize,
+    arrival_s: f64,
+    stage: usize,
+    remaining_in_stage: u32,
+    total_tasks: u32,
+    logged: bool,
+    // Slowest task of the current stage so far: (end time, sku, log idx).
+    stage_max: (f64, u16, u32),
+}
+
+struct Engine<'a> {
+    cfg: &'a SimConfig,
+    rng: StdRng,
+    now_s: f64,
+    end_s: f64,
+    seq: u64,
+    events: BinaryHeap<Ev>,
+    machines: Vec<MachState>,
+    tasks: Vec<TaskRun>,
+    task_free: Vec<u32>,
+    jobs: Vec<JobRun>,
+    job_free: Vec<u32>,
+    out: SimOutput,
+    tasks_created: u64,
+    tasks_completed: u64,
+    adhoc_seen: u64,
+    jobs_active: u64,
+    // Machines believed to have free container slots, as a swap-remove
+    // index set for O(1) uniform sampling. Entries can be stale after
+    // flight-driven max changes; `place_task` re-validates on pick.
+    free_set: Vec<u32>,
+    free_pos: Vec<u32>, // u32::MAX = not in set
+}
+
+impl<'a> Engine<'a> {
+    fn new(cfg: &'a SimConfig) -> Self {
+        let hours = cfg.duration_hours as usize;
+        let machines = cfg
+            .cluster
+            .machines
+            .iter()
+            .map(|m| MachState {
+                sku_idx: cfg
+                    .cluster
+                    .skus
+                    .iter()
+                    .position(|s| s.id == m.sku)
+                    .expect("machine SKU in catalog"),
+                running: 0,
+                queue: VecDeque::new(),
+                last_s: 0.0,
+                hours: vec![HourAcc::default(); hours],
+            })
+            .collect();
+        let n = cfg.cluster.machines.len();
+        Engine {
+            cfg,
+            rng: StdRng::seed_from_u64(cfg.seed),
+            now_s: 0.0,
+            end_s: cfg.duration_hours as f64 * 3600.0,
+            seq: 0,
+            events: BinaryHeap::new(),
+            machines,
+            tasks: Vec::new(),
+            task_free: Vec::new(),
+            jobs: Vec::new(),
+            job_free: Vec::new(),
+            out: SimOutput::default(),
+            tasks_created: 0,
+            tasks_completed: 0,
+            adhoc_seen: 0,
+            jobs_active: 0,
+            free_set: (0..n as u32).collect(),
+            free_pos: (0..n as u32).collect(),
+        }
+    }
+
+    fn free_add(&mut self, m: usize) {
+        if self.free_pos[m] == u32::MAX {
+            self.free_pos[m] = self.free_set.len() as u32;
+            self.free_set.push(m as u32);
+        }
+    }
+
+    fn free_remove(&mut self, m: usize) {
+        let pos = self.free_pos[m];
+        if pos == u32::MAX {
+            return;
+        }
+        let last = *self.free_set.last().expect("set non-empty if pos valid");
+        self.free_set.swap_remove(pos as usize);
+        if last != m as u32 {
+            self.free_pos[last as usize] = pos;
+        }
+        self.free_pos[m] = u32::MAX;
+    }
+
+    fn push_event(&mut self, time_s: f64, kind: EventKind) {
+        self.seq += 1;
+        self.events.push(Ev {
+            time_s,
+            seq: self.seq,
+            kind,
+        });
+    }
+
+    /// Sentinel job id marking closed-loop backlog tasks.
+    const BACKLOG_JOB: u32 = u32::MAX;
+
+    fn run(mut self) -> SimOutput {
+        self.seed_backlog();
+        self.schedule_arrivals();
+        while let Some(ev) = self.events.pop() {
+            if ev.time_s > self.end_s {
+                break;
+            }
+            self.now_s = ev.time_s;
+            match ev.kind {
+                EventKind::JobArrival { template } => self.on_job_arrival(template),
+                EventKind::PoissonCandidate { template } => self.on_poisson_candidate(template),
+                EventKind::TaskFinish { task } => self.on_task_finish(task),
+            }
+        }
+        self.flush()
+    }
+
+    // ------------------------------------------------------------------
+    // Backlog (closed-loop opportunistic work)
+    // ------------------------------------------------------------------
+
+    fn seed_backlog(&mut self) {
+        let Some(backlog) = self.cfg.workload.backlog else {
+            return;
+        };
+        for _ in 0..backlog.concurrent_tasks {
+            self.spawn_backlog_task(&backlog);
+        }
+    }
+
+    fn spawn_backlog_task(&mut self, backlog: &crate::workload::BacklogSpec) {
+        let base_cpu_s = lognormal_mean(&mut self.rng, backlog.mean_cpu_s, backlog.sigma);
+        let input_gb = lognormal_mean(&mut self.rng, backlog.mean_input_gb, 0.4);
+        let sampled = self.cfg.task_log_every > 0
+            && self.tasks_created.is_multiple_of(self.cfg.task_log_every as u64);
+        let task = TaskRun {
+            job: Self::BACKLOG_JOB,
+            base_cpu_s,
+            input_gb,
+            io_heavy: backlog.io_heavy,
+            task_type: backlog.task_type,
+            machine: u32::MAX,
+            queue_wait_s: 0.0,
+            duration_s: 0.0,
+            cpu_time_s: 0.0,
+            log_index: if sampled { u32::MAX - 1 } else { u32::MAX },
+        };
+        let task_idx = self.alloc_task(task);
+        self.tasks_created += 1;
+        self.place_task(task_idx);
+    }
+
+    fn alloc_task(&mut self, task: TaskRun) -> u32 {
+        match self.task_free.pop() {
+            Some(i) => {
+                self.tasks[i as usize] = task;
+                i
+            }
+            None => {
+                self.tasks.push(task);
+                (self.tasks.len() - 1) as u32
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Arrivals
+    // ------------------------------------------------------------------
+
+    fn schedule_arrivals(&mut self) {
+        let duration_h = self.cfg.duration_hours as f64;
+        for (idx, template) in self.cfg.workload.templates.iter().enumerate() {
+            match template.schedule {
+                Schedule::Recurring {
+                    period_hours,
+                    offset_hours,
+                } => {
+                    let mut t = offset_hours;
+                    while t < duration_h {
+                        self.push_event(t * 3600.0, EventKind::JobArrival { template: idx });
+                        t += period_hours;
+                    }
+                }
+                Schedule::Poisson { rate_per_hour } => {
+                    if rate_per_hour > 0.0 {
+                        let first = self.next_poisson_gap(rate_per_hour);
+                        self.push_event(first, EventKind::PoissonCandidate { template: idx });
+                    }
+                }
+            }
+        }
+    }
+
+    fn next_poisson_gap(&mut self, base_rate_per_hour: f64) -> f64 {
+        // Thinning: candidates at the max rate, accepted by the seasonal
+        // factor at the candidate's time.
+        let max_rate = base_rate_per_hour * self.cfg.workload.seasonality.max_factor();
+        self.now_s + exponential(&mut self.rng, max_rate / 3600.0)
+    }
+
+    fn on_poisson_candidate(&mut self, template: usize) {
+        let Schedule::Poisson { rate_per_hour } = self.cfg.workload.templates[template].schedule
+        else {
+            unreachable!("Poisson candidate for non-Poisson template");
+        };
+        // Chain the next candidate first.
+        let next = self.next_poisson_gap(rate_per_hour);
+        self.push_event(next, EventKind::PoissonCandidate { template });
+        // Accept-reject against the seasonal envelope.
+        let season = &self.cfg.workload.seasonality;
+        let accept_p = season.factor(self.now_s / 3600.0) / season.max_factor();
+        if self.rng.gen_range(0.0..1.0) < accept_p {
+            self.on_job_arrival(template);
+        }
+    }
+
+    fn on_job_arrival(&mut self, template: usize) {
+        let spec = &self.cfg.workload.templates[template];
+        let is_adhoc = matches!(spec.schedule, Schedule::Poisson { .. });
+        let logged = if is_adhoc {
+            self.adhoc_seen += 1;
+            self.cfg.adhoc_job_log_every > 0
+                && self.adhoc_seen.is_multiple_of(self.cfg.adhoc_job_log_every as u64)
+        } else {
+            true
+        };
+        let job = JobRun {
+            template,
+            arrival_s: self.now_s,
+            stage: 0,
+            remaining_in_stage: 0,
+            total_tasks: 0,
+            logged,
+            stage_max: (f64::NEG_INFINITY, 0, u32::MAX),
+        };
+        let job_idx = match self.job_free.pop() {
+            Some(i) => {
+                self.jobs[i as usize] = job;
+                i
+            }
+            None => {
+                self.jobs.push(job);
+                (self.jobs.len() - 1) as u32
+            }
+        };
+        self.jobs_active += 1;
+        self.release_stage(job_idx);
+    }
+
+    // ------------------------------------------------------------------
+    // Stages and tasks
+    // ------------------------------------------------------------------
+
+    fn release_stage(&mut self, job_idx: u32) {
+        let (template, stage_idx) = {
+            let job = &self.jobs[job_idx as usize];
+            (job.template, job.stage)
+        };
+        let stage = self.cfg.workload.templates[template].stages[stage_idx].clone();
+        {
+            let job = &mut self.jobs[job_idx as usize];
+            job.remaining_in_stage = stage.tasks;
+            job.total_tasks += stage.tasks;
+            job.stage_max = (f64::NEG_INFINITY, 0, u32::MAX);
+        }
+        for _ in 0..stage.tasks {
+            let base_cpu_s = lognormal_mean(&mut self.rng, stage.mean_cpu_s, stage.sigma);
+            let input_gb = lognormal_mean(&mut self.rng, stage.mean_input_gb, 0.4);
+            // Sampling into the task log is decided by creation order, so
+            // it is unbiased w.r.t. queueing and placement.
+            let sampled = self.cfg.task_log_every > 0
+                && self.tasks_created.is_multiple_of(self.cfg.task_log_every as u64);
+            let task = TaskRun {
+                job: job_idx,
+                base_cpu_s,
+                input_gb,
+                io_heavy: stage.io_heavy,
+                task_type: stage.task_type,
+                machine: u32::MAX,
+                queue_wait_s: 0.0,
+                duration_s: 0.0,
+                cpu_time_s: 0.0,
+                log_index: if sampled { u32::MAX - 1 } else { u32::MAX },
+            };
+            let task_idx = self.alloc_task(task);
+            self.tasks_created += 1;
+            self.place_task(task_idx);
+        }
+    }
+
+    /// The YARN-like placement policy: uniformly random over machines
+    /// with a free container slot — the monolithic resource manager knows
+    /// global capacity, and §3.2's Level-IV abstraction rests on exactly
+    /// this uniformity. When *no* machine has capacity ("all machines in
+    /// the cluster reach the maximum number of running containers", §5.3)
+    /// the task queues as a low-priority container on a uniformly random
+    /// machine.
+    fn place_task(&mut self, task_idx: u32) {
+        let hour = self.now_s / 3600.0;
+        while !self.free_set.is_empty() {
+            let pick = self.rng.gen_range(0..self.free_set.len());
+            let m = self.free_set[pick] as usize;
+            let sku_id = self.cfg.cluster.machines[m].sku;
+            let cfg = self
+                .cfg
+                .plan
+                .effective(MachineId(m as u32), sku_id, hour);
+            if self.machines[m].running < cfg.max_running_containers {
+                self.start_task(m, task_idx, 0.0);
+                if self.machines[m].running >= cfg.max_running_containers {
+                    self.free_remove(m);
+                }
+                return;
+            }
+            // Stale entry (flight lowered the max); evict and retry.
+            self.free_remove(m);
+        }
+        // Cluster fully busy: queue as a low-priority container. Respect
+        // per-machine queue caps (§5.3's tuning knob) by re-drawing a few
+        // times; if the whole sample is capped out, force-enqueue at the
+        // last draw — work is never dropped.
+        let n = self.machines.len();
+        let hour = self.now_s / 3600.0;
+        let mut target = self.rng.gen_range(0..n);
+        for _ in 0..10 {
+            let info = self.cfg.cluster.machines[target];
+            let cfg = self.cfg.plan.effective(info.id, info.sku, hour);
+            if (self.machines[target].queue.len() as u32) < cfg.max_queue_length {
+                break;
+            }
+            target = self.rng.gen_range(0..n);
+        }
+        self.advance(target, self.now_s);
+        self.machines[target].queue.push_back((task_idx, self.now_s));
+    }
+
+    fn start_task(&mut self, m: usize, task_idx: u32, queue_wait_s: f64) {
+        self.advance(m, self.now_s);
+        // `spec` is a reborrow of the run config, independent of `self`'s
+        // other fields — this keeps the borrows below disjoint.
+        let spec: &SimConfig = self.cfg;
+        let mach = &mut self.machines[m];
+        mach.running += 1;
+        let running = mach.running;
+        let sku = &spec.cluster.skus[mach.sku_idx];
+        let cfg = spec
+            .plan
+            .effective(MachineId(m as u32), sku.id, self.now_s / 3600.0);
+        let sc = crate::catalog::default_scs_static(cfg.sc);
+        // Interference reflects the machine state including this task.
+        let util = machine::cpu_utilization(sku, running);
+        let task = &mut self.tasks[task_idx as usize];
+        let st = machine::service_time(sku, sc, &cfg, task.base_cpu_s, task.io_heavy, util);
+        task.machine = m as u32;
+        task.queue_wait_s = queue_wait_s;
+        task.duration_s = st.duration_s;
+        task.cpu_time_s = st.cpu_time_s;
+        let duration_s = st.duration_s;
+        let hour = ((self.now_s / 3600.0) as usize).min(self.cfg.duration_hours as usize - 1);
+        let acc = &mut self.machines[m].hours[hour];
+        acc.latency_sum_s += duration_s;
+        acc.latency_count += 1;
+        let finish = self.now_s + duration_s;
+        self.push_event(finish, EventKind::TaskFinish { task: task_idx });
+    }
+
+    fn on_task_finish(&mut self, task_idx: u32) {
+        let task = self.tasks[task_idx as usize];
+        let m = task.machine as usize;
+        self.advance(m, self.now_s);
+        self.machines[m].running -= 1;
+        self.tasks_completed += 1;
+
+        // Attribute completion metrics to the hour of completion.
+        let hour = ((self.now_s / 3600.0) as usize).min(self.cfg.duration_hours as usize - 1);
+        let acc = &mut self.machines[m].hours[hour];
+        acc.tasks_finished += 1;
+        acc.data_read_gb += task.input_gb;
+        acc.exec_time_s += task.duration_s;
+        acc.cpu_time_s += task.cpu_time_s;
+
+        // Counters and sampled log.
+        let mach_info = self.cfg.cluster.machines[m];
+        let cfg = self
+            .cfg
+            .plan
+            .effective(mach_info.id, mach_info.sku, self.now_s / 3600.0);
+        self.out
+            .counters
+            .record(mach_info.sku, mach_info.rack, task.task_type);
+        let mut log_index = u32::MAX;
+        if task.log_index == u32::MAX - 1 {
+            log_index = self.out.tasks.len() as u32;
+            let template = if task.job == Self::BACKLOG_JOB {
+                usize::MAX
+            } else {
+                self.jobs[task.job as usize].template
+            };
+            self.out.tasks.push(TaskRecord {
+                template,
+                task_type: task.task_type,
+                machine: mach_info.id,
+                sku: mach_info.sku,
+                sc: cfg.sc,
+                rack: mach_info.rack,
+                end_hour: self.now_s / 3600.0,
+                duration_s: task.duration_s,
+                queue_wait_s: task.queue_wait_s,
+                on_critical_path: false,
+            });
+        }
+
+        // Backlog tasks skip job bookkeeping and immediately respawn —
+        // the closed loop that keeps opportunistic pressure constant.
+        if task.job == Self::BACKLOG_JOB {
+            self.task_free.push(task_idx);
+            let backlog = self
+                .cfg
+                .workload
+                .backlog
+                .expect("backlog task implies backlog spec");
+            self.spawn_backlog_task(&backlog);
+            self.serve_queue(m);
+            return;
+        }
+
+        // Job bookkeeping.
+        let job_idx = task.job;
+        let stage_done = {
+            let job = &mut self.jobs[job_idx as usize];
+            if self.now_s > job.stage_max.0 {
+                job.stage_max = (self.now_s, mach_info.sku.0, log_index);
+            }
+            job.remaining_in_stage -= 1;
+            job.remaining_in_stage == 0
+        };
+        if stage_done {
+            let (max_end, max_sku, max_log) = self.jobs[job_idx as usize].stage_max;
+            debug_assert!(max_end.is_finite());
+            self.out
+                .counters
+                .record_critical(kea_telemetry::SkuId(max_sku));
+            if max_log != u32::MAX {
+                self.out.tasks[max_log as usize].on_critical_path = true;
+            }
+            let n_stages =
+                self.cfg.workload.templates[self.jobs[job_idx as usize].template].stages.len();
+            let next_stage = self.jobs[job_idx as usize].stage + 1;
+            if next_stage < n_stages {
+                self.jobs[job_idx as usize].stage = next_stage;
+                self.release_stage(job_idx);
+            } else {
+                let job = self.jobs[job_idx as usize].clone();
+                if job.logged {
+                    let name = self.cfg.workload.templates[job.template].name.clone();
+                    self.out.jobs.push(JobRecord {
+                        template: job.template,
+                        template_name: name,
+                        arrival_hour: job.arrival_s / 3600.0,
+                        runtime_s: self.now_s - job.arrival_s,
+                        tasks: job.total_tasks,
+                    });
+                }
+                self.jobs_active -= 1;
+                self.job_free.push(job_idx);
+            }
+        }
+
+        // Recycle the task slot, then serve the machine's queue.
+        self.task_free.push(task_idx);
+        self.serve_queue(m);
+    }
+
+    fn serve_queue(&mut self, m: usize) {
+        loop {
+            let mach_info = self.cfg.cluster.machines[m];
+            let cfg = self
+                .cfg
+                .plan
+                .effective(mach_info.id, mach_info.sku, self.now_s / 3600.0);
+            if self.machines[m].queue.is_empty()
+                || self.machines[m].running >= cfg.max_running_containers
+            {
+                // Advertise remaining capacity to the global scheduler.
+                if self.machines[m].running < cfg.max_running_containers {
+                    self.free_add(m);
+                } else {
+                    self.free_remove(m);
+                }
+                return;
+            }
+            self.advance(m, self.now_s);
+            let (task_idx, enqueued_s) = self.machines[m]
+                .queue
+                .pop_front()
+                .expect("queue checked non-empty");
+            let wait = self.now_s - enqueued_s;
+            // Attribute the wait to the hour the container *enqueued*:
+            // that pairs each wait with the queue state that caused it
+            // (same reasoning as latency → start-hour attribution).
+            let hour =
+                ((enqueued_s / 3600.0) as usize).min(self.cfg.duration_hours as usize - 1);
+            self.machines[m].hours[hour].queue_waits_s.push(wait);
+            self.start_task(m, task_idx, wait);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Piecewise-constant integration of machine state into hour buckets
+    // ------------------------------------------------------------------
+
+    fn advance(&mut self, m: usize, to_s: f64) {
+        let mach = &mut self.machines[m];
+        if to_s <= mach.last_s {
+            return;
+        }
+        let sku = &self.cfg.cluster.skus[mach.sku_idx];
+        let mach_id = MachineId(m as u32);
+        let running = mach.running;
+        let queue_len = mach.queue.len() as f64;
+        let util = machine::cpu_utilization(sku, running);
+        let mut t = mach.last_s;
+        while t < to_s {
+            let hour = (t / 3600.0) as usize;
+            let hour_end = (hour as f64 + 1.0) * 3600.0;
+            let seg_end = hour_end.min(to_s);
+            let dt = seg_end - t;
+            if hour < mach.hours.len() {
+                // Config can change at hour granularity (flights), so the
+                // power path re-resolves per segment.
+                let cfg = self.cfg.plan.effective(mach_id, sku.id, t / 3600.0);
+                let sc = crate::catalog::default_scs_static(cfg.sc);
+                let power = machine::power_draw(sku, &cfg, util);
+                let res = machine::resource_usage(sku, sc, running);
+                let acc = &mut mach.hours[hour];
+                acc.container_seconds += running as f64 * dt;
+                acc.util_seconds += util * dt;
+                acc.power_joules += power * dt;
+                acc.cores_seconds += res.cores_used * dt;
+                acc.ram_seconds += res.ram_used_gb * dt;
+                acc.ssd_seconds += res.ssd_used_gb * dt;
+                acc.network_seconds += res.network_used_gbps * dt;
+                acc.queue_len_seconds += queue_len * dt;
+            }
+            t = seg_end;
+        }
+        mach.last_s = to_s;
+    }
+
+    // ------------------------------------------------------------------
+    // Final flush into telemetry records
+    // ------------------------------------------------------------------
+
+    fn flush(mut self) -> SimOutput {
+        let end = self.end_s;
+        for m in 0..self.machines.len() {
+            self.advance(m, end);
+        }
+        let mut noise_rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x5eed_7e1e);
+        for (m, mach) in self.machines.iter_mut().enumerate() {
+            let mach_info = self.cfg.cluster.machines[m];
+            let in_flight = mach.running as u64 + mach.queue.len() as u64;
+            self.out.tasks_in_flight_at_end += in_flight;
+            for (hour, acc) in mach.hours.iter_mut().enumerate() {
+                let cfg = self
+                    .cfg
+                    .plan
+                    .effective(mach_info.id, mach_info.sku, hour as f64);
+                let p99 = if acc.queue_waits_s.is_empty() {
+                    0.0
+                } else {
+                    acc.queue_waits_s
+                        .sort_by(|a, b| a.partial_cmp(b).expect("finite waits"));
+                    kea_stats_percentile(&acc.queue_waits_s, 99.0)
+                };
+                // Small measurement noise on resource gauges so the §6
+                // regressions see realistic residuals.
+                let gauge_noise = |rng: &mut StdRng| normal(rng, 1.0, 0.015).clamp(0.9, 1.1);
+                let metrics = MetricValues {
+                    total_data_read_gb: acc.data_read_gb,
+                    tasks_finished: acc.tasks_finished as f64,
+                    task_exec_time_s: acc.exec_time_s,
+                    cpu_time_s: acc.cpu_time_s,
+                    cpu_utilization: acc.util_seconds / 3600.0 * 100.0,
+                    avg_running_containers: acc.container_seconds / 3600.0,
+                    avg_task_latency_s: if acc.latency_count > 0 {
+                        acc.latency_sum_s / acc.latency_count as f64
+                    } else {
+                        0.0
+                    },
+                    queued_containers: acc.queue_len_seconds / 3600.0,
+                    queue_latency_p99_ms: p99 * 1000.0,
+                    power_draw_w: acc.power_joules / 3600.0,
+                    ssd_used_gb: acc.ssd_seconds / 3600.0 * gauge_noise(&mut noise_rng),
+                    ram_used_gb: acc.ram_seconds / 3600.0 * gauge_noise(&mut noise_rng),
+                    cores_used: acc.cores_seconds / 3600.0 * gauge_noise(&mut noise_rng),
+                    network_used_gbps: acc.network_seconds / 3600.0
+                        * gauge_noise(&mut noise_rng),
+                };
+                self.out.telemetry.push(MachineHourRecord {
+                    machine: mach_info.id,
+                    group: GroupKey::new(mach_info.sku, cfg.sc),
+                    hour: hour as u64,
+                    metrics,
+                });
+            }
+        }
+        self.out.jobs_in_flight_at_end = self.jobs_active;
+        debug_assert_eq!(
+            self.tasks_created,
+            self.tasks_completed + self.out.tasks_in_flight_at_end,
+            "task conservation"
+        );
+        self.out
+    }
+}
+
+/// Percentile of a pre-sorted slice (linear interpolation). Local copy to
+/// avoid a dev-only dependency cycle with `kea-stats`.
+fn kea_stats_percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterSpec;
+
+    fn quick_sim(hours: u64, seed: u64) -> SimOutput {
+        run(&SimConfig::baseline(ClusterSpec::tiny(), hours, seed))
+    }
+
+    #[test]
+    fn produces_full_telemetry_grid() {
+        let out = quick_sim(6, 1);
+        let spec = ClusterSpec::tiny();
+        assert_eq!(
+            out.telemetry.len(),
+            spec.n_machines() * 6,
+            "one record per machine per hour"
+        );
+        assert_eq!(out.telemetry.hour_span(), Some((0, 6)));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = quick_sim(4, 42);
+        let b = quick_sim(4, 42);
+        assert_eq!(a.telemetry.len(), b.telemetry.len());
+        assert_eq!(a.jobs.len(), b.jobs.len());
+        assert_eq!(a.counters.total, b.counters.total);
+        let pick = |o: &SimOutput| o.telemetry.iter().map(|r| r.metrics.cpu_utilization).sum::<f64>();
+        assert_eq!(pick(&a), pick(&b));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = quick_sim(4, 1);
+        let b = quick_sim(4, 2);
+        let pick = |o: &SimOutput| o.telemetry.iter().map(|r| r.metrics.cpu_utilization).sum::<f64>();
+        assert_ne!(pick(&a), pick(&b));
+    }
+
+    #[test]
+    fn utilization_in_target_band() {
+        // The workload is calibrated for ~75% occupancy; the fleet-wide
+        // mean CPU utilization should land in a broad band around the
+        // paper's >60% (warm-up drags the first hours down).
+        let out = quick_sim(24, 7);
+        let utils: Vec<f64> = out
+            .telemetry
+            .by_hours(4, 24)
+            .map(|r| r.metrics.cpu_utilization)
+            .collect();
+        let mean = utils.iter().sum::<f64>() / utils.len() as f64;
+        assert!(
+            (35.0..95.0).contains(&mean),
+            "fleet mean utilization {mean}%"
+        );
+    }
+
+    #[test]
+    fn jobs_complete_and_have_positive_runtimes() {
+        let out = quick_sim(24, 3);
+        assert!(!out.jobs.is_empty());
+        for job in &out.jobs {
+            assert!(job.runtime_s > 0.0);
+            assert!(job.tasks > 0);
+            assert!(job.arrival_hour >= 0.0);
+        }
+        // Recurring templates produce their scheduled counts (hourly
+        // ingest: ~23 completed instances in 24h).
+        let ingest = out.job_runtimes("ingest-hourly");
+        assert!(ingest.len() >= 15, "got {}", ingest.len());
+    }
+
+    #[test]
+    fn task_conservation() {
+        let out = quick_sim(8, 11);
+        // counters.total counts completed tasks; in-flight are the rest.
+        assert!(out.counters.total > 0);
+        assert!(out.tasks_in_flight_at_end < out.counters.total / 2);
+    }
+
+    #[test]
+    fn older_skus_run_hotter() {
+        // Figure 2's right panel: the manual baseline pushes old SKUs
+        // to higher utilization.
+        let out = quick_sim(24, 5);
+        let spec = ClusterSpec::tiny();
+        let util_of = |sku: u16| {
+            let recs: Vec<f64> = out
+                .telemetry
+                .iter()
+                .filter(|r| r.group.sku.0 == sku && r.hour >= 4)
+                .map(|r| r.metrics.cpu_utilization)
+                .collect();
+            recs.iter().sum::<f64>() / recs.len() as f64
+        };
+        let oldest = util_of(0);
+        let newest = util_of(spec.skus.len() as u16 - 1);
+        assert!(
+            oldest > newest + 5.0,
+            "Gen1.1 {oldest}% vs Gen4.1 {newest}%"
+        );
+    }
+
+    #[test]
+    fn tasks_on_old_skus_are_slower() {
+        // Figure 5's premise.
+        let out = quick_sim(24, 9);
+        let dur_of = |sku: u16| {
+            let d: Vec<f64> = out
+                .tasks
+                .iter()
+                .filter(|t| t.sku.0 == sku)
+                .map(|t| t.duration_s)
+                .collect();
+            assert!(!d.is_empty(), "no sampled tasks on sku {sku}");
+            d.iter().sum::<f64>() / d.len() as f64
+        };
+        assert!(dur_of(0) > dur_of(5) * 1.3);
+    }
+
+    #[test]
+    fn critical_path_skews_to_slow_machines() {
+        let out = quick_sim(24, 13);
+        let p_old = out
+            .counters
+            .critical_path_probability(kea_telemetry::SkuId(0))
+            .expect("tasks ran on Gen 1.1");
+        let p_new = out
+            .counters
+            .critical_path_probability(kea_telemetry::SkuId(5))
+            .expect("tasks ran on Gen 4.1");
+        assert!(
+            p_old > p_new,
+            "critical-path probability old {p_old} vs new {p_new}"
+        );
+    }
+
+    #[test]
+    fn task_types_spread_uniformly_across_skus() {
+        // Figure 6: the scheduler's uniform placement makes the type mix
+        // of each SKU resemble the global mix.
+        let out = quick_sim(24, 17);
+        let global: Vec<f64> = {
+            let shares: Vec<[f64; 4]> = (0..6)
+                .filter_map(|s| out.counters.type_shares_by_sku(kea_telemetry::SkuId(s)))
+                .collect();
+            assert_eq!(shares.len(), 6);
+            (0..4)
+                .map(|i| shares.iter().map(|s| s[i]).sum::<f64>() / shares.len() as f64)
+                .collect()
+        };
+        for s in 0..6u16 {
+            let shares = out
+                .counters
+                .type_shares_by_sku(kea_telemetry::SkuId(s))
+                .expect("tasks on every SKU");
+            for (share, g) in shares.iter().zip(&global) {
+                assert!(
+                    (share - g).abs() < 0.08,
+                    "sku {s}: share {share} vs global {g}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn power_draw_between_idle_and_peak() {
+        let out = quick_sim(6, 19);
+        let spec = ClusterSpec::tiny();
+        for rec in out.telemetry.iter() {
+            let sku = spec.sku(rec.group.sku);
+            assert!(
+                rec.metrics.power_draw_w >= sku.idle_power_w * 0.99,
+                "power below idle"
+            );
+            assert!(
+                rec.metrics.power_draw_w <= sku.peak_power_w * 1.01,
+                "power above peak"
+            );
+        }
+    }
+
+    #[test]
+    fn telemetry_values_are_sane() {
+        let out = quick_sim(6, 23);
+        for rec in out.telemetry.iter() {
+            let m = &rec.metrics;
+            assert!(m.is_finite());
+            assert!(m.cpu_utilization >= 0.0 && m.cpu_utilization <= 100.0);
+            assert!(m.avg_running_containers >= 0.0);
+            assert!(m.tasks_finished >= 0.0);
+            assert!(m.queued_containers >= 0.0);
+            assert!(m.ssd_used_gb >= 0.0 && m.ram_used_gb >= 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duration")]
+    fn zero_duration_panics() {
+        run(&SimConfig::baseline(ClusterSpec::tiny(), 0, 1));
+    }
+}

@@ -1,0 +1,113 @@
+//! Distribution samplers on top of `rand`'s uniform generator.
+//!
+//! The allowed dependency set includes `rand` but not `rand_distr`, so the
+//! simulator carries its own normal (Box–Muller), lognormal, and
+//! exponential samplers. All take `&mut impl Rng`, keeping every draw
+//! attributable to the run's seed.
+
+use rand::Rng;
+
+/// Standard normal draw via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling the half-open interval away from zero.
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Normal draw with the given mean and standard deviation.
+///
+/// # Panics
+/// Debug-asserts `sd >= 0`.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64) -> f64 {
+    debug_assert!(sd >= 0.0, "sd must be non-negative");
+    mean + sd * standard_normal(rng)
+}
+
+/// Lognormal draw parameterized by the *mean of the resulting
+/// distribution* and the shape `sigma` (the sd of the underlying normal).
+/// This parameterization is what workload specs want: "tasks average 300
+/// CPU-seconds with sigma 0.5".
+///
+/// # Panics
+/// Debug-asserts `mean > 0` and `sigma >= 0`.
+pub fn lognormal_mean<R: Rng + ?Sized>(rng: &mut R, mean: f64, sigma: f64) -> f64 {
+    debug_assert!(mean > 0.0, "lognormal mean must be positive");
+    debug_assert!(sigma >= 0.0, "sigma must be non-negative");
+    // If X ~ LogNormal(mu, sigma), E[X] = exp(mu + sigma²/2); solve for mu.
+    let mu = mean.ln() - sigma * sigma / 2.0;
+    (mu + sigma * standard_normal(rng)).exp()
+}
+
+/// Exponential draw with the given rate (events per unit time).
+///
+/// # Panics
+/// Debug-asserts `rate > 0`.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    debug_assert!(rate > 0.0, "rate must be positive");
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() / rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample<F: FnMut(&mut StdRng) -> f64>(n: usize, mut f: F) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(123);
+        (0..n).map(|_| f(&mut rng)).collect()
+    }
+
+    fn mean(v: &[f64]) -> f64 {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let s = sample(200_000, standard_normal);
+        let m = mean(&s);
+        let var = s.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / s.len() as f64;
+        assert!(m.abs() < 0.01, "mean {m}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn normal_shifts_and_scales() {
+        let s = sample(100_000, |r| normal(r, 50.0, 5.0));
+        assert!((mean(&s) - 50.0).abs() < 0.1);
+        let sd = (s.iter().map(|x| (x - 50.0) * (x - 50.0)).sum::<f64>() / s.len() as f64).sqrt();
+        assert!((sd - 5.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn lognormal_mean_parameterization_is_exact() {
+        let s = sample(300_000, |r| lognormal_mean(r, 300.0, 0.5));
+        // Mean must match the requested mean, not exp(mu).
+        assert!((mean(&s) - 300.0).abs() < 3.0, "mean {}", mean(&s));
+        assert!(s.iter().all(|v| *v > 0.0));
+    }
+
+    #[test]
+    fn lognormal_zero_sigma_is_deterministic() {
+        let s = sample(100, |r| lognormal_mean(r, 42.0, 0.0));
+        for v in s {
+            assert!((v - 42.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn exponential_mean_is_inverse_rate() {
+        let s = sample(200_000, |r| exponential(r, 0.25));
+        assert!((mean(&s) - 4.0).abs() < 0.05, "mean {}", mean(&s));
+        assert!(s.iter().all(|v| *v >= 0.0));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = sample(10, standard_normal);
+        let b = sample(10, standard_normal);
+        assert_eq!(a, b);
+    }
+}

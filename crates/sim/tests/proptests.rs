@@ -1,0 +1,98 @@
+//! Property-based tests for the simulator's pure model functions.
+
+use kea_sim::catalog::{default_scs, default_skus};
+use kea_sim::config::MachineConfig;
+use kea_sim::machine::{
+    cpu_utilization, power_draw, resource_usage, service_time, throttle_multiplier,
+};
+use kea_sim::workload::Seasonality;
+use kea_sim::SC1;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn utilization_is_monotone_and_bounded(sku_idx in 0usize..6, c1 in 0u32..200, c2 in 0u32..200) {
+        let sku = &default_skus(1)[sku_idx];
+        let (lo, hi) = if c1 <= c2 { (c1, c2) } else { (c2, c1) };
+        let u_lo = cpu_utilization(sku, lo);
+        let u_hi = cpu_utilization(sku, hi);
+        prop_assert!(u_lo <= u_hi + 1e-12);
+        prop_assert!((0.0..=1.0).contains(&u_lo) && (0.0..=1.0).contains(&u_hi));
+    }
+
+    #[test]
+    fn power_respects_cap_and_bounds(
+        sku_idx in 0usize..6,
+        util in 0.0..1.0f64,
+        cap in 0.0..0.5f64,
+        feature in any::<bool>(),
+    ) {
+        let sku = &default_skus(1)[sku_idx];
+        let cfg = MachineConfig {
+            max_running_containers: 10,
+            power_cap_fraction: cap,
+            feature_on: feature,
+            sc: SC1,
+            max_queue_length: u32::MAX,
+        };
+        let p = power_draw(sku, &cfg, util);
+        prop_assert!(p <= sku.peak_power_w + 1e-9, "above physical peak");
+        prop_assert!(p >= sku.idle_power_w * 0.9, "below plausible idle");
+        if cap > 0.0 {
+            prop_assert!(p <= sku.provisioned_power_w * (1.0 - cap) + 1e-9, "cap violated");
+        }
+        // Throttle only ever slows down.
+        prop_assert!(throttle_multiplier(sku, &cfg, util) >= 1.0);
+    }
+
+    #[test]
+    fn service_time_is_monotone_in_work_and_interference(
+        sku_idx in 0usize..6,
+        base in 1.0..2000.0f64,
+        util in 0.0..1.0f64,
+        io_heavy in any::<bool>(),
+    ) {
+        let sku = &default_skus(1)[sku_idx];
+        let scs = default_scs();
+        let cfg = MachineConfig {
+            max_running_containers: 10,
+            power_cap_fraction: 0.0,
+            feature_on: false,
+            sc: SC1,
+            max_queue_length: u32::MAX,
+        };
+        let st = service_time(sku, &scs[0], &cfg, base, io_heavy, util);
+        prop_assert!(st.duration_s >= st.cpu_time_s * 0.9, "wall time below CPU time");
+        prop_assert!(st.duration_s.is_finite() && st.duration_s > 0.0);
+        // More work → longer; more interference → longer.
+        let st_more = service_time(sku, &scs[0], &cfg, base * 2.0, io_heavy, util);
+        prop_assert!(st_more.duration_s > st.duration_s);
+        let st_busy = service_time(sku, &scs[0], &cfg, base, io_heavy, (util + 0.3).min(1.0));
+        prop_assert!(st_busy.duration_s >= st.duration_s - 1e-9);
+    }
+
+    #[test]
+    fn resources_stay_within_installed_capacity(sku_idx in 0usize..6, c in 0u32..500, sc_idx in 0usize..2) {
+        let sku = &default_skus(1)[sku_idx];
+        let scs = default_scs();
+        let r = resource_usage(sku, &scs[sc_idx], c);
+        prop_assert!(r.ram_used_gb <= sku.ram_gb + 1e-9);
+        prop_assert!(r.ssd_used_gb <= sku.ssd_gb + 1e-9);
+        prop_assert!(r.cores_used <= sku.cores as f64 + 1e-9);
+        prop_assert!(r.network_used_gbps <= sku.nic_gbps + 1e-9);
+        prop_assert!(
+            r.ram_used_gb >= 0.0
+                && r.ssd_used_gb >= 0.0
+                && r.cores_used >= 0.0
+                && r.network_used_gbps >= 0.0
+        );
+    }
+
+    #[test]
+    fn seasonality_is_positive_and_bounded(hour in 0.0..2000.0f64) {
+        let s = Seasonality::default();
+        let f = s.factor(hour);
+        prop_assert!(f > 0.0);
+        prop_assert!(f <= s.max_factor() + 1e-12);
+    }
+}

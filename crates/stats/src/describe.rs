@@ -1,0 +1,365 @@
+//! Descriptive statistics over machine-level telemetry samples.
+//!
+//! KEA's Performance Monitor aggregates raw per-machine observations into
+//! hourly and daily summaries (Table 2 of the paper). The routines here are
+//! the numerical core of that aggregation: numerically stable means and
+//! variances (Welford), interpolated percentiles (used for the p99 queueing
+//! latency of Fig 12 and the high-load sensitivity run of Fig 10), and a
+//! five-number [`Summary`].
+
+use crate::error::{check_finite, StatsError};
+
+/// Arithmetic mean of a sample.
+///
+/// # Errors
+/// Returns [`StatsError::EmptyInput`] on an empty slice and
+/// [`StatsError::NonFiniteInput`] if the sample contains NaN/inf.
+pub fn mean(data: &[f64]) -> Result<f64, StatsError> {
+    if data.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    check_finite(data)?;
+    Ok(data.iter().sum::<f64>() / data.len() as f64)
+}
+
+/// Unbiased (n−1) sample variance, computed with Welford's algorithm for
+/// numerical stability on long telemetry streams.
+///
+/// # Errors
+/// Requires at least two observations.
+pub fn variance(data: &[f64]) -> Result<f64, StatsError> {
+    if data.len() < 2 {
+        return Err(StatsError::InsufficientData {
+            required: 2,
+            actual: data.len(),
+        });
+    }
+    check_finite(data)?;
+    let mut acc = Welford::new();
+    for &v in data {
+        acc.push(v);
+    }
+    Ok(acc.sample_variance())
+}
+
+/// Unbiased sample standard deviation. See [`variance`].
+pub fn stddev(data: &[f64]) -> Result<f64, StatsError> {
+    variance(data).map(f64::sqrt)
+}
+
+/// Median of a sample (linear-interpolation percentile at 50).
+pub fn median(data: &[f64]) -> Result<f64, StatsError> {
+    percentile(data, 50.0)
+}
+
+/// Percentile with linear interpolation between closest ranks
+/// (the "exclusive" definition used by most telemetry systems).
+///
+/// `p` is in percent: `percentile(data, 99.0)` is the p99.
+///
+/// # Errors
+/// `p` must lie in `[0, 100]` and the sample must be non-empty and finite.
+pub fn percentile(data: &[f64], p: f64) -> Result<f64, StatsError> {
+    if data.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    if !(0.0..=100.0).contains(&p) {
+        return Err(StatsError::InvalidParameter("percentile must be in [0, 100]"));
+    }
+    check_finite(data)?;
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values always compare"));
+    Ok(percentile_of_sorted(&sorted, p))
+}
+
+/// Percentile of an already-sorted slice. Callers computing many percentiles
+/// over the same sample should sort once and use this directly.
+///
+/// # Panics
+/// Debug-asserts that the slice is non-empty; an empty slice returns NaN in
+/// release builds, so prefer [`percentile`] for untrusted input.
+pub fn percentile_of_sorted(sorted: &[f64], p: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Welford's online algorithm for streaming mean/variance.
+///
+/// The Performance Monitor computes hourly machine aggregates in one pass
+/// over the event stream, so a streaming accumulator avoids buffering raw
+/// samples.
+#[derive(Debug, Clone, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations pushed so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean; 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance; 0.0 with fewer than two observations.
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Population variance; 0.0 when empty.
+    pub fn population_variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Merges another accumulator into this one (parallel aggregation).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n_total = self.n + other.n;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.n as f64 / n_total as f64;
+        self.m2 += other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n_total as f64;
+        self.n = n_total;
+    }
+}
+
+/// Five-number-plus summary of a sample, the unit of KEA's daily
+/// machine-group aggregation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Unbiased standard deviation (0.0 for singleton samples).
+    pub stddev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// 99th percentile (reported for queueing latency in Fig 12).
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes a summary of `data`.
+    ///
+    /// # Errors
+    /// Fails on empty or non-finite input.
+    pub fn of(data: &[f64]) -> Result<Self, StatsError> {
+        if data.is_empty() {
+            return Err(StatsError::EmptyInput);
+        }
+        check_finite(data)?;
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values always compare"));
+        let mut acc = Welford::new();
+        for &v in data {
+            acc.push(v);
+        }
+        Ok(Summary {
+            count: data.len(),
+            mean: acc.mean(),
+            stddev: acc.sample_variance().sqrt(),
+            min: sorted[0],
+            p25: percentile_of_sorted(&sorted, 25.0),
+            median: percentile_of_sorted(&sorted, 50.0),
+            p75: percentile_of_sorted(&sorted, 75.0),
+            p99: percentile_of_sorted(&sorted, 99.0),
+            max: *sorted.last().expect("non-empty"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_simple_sample() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn mean_rejects_empty() {
+        assert_eq!(mean(&[]), Err(StatsError::EmptyInput));
+    }
+
+    #[test]
+    fn mean_rejects_nan() {
+        assert_eq!(mean(&[1.0, f64::NAN]), Err(StatsError::NonFiniteInput));
+    }
+
+    #[test]
+    fn variance_matches_hand_computation() {
+        // var([2,4,4,4,5,5,7,9]) = 4.571428... (sample, n-1)
+        let v = variance(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((v - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_needs_two_points() {
+        assert_eq!(
+            variance(&[1.0]),
+            Err(StatsError::InsufficientData {
+                required: 2,
+                actual: 1
+            })
+        );
+    }
+
+    #[test]
+    fn stddev_is_sqrt_of_variance() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert!((stddev(&data).unwrap().powi(2) - variance(&data).unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]).unwrap(), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn percentile_endpoints() {
+        let data = [10.0, 20.0, 30.0];
+        assert_eq!(percentile(&data, 0.0).unwrap(), 10.0);
+        assert_eq!(percentile(&data, 100.0).unwrap(), 30.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let data = [0.0, 10.0];
+        assert!((percentile(&data, 25.0).unwrap() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_out_of_range() {
+        assert!(matches!(
+            percentile(&[1.0], 101.0),
+            Err(StatsError::InvalidParameter(_))
+        ));
+        assert!(matches!(
+            percentile(&[1.0], -0.5),
+            Err(StatsError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn welford_matches_batch_variance() {
+        let data = [1.5, -2.0, 3.25, 0.0, 7.5, 4.0];
+        let mut acc = Welford::new();
+        for &v in &data {
+            acc.push(v);
+        }
+        assert!((acc.mean() - mean(&data).unwrap()).abs() < 1e-12);
+        assert!((acc.sample_variance() - variance(&data).unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_merge_equals_single_stream() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 20.0, 30.0, 40.0];
+        let mut left = Welford::new();
+        for &v in &a {
+            left.push(v);
+        }
+        let mut right = Welford::new();
+        for &v in &b {
+            right.push(v);
+        }
+        left.merge(&right);
+
+        let mut whole = Welford::new();
+        for &v in a.iter().chain(&b) {
+            whole.push(v);
+        }
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-12);
+        assert!((left.sample_variance() - whole.sample_variance()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_merge_with_empty_sides() {
+        let mut empty = Welford::new();
+        let mut full = Welford::new();
+        full.push(5.0);
+        full.push(7.0);
+        empty.merge(&full);
+        assert_eq!(empty.count(), 2);
+        assert!((empty.mean() - 6.0).abs() < 1e-12);
+        let snapshot = empty.clone();
+        empty.merge(&Welford::new());
+        assert!((empty.mean() - snapshot.mean()).abs() < 1e-12);
+        assert_eq!(empty.count(), snapshot.count());
+    }
+
+    #[test]
+    fn summary_fields_consistent() {
+        let data: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = Summary::of(&data).unwrap();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.mean - 50.5).abs() < 1e-12);
+        assert!((s.median - 50.5).abs() < 1e-12);
+        assert!(s.p25 < s.median && s.median < s.p75 && s.p75 < s.p99);
+    }
+
+    #[test]
+    fn summary_singleton() {
+        let s = Summary::of(&[42.0]).unwrap();
+        assert_eq!(s.min, 42.0);
+        assert_eq!(s.max, 42.0);
+        assert_eq!(s.median, 42.0);
+        assert_eq!(s.stddev, 0.0);
+    }
+}

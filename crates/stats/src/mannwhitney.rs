@@ -1,0 +1,198 @@
+//! Mann-Whitney U test (Wilcoxon rank-sum).
+//!
+//! Machine-hour metrics such as queueing latency are heavily skewed, so the
+//! Experiment Module cross-checks t-test conclusions with this
+//! non-parametric test. We use the normal approximation with tie correction
+//! and continuity correction, which is accurate for the sample sizes KEA
+//! works with (hundreds of machines × hours).
+
+use crate::dist::Normal;
+use crate::error::{check_finite, StatsError};
+use crate::ttest::Alternative;
+
+/// Result of a Mann-Whitney U test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MannWhitneyResult {
+    /// The U statistic for the first sample.
+    pub u: f64,
+    /// Standardized z statistic (normal approximation, continuity-corrected).
+    pub z: f64,
+    /// p-value under the chosen alternative.
+    pub p_value: f64,
+    /// Which alternative hypothesis was tested.
+    pub alternative: Alternative,
+}
+
+impl MannWhitneyResult {
+    /// Convenience: is the result significant at level `alpha`?
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Mann-Whitney U test of whether samples `a` and `b` come from the same
+/// distribution, using mid-ranks for ties and a tie-corrected normal
+/// approximation.
+///
+/// # Errors
+/// Both samples must be non-empty and finite; the normal approximation
+/// requires the tie-corrected variance to be non-zero (i.e. not all values
+/// identical).
+pub fn mann_whitney_u(
+    a: &[f64],
+    b: &[f64],
+    alt: Alternative,
+) -> Result<MannWhitneyResult, StatsError> {
+    if a.is_empty() || b.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    check_finite(a)?;
+    check_finite(b)?;
+
+    let na = a.len() as f64;
+    let nb = b.len() as f64;
+    let n = a.len() + b.len();
+
+    // Pool, remember origin, sort, assign mid-ranks.
+    let mut pooled: Vec<(f64, bool)> = a
+        .iter()
+        .map(|&v| (v, true))
+        .chain(b.iter().map(|&v| (v, false)))
+        .collect();
+    pooled.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("finite values always compare"));
+
+    let mut rank_sum_a = 0.0;
+    let mut tie_term = 0.0; // Σ (t³ − t) over tie groups.
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && pooled[j + 1].0 == pooled[i].0 {
+            j += 1;
+        }
+        let group = (j - i + 1) as f64;
+        // Mid-rank of positions i..=j (1-based ranks).
+        let mid_rank = (i + 1 + j + 1) as f64 / 2.0;
+        for item in &pooled[i..=j] {
+            if item.1 {
+                rank_sum_a += mid_rank;
+            }
+        }
+        if group > 1.0 {
+            tie_term += group * group * group - group;
+        }
+        i = j + 1;
+    }
+
+    let u_a = rank_sum_a - na * (na + 1.0) / 2.0;
+    let mean_u = na * nb / 2.0;
+    let n_f = n as f64;
+    let var_u = na * nb / 12.0 * ((n_f + 1.0) - tie_term / (n_f * (n_f - 1.0)));
+    if var_u <= 0.0 {
+        return Err(StatsError::ZeroVariance);
+    }
+    let sd = var_u.sqrt();
+
+    // Continuity correction toward the mean.
+    let cc = |x: f64| {
+        if x > mean_u {
+            x - 0.5
+        } else if x < mean_u {
+            x + 0.5
+        } else {
+            x
+        }
+    };
+    let z = (cc(u_a) - mean_u) / sd;
+    let norm = Normal::standard();
+    let p_value = match alt {
+        Alternative::TwoSided => 2.0 * norm.sf(z.abs()),
+        Alternative::Greater => norm.sf(z),
+        Alternative::Less => norm.cdf(z),
+    };
+    Ok(MannWhitneyResult {
+        u: u_a,
+        z,
+        p_value: p_value.min(1.0),
+        alternative: alt,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clearly_separated_samples_are_significant() {
+        let a: Vec<f64> = (0..30).map(|i| 100.0 + i as f64).collect();
+        let b: Vec<f64> = (0..30).map(|i| 10.0 + i as f64).collect();
+        let res = mann_whitney_u(&a, &b, Alternative::TwoSided).unwrap();
+        // a stochastically dominates b: U should be maximal (na*nb).
+        assert_eq!(res.u, 900.0);
+        assert!(res.significant_at(0.001));
+    }
+
+    #[test]
+    fn identical_distributions_not_significant() {
+        let a: Vec<f64> = (0..50).map(|i| (i % 10) as f64).collect();
+        let res = mann_whitney_u(&a, &a, Alternative::TwoSided).unwrap();
+        assert!(res.z.abs() < 0.5);
+        assert!(!res.significant_at(0.05));
+    }
+
+    #[test]
+    fn u_statistics_sum_to_product() {
+        let a = [3.0, 1.0, 7.0, 9.0];
+        let b = [2.0, 8.0, 4.0];
+        let u_a = mann_whitney_u(&a, &b, Alternative::TwoSided).unwrap().u;
+        let u_b = mann_whitney_u(&b, &a, Alternative::TwoSided).unwrap().u;
+        assert_eq!(u_a + u_b, (a.len() * b.len()) as f64);
+    }
+
+    #[test]
+    fn hand_computed_small_example() {
+        // a = [1, 2], b = [3, 4]: every b beats every a → U_a = 0.
+        let res = mann_whitney_u(&[1.0, 2.0], &[3.0, 4.0], Alternative::TwoSided).unwrap();
+        assert_eq!(res.u, 0.0);
+        // a = [3, 4], b = [1, 2] → U_a = 4 = na*nb.
+        let res = mann_whitney_u(&[3.0, 4.0], &[1.0, 2.0], Alternative::TwoSided).unwrap();
+        assert_eq!(res.u, 4.0);
+    }
+
+    #[test]
+    fn ties_use_mid_ranks() {
+        // a = [1, 2], b = [2, 3]. Ranks: 1, (2.5, 2.5), 4.
+        // rank_sum_a = 1 + 2.5 = 3.5 → U_a = 3.5 − 3 = 0.5.
+        let res = mann_whitney_u(&[1.0, 2.0], &[2.0, 3.0], Alternative::TwoSided).unwrap();
+        assert_eq!(res.u, 0.5);
+    }
+
+    #[test]
+    fn all_identical_values_rejected() {
+        let flat = [2.0, 2.0, 2.0];
+        assert_eq!(
+            mann_whitney_u(&flat, &flat, Alternative::TwoSided),
+            Err(StatsError::ZeroVariance)
+        );
+    }
+
+    #[test]
+    fn empty_inputs_rejected() {
+        assert_eq!(
+            mann_whitney_u(&[], &[1.0], Alternative::TwoSided),
+            Err(StatsError::EmptyInput)
+        );
+        assert_eq!(
+            mann_whitney_u(&[1.0], &[], Alternative::TwoSided),
+            Err(StatsError::EmptyInput)
+        );
+    }
+
+    #[test]
+    fn one_sided_alternatives_are_complementary_ish() {
+        let a: Vec<f64> = (0..20).map(|i| 5.0 + i as f64 * 0.1).collect();
+        let b: Vec<f64> = (0..20).map(|i| 4.0 + i as f64 * 0.1).collect();
+        let greater = mann_whitney_u(&a, &b, Alternative::Greater).unwrap();
+        let less = mann_whitney_u(&a, &b, Alternative::Less).unwrap();
+        assert!(greater.p_value < less.p_value);
+    }
+}

@@ -1,0 +1,286 @@
+//! Student's t-tests.
+//!
+//! KEA validates every flighting round and production roll-out with t-tests
+//! (§5.2.2 reports t = 4.45 and 7.13 for the YARN roll-out; Table 4 reports
+//! t = 40.4 and 27.1 for SC1 vs SC2). We implement the one-sample test, the
+//! classical pooled two-sample test, and Welch's unequal-variance test; the
+//! Experiment Module defaults to Welch because machine groups with different
+//! SKUs rarely share a variance.
+
+use crate::describe::Welford;
+use crate::dist::StudentsT;
+use crate::error::{check_finite, StatsError};
+
+/// Sidedness of a hypothesis test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Alternative {
+    /// H1: the means differ (default in the paper's analyses).
+    TwoSided,
+    /// H1: mean of the first sample (or the sample vs μ0) is greater.
+    Greater,
+    /// H1: mean of the first sample is less.
+    Less,
+}
+
+/// Result of a t-test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TTestResult {
+    /// The t statistic.
+    pub t: f64,
+    /// Degrees of freedom (possibly fractional for Welch).
+    pub df: f64,
+    /// p-value under the chosen [`Alternative`].
+    pub p_value: f64,
+    /// Difference in means: `mean(a) − mean(b)` (or `mean − μ0`).
+    pub mean_diff: f64,
+    /// Standard error of the mean difference.
+    pub std_err: f64,
+    /// Which alternative hypothesis was tested.
+    pub alternative: Alternative,
+}
+
+impl TTestResult {
+    /// Convenience: is the result significant at level `alpha`?
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+
+    /// Confidence interval for the mean difference at level `1 − alpha`
+    /// (two-sided, regardless of the test's alternative).
+    ///
+    /// # Errors
+    /// `alpha` must be in `(0, 1)`.
+    pub fn confidence_interval(&self, alpha: f64) -> Result<(f64, f64), StatsError> {
+        if !(alpha > 0.0 && alpha < 1.0) {
+            return Err(StatsError::InvalidParameter("alpha must be in (0, 1)"));
+        }
+        let dist = StudentsT::new(self.df)?;
+        // Invert the CDF by bisection: accurate enough for reporting and
+        // avoids implementing an inverse incomplete beta.
+        let target = 1.0 - alpha / 2.0;
+        let (mut lo, mut hi) = (0.0, 1e6);
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if dist.cdf(mid) < target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let crit = 0.5 * (lo + hi);
+        Ok((
+            self.mean_diff - crit * self.std_err,
+            self.mean_diff + crit * self.std_err,
+        ))
+    }
+}
+
+fn finish(t: f64, df: f64, mean_diff: f64, std_err: f64, alt: Alternative) -> TTestResult {
+    let dist = StudentsT::new(df).expect("df validated by callers");
+    let p_value = match alt {
+        Alternative::TwoSided => dist.p_two_sided(t),
+        Alternative::Greater => dist.sf(t),
+        Alternative::Less => dist.cdf(t),
+    };
+    TTestResult {
+        t,
+        df,
+        p_value,
+        mean_diff,
+        std_err,
+        alternative: alt,
+    }
+}
+
+fn moments(data: &[f64]) -> Result<(f64, f64, f64), StatsError> {
+    if data.len() < 2 {
+        return Err(StatsError::InsufficientData {
+            required: 2,
+            actual: data.len(),
+        });
+    }
+    check_finite(data)?;
+    let mut acc = Welford::new();
+    for &v in data {
+        acc.push(v);
+    }
+    Ok((acc.mean(), acc.sample_variance(), data.len() as f64))
+}
+
+/// One-sample t-test of `H0: mean(data) == mu0`.
+///
+/// # Errors
+/// Needs at least two finite observations with non-zero variance.
+pub fn t_test_one_sample(
+    data: &[f64],
+    mu0: f64,
+    alt: Alternative,
+) -> Result<TTestResult, StatsError> {
+    let (m, var, n) = moments(data)?;
+    if var == 0.0 {
+        return Err(StatsError::ZeroVariance);
+    }
+    let std_err = (var / n).sqrt();
+    let t = (m - mu0) / std_err;
+    Ok(finish(t, n - 1.0, m - mu0, std_err, alt))
+}
+
+/// Classical pooled two-sample t-test (assumes equal variances).
+///
+/// # Errors
+/// Each sample needs at least two finite observations, and the pooled
+/// variance must be non-zero.
+pub fn t_test_pooled(a: &[f64], b: &[f64], alt: Alternative) -> Result<TTestResult, StatsError> {
+    let (ma, va, na) = moments(a)?;
+    let (mb, vb, nb) = moments(b)?;
+    let df = na + nb - 2.0;
+    let pooled = ((na - 1.0) * va + (nb - 1.0) * vb) / df;
+    if pooled == 0.0 {
+        return Err(StatsError::ZeroVariance);
+    }
+    let std_err = (pooled * (1.0 / na + 1.0 / nb)).sqrt();
+    let t = (ma - mb) / std_err;
+    Ok(finish(t, df, ma - mb, std_err, alt))
+}
+
+/// Welch's unequal-variance two-sample t-test with the
+/// Welch–Satterthwaite degrees of freedom. This is the default test used by
+/// KEA's Experiment Module.
+///
+/// # Errors
+/// Each sample needs at least two finite observations, and at least one
+/// sample must have non-zero variance.
+pub fn t_test_welch(a: &[f64], b: &[f64], alt: Alternative) -> Result<TTestResult, StatsError> {
+    let (ma, va, na) = moments(a)?;
+    let (mb, vb, nb) = moments(b)?;
+    let se2a = va / na;
+    let se2b = vb / nb;
+    let se2 = se2a + se2b;
+    if se2 == 0.0 {
+        return Err(StatsError::ZeroVariance);
+    }
+    let std_err = se2.sqrt();
+    let t = (ma - mb) / std_err;
+    let df = se2 * se2 / (se2a * se2a / (na - 1.0) + se2b * se2b / (nb - 1.0));
+    Ok(finish(t, df, ma - mb, std_err, alt))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: [f64; 10] = [30.02, 29.99, 30.11, 29.97, 30.01, 29.99, 30.05, 30.10, 29.95, 30.03];
+    const B: [f64; 10] = [29.89, 29.93, 29.72, 29.98, 30.02, 29.98, 29.87, 29.90, 29.95, 29.97];
+
+    #[test]
+    fn welch_matches_reference() {
+        // Reference values computed independently (Welch formulas + numeric
+        // t-distribution integration): t = 3.20729, df = 15.023, p = 0.005866.
+        let res = t_test_welch(&A, &B, Alternative::TwoSided).unwrap();
+        assert!((res.t - 3.20729).abs() < 1e-4, "t = {}", res.t);
+        assert!((res.df - 15.023).abs() < 0.01, "df = {}", res.df);
+        assert!((res.p_value - 0.005866).abs() < 1e-5, "p = {}", res.p_value);
+        assert!(res.significant_at(0.05));
+    }
+
+    #[test]
+    fn pooled_matches_reference() {
+        // Equal sample sizes make the pooled t equal to the Welch t;
+        // df = 18, p = 0.0048836.
+        let res = t_test_pooled(&A, &B, Alternative::TwoSided).unwrap();
+        assert!((res.t - 3.20729).abs() < 1e-4);
+        assert_eq!(res.df, 18.0);
+        assert!((res.p_value - 0.0048836).abs() < 1e-5);
+    }
+
+    #[test]
+    fn one_sample_reference() {
+        // t = 1.32638, df = 9, p = 0.217384.
+        let res = t_test_one_sample(&A, 30.0, Alternative::TwoSided).unwrap();
+        assert!((res.t - 1.32638).abs() < 1e-4, "t = {}", res.t);
+        assert!((res.p_value - 0.217384).abs() < 1e-5);
+        assert_eq!(res.df, 9.0);
+    }
+
+    #[test]
+    fn identical_samples_give_t_zero() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let res = t_test_welch(&x, &x, Alternative::TwoSided).unwrap();
+        assert!(res.t.abs() < 1e-12);
+        assert!((res.p_value - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn one_sided_p_is_half_of_two_sided_for_positive_t() {
+        let two = t_test_welch(&A, &B, Alternative::TwoSided).unwrap();
+        let greater = t_test_welch(&A, &B, Alternative::Greater).unwrap();
+        let less = t_test_welch(&A, &B, Alternative::Less).unwrap();
+        assert!((greater.p_value - two.p_value / 2.0).abs() < 1e-9);
+        assert!((greater.p_value + less.p_value - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn swapping_samples_flips_sign() {
+        let ab = t_test_welch(&A, &B, Alternative::TwoSided).unwrap();
+        let ba = t_test_welch(&B, &A, Alternative::TwoSided).unwrap();
+        assert!((ab.t + ba.t).abs() < 1e-12);
+        assert!((ab.p_value - ba.p_value).abs() < 1e-12);
+        assert!((ab.mean_diff + ba.mean_diff).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_variance_rejected() {
+        let flat = [5.0, 5.0, 5.0];
+        assert_eq!(
+            t_test_welch(&flat, &flat, Alternative::TwoSided),
+            Err(StatsError::ZeroVariance)
+        );
+        assert_eq!(
+            t_test_one_sample(&flat, 5.0, Alternative::TwoSided),
+            Err(StatsError::ZeroVariance)
+        );
+    }
+
+    #[test]
+    fn too_small_samples_rejected() {
+        assert!(matches!(
+            t_test_welch(&[1.0], &[1.0, 2.0], Alternative::TwoSided),
+            Err(StatsError::InsufficientData { .. })
+        ));
+    }
+
+    #[test]
+    fn confidence_interval_contains_mean_diff() {
+        let res = t_test_welch(&A, &B, Alternative::TwoSided).unwrap();
+        let (lo, hi) = res.confidence_interval(0.05).unwrap();
+        assert!(lo < res.mean_diff && res.mean_diff < hi);
+        // Significant at 5% ⟺ CI excludes zero.
+        assert!(lo > 0.0);
+    }
+
+    #[test]
+    fn confidence_interval_invalid_alpha() {
+        let res = t_test_welch(&A, &B, Alternative::TwoSided).unwrap();
+        assert!(res.confidence_interval(0.0).is_err());
+        assert!(res.confidence_interval(1.0).is_err());
+    }
+
+    #[test]
+    fn nan_input_rejected() {
+        assert_eq!(
+            t_test_welch(&[1.0, f64::NAN, 2.0], &B, Alternative::TwoSided),
+            Err(StatsError::NonFiniteInput)
+        );
+    }
+
+    #[test]
+    fn large_separation_gives_large_t() {
+        // The paper reports t-values as large as 40.4 (Table 4); ensure the
+        // p-value machinery stays finite and monotone out there.
+        let a: Vec<f64> = (0..200).map(|i| 100.0 + (i % 7) as f64 * 0.1).collect();
+        let b: Vec<f64> = (0..200).map(|i| 90.0 + (i % 7) as f64 * 0.1).collect();
+        let res = t_test_welch(&a, &b, Alternative::TwoSided).unwrap();
+        assert!(res.t > 30.0);
+        assert!(res.p_value >= 0.0 && res.p_value < 1e-10);
+    }
+}

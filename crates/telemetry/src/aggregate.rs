@@ -1,0 +1,214 @@
+//! Aggregation and scatter-view extraction.
+//!
+//! §5.2.1: "Each small dot corresponds to an observation aggregated at the
+//! daily level for a machine" — model fitting happens over daily
+//! machine-level aggregates, grouped by `(SC, SKU)`. The scatter view of
+//! Figure 8 is the hourly disaggregated variant. Both are produced here.
+
+use crate::metric::Metric;
+use crate::record::{GroupKey, MachineId};
+use crate::store::TelemetryStore;
+use kea_stats::Summary;
+use std::collections::BTreeMap;
+
+/// One daily aggregate for one machine: per-metric means over the hours
+/// observed that day.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DailyAggregate {
+    /// The machine.
+    pub machine: MachineId,
+    /// Its group.
+    pub group: GroupKey,
+    /// Day index.
+    pub day: u64,
+    /// Hours that contributed.
+    pub hours_observed: u32,
+    /// Mean of each metric over the contributing hours, indexed in
+    /// [`Metric::ALL`] order.
+    means: [f64; Metric::ALL.len()],
+}
+
+impl DailyAggregate {
+    /// The daily mean of `metric`.
+    pub fn mean(&self, metric: Metric) -> f64 {
+        let idx = Metric::ALL
+            .iter()
+            .position(|m| *m == metric)
+            .expect("metric present in Metric::ALL");
+        self.means[idx]
+    }
+}
+
+/// Rolls the store up into per-machine, per-day aggregates (the training
+/// rows of §5.2.1), sorted by `(group, machine, day)`.
+pub fn daily_group_aggregates(store: &TelemetryStore) -> Vec<DailyAggregate> {
+    // (group, machine, day) → (count, per-metric sums)
+    let mut acc: BTreeMap<(GroupKey, MachineId, u64), (u32, [f64; Metric::ALL.len()])> =
+        BTreeMap::new();
+    for r in store.iter() {
+        let entry = acc
+            .entry((r.group, r.machine, r.day()))
+            .or_insert((0, [0.0; Metric::ALL.len()]));
+        entry.0 += 1;
+        for (i, metric) in Metric::ALL.iter().enumerate() {
+            entry.1[i] += metric.value(&r.metrics);
+        }
+    }
+    acc.into_iter()
+        .map(|((group, machine, day), (count, sums))| {
+            let mut means = sums;
+            for v in &mut means {
+                *v /= count as f64;
+            }
+            DailyAggregate {
+                machine,
+                group,
+                day,
+                hours_observed: count,
+                means,
+            }
+        })
+        .collect()
+}
+
+/// Distribution summary of one metric over all machine-hours of one group.
+///
+/// Returns `None` when the group has no records.
+pub fn group_summary(store: &TelemetryStore, group: GroupKey, metric: Metric) -> Option<Summary> {
+    let values: Vec<f64> = store
+        .by_group(group)
+        .map(|r| metric.value(&r.metrics))
+        .collect();
+    Summary::of(&values).ok()
+}
+
+/// One point of a scatter view (Figure 8): an `(x, y)` metric pair for one
+/// machine-hour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScatterPoint {
+    /// The machine observed.
+    pub machine: MachineId,
+    /// Hour of observation.
+    pub hour: u64,
+    /// Value of the x-axis metric.
+    pub x: f64,
+    /// Value of the y-axis metric.
+    pub y: f64,
+}
+
+/// Extracts the scatter view of `(x_metric, y_metric)` for one group —
+/// "the scatter view depicts the data in a disaggregated way with each
+/// point corresponding to one observation for a machine during one hour"
+/// (§4.1).
+pub fn scatter(
+    store: &TelemetryStore,
+    group: GroupKey,
+    x_metric: Metric,
+    y_metric: Metric,
+) -> Vec<ScatterPoint> {
+    store
+        .by_group(group)
+        .map(|r| ScatterPoint {
+            machine: r.machine,
+            hour: r.hour,
+            x: x_metric.value(&r.metrics),
+            y: y_metric.value(&r.metrics),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{MachineHourRecord, MetricValues, ScId, SkuId};
+
+    fn store_with_two_days() -> TelemetryStore {
+        let mut store = TelemetryStore::new();
+        let group = GroupKey::new(SkuId(1), ScId(0));
+        for hour in 0..48u64 {
+            store.push(MachineHourRecord {
+                machine: MachineId(7),
+                group,
+                hour,
+                metrics: MetricValues {
+                    cpu_utilization: if hour < 24 { 50.0 } else { 70.0 },
+                    tasks_finished: hour as f64,
+                    ..Default::default()
+                },
+            });
+        }
+        store
+    }
+
+    #[test]
+    fn daily_aggregates_split_by_day() {
+        let store = store_with_two_days();
+        let daily = daily_group_aggregates(&store);
+        assert_eq!(daily.len(), 2);
+        assert_eq!(daily[0].day, 0);
+        assert_eq!(daily[1].day, 1);
+        assert_eq!(daily[0].hours_observed, 24);
+        assert_eq!(daily[0].mean(Metric::CpuUtilization), 50.0);
+        assert_eq!(daily[1].mean(Metric::CpuUtilization), 70.0);
+        // Mean of 0..24 = 11.5; of 24..48 = 35.5.
+        assert!((daily[0].mean(Metric::NumberOfTasks) - 11.5).abs() < 1e-12);
+        assert!((daily[1].mean(Metric::NumberOfTasks) - 35.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn daily_aggregates_separate_machines_and_groups() {
+        let mut store = TelemetryStore::new();
+        for (m, sku) in [(1u32, 0u16), (2, 0), (3, 1)] {
+            store.push(MachineHourRecord {
+                machine: MachineId(m),
+                group: GroupKey::new(SkuId(sku), ScId(0)),
+                hour: 0,
+                metrics: MetricValues::default(),
+            });
+        }
+        let daily = daily_group_aggregates(&store);
+        assert_eq!(daily.len(), 3);
+        // Sorted by (group, machine, day): sku 0 machines first.
+        assert_eq!(daily[0].machine, MachineId(1));
+        assert_eq!(daily[2].group.sku, SkuId(1));
+    }
+
+    #[test]
+    fn group_summary_reports_distribution() {
+        let store = store_with_two_days();
+        let group = GroupKey::new(SkuId(1), ScId(0));
+        let s = group_summary(&store, group, Metric::CpuUtilization).unwrap();
+        assert_eq!(s.count, 48);
+        assert!((s.mean - 60.0).abs() < 1e-12);
+        assert_eq!(s.min, 50.0);
+        assert_eq!(s.max, 70.0);
+        // Missing group yields None.
+        assert!(group_summary(&store, GroupKey::new(SkuId(9), ScId(0)), Metric::CpuUtilization)
+            .is_none());
+    }
+
+    #[test]
+    fn scatter_extracts_pairs() {
+        let store = store_with_two_days();
+        let group = GroupKey::new(SkuId(1), ScId(0));
+        let pts = scatter(&store, group, Metric::CpuUtilization, Metric::NumberOfTasks);
+        assert_eq!(pts.len(), 48);
+        assert_eq!(pts[0].x, 50.0);
+        assert_eq!(pts[0].y, 0.0);
+        assert_eq!(pts[47].x, 70.0);
+        assert_eq!(pts[47].y, 47.0);
+    }
+
+    #[test]
+    fn empty_store_empty_outputs() {
+        let store = TelemetryStore::new();
+        assert!(daily_group_aggregates(&store).is_empty());
+        assert!(scatter(
+            &store,
+            GroupKey::new(SkuId(0), ScId(0)),
+            Metric::CpuUtilization,
+            Metric::NumberOfTasks
+        )
+        .is_empty());
+    }
+}

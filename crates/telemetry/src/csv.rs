@@ -1,0 +1,277 @@
+//! CSV persistence for telemetry.
+//!
+//! The production Performance Monitor lands its metrics in Cosmos tables;
+//! the portable equivalent is a flat CSV with one row per machine-hour.
+//! Hand-rolled (the values are all numeric, no quoting needed), with a
+//! header that doubles as a schema check on import — a file written by a
+//! different version of the schema is rejected loudly, not misparsed.
+
+use crate::record::{GroupKey, MachineHourRecord, MachineId, MetricValues, ScId, SkuId};
+use crate::store::TelemetryStore;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// The column header; also the schema version marker.
+pub const CSV_HEADER: &str = "machine,sku,sc,hour,total_data_read_gb,tasks_finished,\
+task_exec_time_s,cpu_time_s,cpu_utilization,avg_running_containers,avg_task_latency_s,\
+queued_containers,queue_latency_p99_ms,power_draw_w,ssd_used_gb,ram_used_gb,cores_used,\
+network_used_gbps";
+
+/// Errors raised while reading telemetry CSV.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The header line did not match [`CSV_HEADER`].
+    SchemaMismatch {
+        /// The header actually found.
+        found: String,
+    },
+    /// A data row could not be parsed (1-based line number and reason).
+    BadRow {
+        /// Line number in the file.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "I/O error: {e}"),
+            CsvError::SchemaMismatch { found } => {
+                write!(f, "telemetry CSV header mismatch; found: {found}")
+            }
+            CsvError::BadRow { line, reason } => write!(f, "bad row at line {line}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Writes the store as CSV (header + one row per record, insertion order).
+///
+/// # Errors
+/// Propagates I/O errors from the writer.
+pub fn write_csv<W: Write>(store: &TelemetryStore, mut out: W) -> Result<(), CsvError> {
+    writeln!(out, "{CSV_HEADER}")?;
+    for r in store.iter() {
+        let m = &r.metrics;
+        writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            r.machine.0,
+            r.group.sku.0,
+            r.group.sc.0,
+            r.hour,
+            m.total_data_read_gb,
+            m.tasks_finished,
+            m.task_exec_time_s,
+            m.cpu_time_s,
+            m.cpu_utilization,
+            m.avg_running_containers,
+            m.avg_task_latency_s,
+            m.queued_containers,
+            m.queue_latency_p99_ms,
+            m.power_draw_w,
+            m.ssd_used_gb,
+            m.ram_used_gb,
+            m.cores_used,
+            m.network_used_gbps,
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads a store back from CSV produced by [`write_csv`].
+///
+/// # Errors
+/// Rejects a wrong header ([`CsvError::SchemaMismatch`]) and malformed
+/// rows ([`CsvError::BadRow`] with the line number); propagates I/O
+/// errors.
+pub fn read_csv<R: BufRead>(input: R) -> Result<TelemetryStore, CsvError> {
+    let mut lines = input.lines();
+    let header = lines.next().transpose()?.unwrap_or_default();
+    if header.trim() != CSV_HEADER {
+        return Err(CsvError::SchemaMismatch { found: header });
+    }
+    let mut store = TelemetryStore::new();
+    for (i, line) in lines.enumerate() {
+        let line_no = i + 2; // 1-based, after the header
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 18 {
+            return Err(CsvError::BadRow {
+                line: line_no,
+                reason: format!("expected 18 fields, got {}", fields.len()),
+            });
+        }
+        let int = |idx: usize| -> Result<u64, CsvError> {
+            fields[idx].trim().parse().map_err(|e| CsvError::BadRow {
+                line: line_no,
+                reason: format!("field {idx}: {e}"),
+            })
+        };
+        let num = |idx: usize| -> Result<f64, CsvError> {
+            let v: f64 = fields[idx].trim().parse().map_err(|e| CsvError::BadRow {
+                line: line_no,
+                reason: format!("field {idx}: {e}"),
+            })?;
+            if !v.is_finite() {
+                return Err(CsvError::BadRow {
+                    line: line_no,
+                    reason: format!("field {idx}: non-finite value"),
+                });
+            }
+            Ok(v)
+        };
+        store.push(MachineHourRecord {
+            machine: MachineId(int(0)? as u32),
+            group: GroupKey::new(SkuId(int(1)? as u16), ScId(int(2)? as u8)),
+            hour: int(3)?,
+            metrics: MetricValues {
+                total_data_read_gb: num(4)?,
+                tasks_finished: num(5)?,
+                task_exec_time_s: num(6)?,
+                cpu_time_s: num(7)?,
+                cpu_utilization: num(8)?,
+                avg_running_containers: num(9)?,
+                avg_task_latency_s: num(10)?,
+                queued_containers: num(11)?,
+                queue_latency_p99_ms: num(12)?,
+                power_draw_w: num(13)?,
+                ssd_used_gb: num(14)?,
+                ram_used_gb: num(15)?,
+                cores_used: num(16)?,
+                network_used_gbps: num(17)?,
+            },
+        });
+    }
+    Ok(store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_store() -> TelemetryStore {
+        let mut s = TelemetryStore::new();
+        for m in 0..3u32 {
+            for h in 0..4u64 {
+                s.push(MachineHourRecord {
+                    machine: MachineId(m),
+                    group: GroupKey::new(SkuId(m as u16 % 2), ScId(1)),
+                    hour: h,
+                    metrics: MetricValues {
+                        total_data_read_gb: 1.5 * (m + 1) as f64,
+                        tasks_finished: 10.0 + h as f64,
+                        task_exec_time_s: 1234.5,
+                        cpu_time_s: 1000.25,
+                        cpu_utilization: 61.25,
+                        avg_running_containers: 11.5,
+                        avg_task_latency_s: 300.125,
+                        queued_containers: 0.5,
+                        queue_latency_p99_ms: 4500.0,
+                        power_draw_w: 260.5,
+                        ssd_used_gb: 400.0,
+                        ram_used_gb: 96.5,
+                        cores_used: 20.25,
+                        network_used_gbps: 3.75,
+                    },
+                });
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        let store = sample_store();
+        let mut buf = Vec::new();
+        write_csv(&store, &mut buf).unwrap();
+        let back = read_csv(buf.as_slice()).unwrap();
+        assert_eq!(back.len(), store.len());
+        for (a, b) in store.iter().zip(back.iter()) {
+            assert_eq!(a, b, "record drift through CSV");
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_header() {
+        let data = "machine,hour\n1,2\n";
+        assert!(matches!(
+            read_csv(data.as_bytes()),
+            Err(CsvError::SchemaMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_short_rows_with_line_number() {
+        let data = format!("{CSV_HEADER}\n1,2,3\n");
+        match read_csv(data.as_bytes()) {
+            Err(CsvError::BadRow { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected BadRow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_garbage_values() {
+        let good = {
+            let mut buf = Vec::new();
+            write_csv(&sample_store(), &mut buf).unwrap();
+            String::from_utf8(buf).unwrap()
+        };
+        let corrupted = good.replacen("61.25", "not-a-number", 1);
+        assert!(matches!(
+            read_csv(corrupted.as_bytes()),
+            Err(CsvError::BadRow { .. })
+        ));
+        let infinite = good.replacen("61.25", "inf", 1);
+        assert!(matches!(
+            read_csv(infinite.as_bytes()),
+            Err(CsvError::BadRow { .. })
+        ));
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let mut buf = Vec::new();
+        write_csv(&sample_store(), &mut buf).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        text.push('\n');
+        let back = read_csv(text.as_bytes()).unwrap();
+        assert_eq!(back.len(), sample_store().len());
+    }
+
+    #[test]
+    fn empty_store_is_header_only() {
+        let mut buf = Vec::new();
+        write_csv(&TelemetryStore::new(), &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert_eq!(text.trim(), CSV_HEADER);
+        assert!(read_csv(buf.as_slice()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn display_messages() {
+        let e = CsvError::BadRow {
+            line: 7,
+            reason: "x".to_string(),
+        };
+        assert!(e.to_string().contains("line 7"));
+        let e = CsvError::SchemaMismatch {
+            found: "bogus".to_string(),
+        };
+        assert!(e.to_string().contains("bogus"));
+    }
+}

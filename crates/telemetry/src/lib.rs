@@ -1,0 +1,35 @@
+//! Telemetry schema and store for the KEA reproduction.
+//!
+//! KEA's Performance Monitor "joins data from various Cosmos sources and
+//! calculates the performance metrics of interest, providing a fundamental
+//! building block for all the analysis" (§4.1). This crate is the shared
+//! vocabulary between the cluster simulator (which *emits* telemetry) and
+//! KEA proper (which *consumes* it):
+//!
+//! * [`metric`] — the machine-group-level metrics of Table 2
+//!   (Total Data Read, Number of Tasks, Bytes per Second, Bytes per CPU
+//!   Time, CPU Utilization, Average Running Containers) plus the extended
+//!   metrics used by the applications (queueing, power, SSD/RAM usage).
+//! * [`record`] — one observation per machine per hour, the granularity of
+//!   the paper's scatter view (Figure 8: "each point corresponding to one
+//!   observation for a machine during one hour").
+//! * [`store`] — an in-memory append-only store with time/group filters.
+//! * [`csv`] — flat-file persistence with schema checking.
+//! * [`aggregate`] — hourly→daily roll-ups, per-group summaries, and the
+//!   scatter-view extraction that feeds model fitting.
+//!
+//! The key design decision mirrors the paper's Level-V abstraction: all
+//! analysis happens at the `(software configuration, SKU)` machine-group
+//! level, so every record carries a [`record::GroupKey`].
+
+pub mod aggregate;
+pub mod csv;
+pub mod metric;
+pub mod record;
+pub mod store;
+
+pub use aggregate::{daily_group_aggregates, group_summary, scatter, DailyAggregate, ScatterPoint};
+pub use csv::{read_csv, write_csv, CsvError};
+pub use metric::{Metric, MetricCategory};
+pub use record::{GroupKey, MachineHourRecord, MachineId, MetricValues, ScId, SkuId};
+pub use store::TelemetryStore;

@@ -1,0 +1,197 @@
+//! In-memory telemetry store.
+//!
+//! The production KEA pipeline lands metrics in Cosmos itself and re-reads
+//! them daily; our reproduction keeps the observation window in memory
+//! (a 7-day window for a simulated cluster is a few million records at
+//! most). The store is append-only with filtered views — exactly the
+//! access pattern of the Performance Monitor.
+
+use crate::record::{GroupKey, MachineHourRecord, MachineId};
+use std::collections::BTreeSet;
+
+/// Append-only store of machine-hour records.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryStore {
+    records: Vec<MachineHourRecord>,
+}
+
+impl TelemetryStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one record. Non-finite metric blocks are rejected by
+    /// debug assertion — the simulator must never emit them.
+    pub fn push(&mut self, record: MachineHourRecord) {
+        debug_assert!(record.metrics.is_finite(), "non-finite telemetry emitted");
+        self.records.push(record);
+    }
+
+    /// Appends many records.
+    pub fn extend(&mut self, records: impl IntoIterator<Item = MachineHourRecord>) {
+        for r in records {
+            self.push(r);
+        }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// All records, in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &MachineHourRecord> {
+        self.records.iter()
+    }
+
+    /// Records for one machine group.
+    pub fn by_group(&self, group: GroupKey) -> impl Iterator<Item = &MachineHourRecord> {
+        self.records.iter().filter(move |r| r.group == group)
+    }
+
+    /// Records for one machine.
+    pub fn by_machine(&self, machine: MachineId) -> impl Iterator<Item = &MachineHourRecord> {
+        self.records.iter().filter(move |r| r.machine == machine)
+    }
+
+    /// Records within `[start_hour, end_hour)`.
+    pub fn by_hours(
+        &self,
+        start_hour: u64,
+        end_hour: u64,
+    ) -> impl Iterator<Item = &MachineHourRecord> {
+        self.records
+            .iter()
+            .filter(move |r| r.hour >= start_hour && r.hour < end_hour)
+    }
+
+    /// Records for a set of machines within `[start_hour, end_hour)` —
+    /// the shape of a flighting measurement query.
+    pub fn by_machines_and_hours<'a>(
+        &'a self,
+        machines: &'a BTreeSet<MachineId>,
+        start_hour: u64,
+        end_hour: u64,
+    ) -> impl Iterator<Item = &'a MachineHourRecord> {
+        self.records.iter().filter(move |r| {
+            r.hour >= start_hour && r.hour < end_hour && machines.contains(&r.machine)
+        })
+    }
+
+    /// The distinct machine groups present, sorted.
+    pub fn groups(&self) -> Vec<GroupKey> {
+        let set: BTreeSet<GroupKey> = self.records.iter().map(|r| r.group).collect();
+        set.into_iter().collect()
+    }
+
+    /// The distinct machines present, sorted.
+    pub fn machines(&self) -> Vec<MachineId> {
+        let set: BTreeSet<MachineId> = self.records.iter().map(|r| r.machine).collect();
+        set.into_iter().collect()
+    }
+
+    /// Inclusive-exclusive hour span `(min, max+1)` covered by the store,
+    /// or `None` when empty.
+    pub fn hour_span(&self) -> Option<(u64, u64)> {
+        let min = self.records.iter().map(|r| r.hour).min()?;
+        let max = self.records.iter().map(|r| r.hour).max()?;
+        Some((min, max + 1))
+    }
+
+    /// Merges another store into this one (e.g. combining experiment and
+    /// control windows collected separately).
+    pub fn merge(&mut self, other: TelemetryStore) {
+        self.records.extend(other.records);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{MetricValues, ScId, SkuId};
+
+    fn rec(machine: u32, sku: u16, hour: u64, cpu: f64) -> MachineHourRecord {
+        MachineHourRecord {
+            machine: MachineId(machine),
+            group: GroupKey::new(SkuId(sku), ScId(0)),
+            hour,
+            metrics: MetricValues {
+                cpu_utilization: cpu,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn push_and_filters() {
+        let mut store = TelemetryStore::new();
+        store.push(rec(1, 0, 0, 10.0));
+        store.push(rec(1, 0, 1, 20.0));
+        store.push(rec(2, 1, 0, 30.0));
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.by_machine(MachineId(1)).count(), 2);
+        assert_eq!(
+            store.by_group(GroupKey::new(SkuId(1), ScId(0))).count(),
+            1
+        );
+        assert_eq!(store.by_hours(0, 1).count(), 2);
+        assert_eq!(store.by_hours(1, 2).count(), 1);
+    }
+
+    #[test]
+    fn groups_and_machines_sorted_unique() {
+        let mut store = TelemetryStore::new();
+        store.push(rec(3, 2, 0, 0.0));
+        store.push(rec(1, 0, 0, 0.0));
+        store.push(rec(3, 2, 1, 0.0));
+        assert_eq!(store.machines(), vec![MachineId(1), MachineId(3)]);
+        let groups = store.groups();
+        assert_eq!(groups.len(), 2);
+        assert!(groups[0] < groups[1]);
+    }
+
+    #[test]
+    fn hour_span() {
+        let mut store = TelemetryStore::new();
+        assert_eq!(store.hour_span(), None);
+        store.push(rec(1, 0, 5, 0.0));
+        store.push(rec(1, 0, 9, 0.0));
+        assert_eq!(store.hour_span(), Some((5, 10)));
+    }
+
+    #[test]
+    fn machines_and_hours_filter() {
+        let mut store = TelemetryStore::new();
+        for m in 0..4 {
+            for h in 0..5 {
+                store.push(rec(m, 0, h, 0.0));
+            }
+        }
+        let subset: BTreeSet<MachineId> = [MachineId(1), MachineId(3)].into_iter().collect();
+        assert_eq!(store.by_machines_and_hours(&subset, 1, 3).count(), 4);
+    }
+
+    #[test]
+    fn merge_combines_records() {
+        let mut a = TelemetryStore::new();
+        a.push(rec(1, 0, 0, 0.0));
+        let mut b = TelemetryStore::new();
+        b.push(rec(2, 0, 0, 0.0));
+        a.merge(b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn extend_from_iterator() {
+        let mut store = TelemetryStore::new();
+        store.extend((0..10).map(|h| rec(1, 0, h, h as f64)));
+        assert_eq!(store.len(), 10);
+        assert!(store.iter().all(|r| r.machine == MachineId(1)));
+    }
+}

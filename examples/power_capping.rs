@@ -1,0 +1,56 @@
+//! Application 3: power capping via Experimental Tuning (§7.2) — the
+//! hybrid setting with four arms (capping × Feature), normalized metrics,
+//! and a sweep over capping levels (Figure 15).
+//!
+//! ```text
+//! cargo run --release --example power_capping
+//! ```
+
+use kea_core::apps::power_capping::{run_power_capping, Arm, PowerCappingParams};
+use kea_sim::ClusterSpec;
+use kea_telemetry::SkuId;
+
+fn main() {
+    let params = PowerCappingParams {
+        cluster: ClusterSpec::medium(),
+        sku: SkuId(0), // the hottest generation — where capping bites
+        cap_levels: vec![0.10, 0.20, 0.30],
+        group_size: 16,
+        hours_per_round: 24,
+        warmup_hours: 3,
+        seed: 88,
+    };
+    println!(
+        "hybrid-setting experiment: 4 arms × {} machines of Gen 1.1, one 24h round per capping level...",
+        params.group_size
+    );
+    let outcome = run_power_capping(&params).expect("study runs");
+
+    println!("\nperformance vs arm A (no cap, Feature off) — Figure 15:");
+    println!(
+        "{:<24}{:>12}{:>12}{:>10}{:>10}",
+        "", "B/CPU-t %", "B/s %", "t", "power W"
+    );
+    for cell in &outcome.cells {
+        let arm = match cell.arm {
+            Arm::B => "Feature only",
+            Arm::C => "cap only",
+            Arm::D => "cap + Feature",
+            Arm::A => "baseline",
+        };
+        println!(
+            "cap {:>2.0}%  {:<14}{:>12.2}{:>12.2}{:>10.2}{:>10.0}",
+            cell.cap_level * 100.0,
+            arm,
+            cell.bytes_per_cpu_change_pct,
+            cell.bytes_per_sec_change_pct,
+            cell.t_bytes_per_cpu,
+            cell.mean_power_w
+        );
+    }
+    println!(
+        "\nreading: the Feature alone buys ~5%; a 10% cap is free (provision was \
+         conservative); deep caps degrade, and the Feature softens them — \
+         the paper harvested ~10 MW this way."
+    );
+}

@@ -1,0 +1,73 @@
+//! Application 2: machine configuration design via Hypothetical Tuning
+//! (§6.1) — how much SSD and RAM should the future 128-core generation
+//! carry? No flighting, no deployment: the machines don't exist yet.
+//!
+//! ```text
+//! cargo run --release --example sku_design
+//! ```
+
+use kea_core::apps::sku_design::{run_sku_design, CostModel, SkuDesignParams};
+use kea_core::PerformanceMonitor;
+use kea_sim::{run, ClusterSpec, SimConfig, SC1};
+use kea_telemetry::{GroupKey, SkuId};
+
+fn main() {
+    // Observe a current-generation SKU running production workloads.
+    let cluster = ClusterSpec::small();
+    println!("observing current fleet for usage models...");
+    let observed = run(&SimConfig::baseline(cluster.clone(), 72, 77));
+    let monitor = PerformanceMonitor::new(&observed.telemetry);
+
+    let params = SkuDesignParams {
+        source_group: GroupKey::new(SkuId(4), SC1), // Gen 3.2
+        future_cores: 128,
+        candidate_ssd_gb: vec![768.0, 1024.0, 1280.0, 1536.0, 2048.0],
+        candidate_ram_gb: vec![384.0, 448.0, 512.0, 576.0, 640.0],
+        cost: CostModel::default(),
+        draws: 1000,
+        seed: 78,
+    };
+    let outcome = run_sku_design(&monitor, &params).expect("study runs");
+
+    println!(
+        "\nusage models from {} observations (Figure 13):",
+        outcome.n_observations
+    );
+    println!(
+        "  SSD = p(c) = {:6.1} + {:4.2}·cores   → {:5.0} GB at 128 cores",
+        outcome.ssd_model.intercept(),
+        outcome.ssd_model.slope(),
+        outcome.ssd_model.predict(128.0)
+    );
+    println!(
+        "  RAM = q(c) = {:6.1} + {:4.2}·cores   → {:5.0} GB at 128 cores",
+        outcome.ram_model.intercept(),
+        outcome.ram_model.slope(),
+        outcome.ram_model.predict(128.0)
+    );
+
+    println!("\nexpected cost surface, normalized to the winner (Figure 14):");
+    print!("{:>10}", "SSD\\RAM");
+    for ram in &params.candidate_ram_gb {
+        print!("{:>9.0}", ram);
+    }
+    println!();
+    for ssd in &params.candidate_ssd_gb {
+        print!("{ssd:>10.0}");
+        for ram in &params.candidate_ram_gb {
+            let cost = outcome
+                .surface
+                .iter()
+                .find(|d| d.ssd_gb == *ssd && d.ram_gb == *ram)
+                .map(|d| d.expected_cost / outcome.best.expected_cost)
+                .expect("full grid");
+            print!("{cost:>9.2}");
+        }
+        println!();
+    }
+    println!(
+        "\nsweet spot: {:.0} GB SSD + {:.0} GB RAM \
+         (under-provisioning strands the machine; over-provisioning wastes capex)",
+        outcome.best.ssd_gb, outcome.best.ram_gb
+    );
+}

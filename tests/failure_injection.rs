@@ -1,0 +1,116 @@
+//! Failure injection: the pipeline must degrade loudly (typed errors) or
+//! robustly (Huber shrugging off contamination), never silently.
+
+use kea_core::whatif::{FitMethod, Granularity, WhatIfEngine};
+use kea_core::{analyze, KeaError, MachineSplit, PerformanceMonitor};
+use kea_sim::{run, ClusterSpec, SimConfig};
+use kea_telemetry::{GroupKey, Metric, TelemetryStore};
+use std::collections::BTreeSet;
+
+/// Simulated telemetry with a fraction of machine-hours corrupted the way
+/// draining/flapping machines corrupt real telemetry: implausibly large
+/// latencies and zeroed throughput.
+fn contaminated_telemetry(fraction_pct: u64) -> (ClusterSpec, TelemetryStore) {
+    let cluster = ClusterSpec::tiny();
+    let out = run(&SimConfig::baseline(cluster.clone(), 30, 990));
+    let mut store = TelemetryStore::new();
+    for (i, rec) in out.telemetry.iter().enumerate() {
+        let mut rec = *rec;
+        if (i as u64) % 100 < fraction_pct && rec.metrics.tasks_finished > 0.0 {
+            rec.metrics.avg_task_latency_s *= 40.0; // nonsense gauge
+            rec.metrics.total_data_read_gb = 0.0;
+        }
+        store.push(rec);
+    }
+    (cluster, store)
+}
+
+#[test]
+fn huber_models_survive_contaminated_telemetry() {
+    let (_, clean) = contaminated_telemetry(0);
+    let (_, dirty) = contaminated_telemetry(8);
+    let fit = |store: &TelemetryStore| {
+        let monitor = PerformanceMonitor::new(store);
+        WhatIfEngine::fit_at(&monitor, FitMethod::Huber, Granularity::Hourly, 24)
+            .expect("fits")
+    };
+    let clean_engine = fit(&clean);
+    let dirty_engine = fit(&dirty);
+    // The latency model's slope must barely move despite 8% of rows
+    // carrying 40x-latency garbage.
+    for clean_g in clean_engine.groups() {
+        let dirty_g = dirty_engine.group(clean_g.group).expect("same groups");
+        let c = clean_g.f_util_to_latency.slope();
+        let d = dirty_g.f_util_to_latency.slope();
+        assert!(
+            (c - d).abs() < c.abs().max(1.0) * 0.6 + 1.0,
+            "group {:?}: clean slope {c}, dirty slope {d}",
+            clean_g.group
+        );
+    }
+}
+
+#[test]
+fn ols_models_do_not_survive_contamination() {
+    // The counterpart that justifies the paper's Huber choice: OLS
+    // latency intercepts blow up under the same contamination.
+    let (_, clean) = contaminated_telemetry(0);
+    let (_, dirty) = contaminated_telemetry(8);
+    let intercept_sum = |store: &TelemetryStore, method| {
+        let monitor = PerformanceMonitor::new(store);
+        WhatIfEngine::fit_at(&monitor, method, Granularity::Hourly, 24)
+            .expect("fits")
+            .groups()
+            .map(|g| g.f_util_to_latency.intercept().abs())
+            .sum::<f64>()
+    };
+    let ols_drift = (intercept_sum(&dirty, FitMethod::Ols)
+        - intercept_sum(&clean, FitMethod::Ols))
+    .abs();
+    let huber_drift = (intercept_sum(&dirty, FitMethod::Huber)
+        - intercept_sum(&clean, FitMethod::Huber))
+    .abs();
+    assert!(
+        huber_drift < ols_drift,
+        "huber drift {huber_drift} must be below OLS drift {ols_drift}"
+    );
+}
+
+#[test]
+fn empty_windows_error_loudly() {
+    let (cluster, store) = contaminated_telemetry(0);
+    let machines: BTreeSet<_> = cluster.machines.iter().take(4).map(|m| m.id).collect();
+    let split = MachineSplit {
+        control: machines.clone(),
+        treatment: machines,
+    };
+    // A window after the end of telemetry must be a typed error, not a
+    // silent zero-effect.
+    let res = analyze(&store, &split, 500, 600, Metric::TotalDataRead);
+    assert!(matches!(res, Err(KeaError::NoObservations { .. })));
+}
+
+#[test]
+fn missing_groups_error_loudly() {
+    let (_, store) = contaminated_telemetry(0);
+    let monitor = PerformanceMonitor::new(&store);
+    let engine = WhatIfEngine::fit_at(&monitor, FitMethod::Huber, Granularity::Hourly, 24)
+        .expect("fits");
+    let bogus = GroupKey::new(kea_telemetry::SkuId(99), kea_telemetry::ScId(1));
+    assert!(matches!(
+        engine.predict(bogus, 10.0),
+        Err(KeaError::NoObservations { .. })
+    ));
+}
+
+#[test]
+fn whatif_refuses_to_fit_on_starved_telemetry() {
+    // One hour of data cannot support hourly models with min_rows = 24.
+    let cluster = ClusterSpec::tiny();
+    let out = run(&SimConfig::baseline(cluster, 1, 991));
+    let monitor = PerformanceMonitor::new(&out.telemetry);
+    assert!(matches!(
+        WhatIfEngine::fit_at(&monitor, FitMethod::Huber, Granularity::Hourly, 24),
+        Err(KeaError::NoObservations { .. })
+    ));
+}

@@ -1,0 +1,132 @@
+//! The paper's headline shapes, asserted end-to-end on tiny clusters so
+//! the whole evaluation story is guarded by `cargo test`. Magnitude
+//! reproduction lives in `kea-bench --bin repro` (see EXPERIMENTS.md).
+
+use kea_core::conceptualization::{validate_critical_path, validate_uniformity};
+use kea_core::PerformanceMonitor;
+use kea_ml::LinearModel1D;
+use kea_sim::{run, ClusterSpec, ConfigPlan, SimConfig, WorkloadSpec, SC1};
+use kea_telemetry::{GroupKey, Metric};
+
+fn observe(occupancy: f64, hours: u64, seed: u64) -> (ClusterSpec, kea_sim::SimOutput) {
+    let cluster = ClusterSpec::tiny();
+    let out = run(&SimConfig {
+        cluster: cluster.clone(),
+        workload: WorkloadSpec::default_for(&cluster, occupancy),
+        plan: ConfigPlan::baseline(&cluster.skus, SC1),
+        duration_hours: hours,
+        seed,
+        task_log_every: 10,
+        adhoc_job_log_every: 8,
+    });
+    (cluster, out)
+}
+
+#[test]
+fn figure1_average_utilization_above_sixty_percent() {
+    let (_, out) = observe(0.95, 30, 800);
+    let monitor = PerformanceMonitor::new(&out.telemetry);
+    let series = monitor
+        .hourly_fleet_series(Metric::CpuUtilization)
+        .expect("telemetry");
+    let steady: Vec<f64> = series.iter().skip(4).map(|(_, u)| *u).collect();
+    let avg = steady.iter().sum::<f64>() / steady.len() as f64;
+    assert!(avg > 55.0, "fleet average {avg}% (paper: >60%)");
+    // Diurnal structure: the series is not flat.
+    let min = steady.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = steady.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    assert!(max - min > 5.0, "diurnal swing {min}..{max}");
+}
+
+#[test]
+fn figure2_older_generations_run_hotter() {
+    let (_, out) = observe(0.95, 30, 801);
+    let monitor = PerformanceMonitor::new(&out.telemetry);
+    let groups = monitor.group_utilization();
+    assert_eq!(groups.len(), 6);
+    // Monotone decreasing utilization from oldest to newest, allowing
+    // one small inversion between adjacent mid-generations.
+    let utils: Vec<f64> = groups.iter().map(|g| g.mean_cpu_utilization).collect();
+    let inversions = utils.windows(2).filter(|w| w[0] < w[1] - 1.0).count();
+    assert!(inversions <= 1, "utilization by generation: {utils:?}");
+    assert!(utils[0] > utils[5] + 15.0, "gap old-vs-new: {utils:?}");
+}
+
+#[test]
+fn figure5_critical_path_prefers_slow_machines() {
+    let (cluster, out) = observe(0.95, 30, 802);
+    let report = validate_critical_path(&cluster, &out).expect("tasks everywhere");
+    assert!(report.skew_confirmed, "{report:#?}");
+}
+
+#[test]
+fn figure6_placement_is_type_uniform() {
+    let (cluster, out) = observe(0.95, 30, 803);
+    let report = validate_uniformity(&cluster, &out, 300, 0.10).expect("tasks completed");
+    assert!(report.uniform, "{report:#?}");
+}
+
+#[test]
+fn figure8_throughput_linear_in_utilization() {
+    let (cluster, out) = observe(0.95, 30, 804);
+    let monitor = PerformanceMonitor::new(&out.telemetry);
+    for sku in &cluster.skus {
+        let pts = monitor.scatter_view(
+            GroupKey::new(sku.id, SC1),
+            Metric::CpuUtilization,
+            Metric::TotalDataRead,
+        );
+        let busy: Vec<_> = pts.iter().filter(|p| p.y > 0.0).collect();
+        let xs: Vec<f64> = busy.iter().map(|p| p.x).collect();
+        let ys: Vec<f64> = busy.iter().map(|p| p.y).collect();
+        let line = LinearModel1D::fit_ols(&xs, &ys).expect("enough points");
+        assert!(line.slope() > 0.0, "{}: slope {}", sku.name, line.slope());
+    }
+}
+
+#[test]
+fn figure12_queues_grow_with_machine_age() {
+    // Saturated regime: queues must exist and be ordered by SKU speed.
+    let (cluster, out) = observe(1.1, 30, 805);
+    let mean_queue = |sku: u16| {
+        let recs: Vec<f64> = out
+            .telemetry
+            .by_group(GroupKey::new(kea_telemetry::SkuId(sku), SC1))
+            .filter(|r| r.hour >= 4)
+            .map(|r| r.metrics.queued_containers)
+            .collect();
+        recs.iter().sum::<f64>() / recs.len() as f64
+    };
+    let oldest = mean_queue(0);
+    let newest = mean_queue(5);
+    assert!(oldest > 0.05, "old machines hold queues: {oldest}");
+    assert!(
+        oldest > newest * 2.0,
+        "queue skew: oldest {oldest} vs newest {newest}"
+    );
+    let _ = cluster;
+}
+
+#[test]
+fn figure13_resources_affine_in_cores() {
+    let (_, out) = observe(0.95, 30, 806);
+    let monitor = PerformanceMonitor::new(&out.telemetry);
+    let group = GroupKey::new(kea_telemetry::SkuId(4), SC1);
+    let mut cores = Vec::new();
+    let mut ssd = Vec::new();
+    let mut ram = Vec::new();
+    for rec in monitor.store().by_group(group) {
+        if rec.metrics.cores_used > 0.5 {
+            cores.push(rec.metrics.cores_used);
+            ssd.push(rec.metrics.ssd_used_gb);
+            ram.push(rec.metrics.ram_used_gb);
+        }
+    }
+    let p = LinearModel1D::fit_huber(&cores, &ssd).expect("fits");
+    let q = LinearModel1D::fit_huber(&cores, &ram).expect("fits");
+    assert!(p.slope() > 0.0 && q.slope() > 0.0);
+    // The fits are tight: R² via residuals.
+    let pred: Vec<f64> = cores.iter().map(|&c| p.predict(c)).collect();
+    let r2 = kea_ml::r2_score(&ssd, &pred).expect("scores");
+    assert!(r2 > 0.8, "SSD-vs-cores R² = {r2}");
+}
