@@ -1,0 +1,119 @@
+//! Scaling benchmark for the tuning hot path: fits a 64-group /
+//! 2048-machine synthetic fleet and runs `optimize_max_containers`
+//! through both the incremental O(G) implementation and the preserved
+//! O(G²) full-recompute reference, so the speedup is measured in the
+//! same process on the same engine. Methodology and current numbers are
+//! recorded in the repository README ("Performance") and CHANGES.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kea_core::whatif::{FitMethod, Granularity, WhatIfEngine};
+use kea_core::{optimize_max_containers, OperatingPoint, PerformanceMonitor};
+use kea_telemetry::{
+    GroupKey, MachineHourRecord, MachineId, MetricValues, ScId, SkuId, TelemetryStore,
+};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+const N_GROUPS: usize = 64;
+const MACHINES_PER_GROUP: u32 = 32; // 64 × 32 = 2048 machines total
+const HOURS: u64 = 48;
+
+/// A 64-group fleet whose dynamics vary smoothly across groups, so every
+/// group fits cleanly and the optimizer has real gradients to trade on.
+fn fleet_store() -> (TelemetryStore, BTreeMap<GroupKey, usize>) {
+    let mut store = TelemetryStore::new();
+    let mut counts = BTreeMap::new();
+    for g in 0..N_GROUPS {
+        let group = GroupKey::new(SkuId(g as u16), ScId(1));
+        counts.insert(group, MACHINES_PER_GROUP as usize);
+        let g_slope = 2.0 + (g % 7) as f64 * 0.7; // containers → util
+        let f_slope = 0.5 + (g % 5) as f64 * 1.1; // util → latency
+        let h_slope = 0.8 + (g % 3) as f64 * 0.6; // util → tasks
+        for m in 0..MACHINES_PER_GROUP {
+            for h in 0..HOURS {
+                let containers = 5.0 + (m % 4) as f64 + (h % 8) as f64 * 0.5;
+                let util = (2.0 + g_slope * containers).min(100.0);
+                store.push(MachineHourRecord {
+                    machine: MachineId(g as u32 * 1000 + m),
+                    group,
+                    hour: h,
+                    metrics: MetricValues {
+                        avg_running_containers: containers,
+                        cpu_utilization: util,
+                        tasks_finished: (5.0 + h_slope * util).max(0.5),
+                        avg_task_latency_s: 80.0 + f_slope * util,
+                        ..Default::default()
+                    },
+                });
+            }
+        }
+    }
+    (store, counts)
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let (store, _) = fleet_store();
+    let monitor = PerformanceMonitor::new(&store);
+    let mut group = c.benchmark_group("whatif_fit");
+    group.sample_size(20);
+    group.bench_function("fit_64_groups_2048_machines", |b| {
+        b.iter(|| {
+            WhatIfEngine::fit_at(
+                black_box(&monitor),
+                FitMethod::Huber,
+                Granularity::Hourly,
+                24,
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_optimize(c: &mut Criterion) {
+    let (store, counts) = fleet_store();
+    let monitor = PerformanceMonitor::new(&store);
+    let engine = WhatIfEngine::fit_at(&monitor, FitMethod::Huber, Granularity::Hourly, 24)
+        .expect("synthetic fleet always fits");
+
+    // Sanity: both paths must produce the same plan before timing them.
+    let fast = optimize_max_containers(&engine, &counts, 1.0, OperatingPoint::Median).unwrap();
+    let slow =
+        kea_core::optimizer::reference::optimize_max_containers(
+            &engine,
+            &counts,
+            1.0,
+            OperatingPoint::Median,
+        )
+        .unwrap();
+    assert_eq!(fast.steps(), slow.steps(), "implementations diverged");
+
+    let mut group = c.benchmark_group("optimize_max_containers");
+    group.sample_size(20);
+    group.bench_function("incremental_64_groups", |b| {
+        b.iter(|| {
+            optimize_max_containers(
+                black_box(&engine),
+                black_box(&counts),
+                1.0,
+                OperatingPoint::Median,
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("reference_full_recompute_64_groups", |b| {
+        b.iter(|| {
+            kea_core::optimizer::reference::optimize_max_containers(
+                black_box(&engine),
+                black_box(&counts),
+                1.0,
+                OperatingPoint::Median,
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit, bench_optimize);
+criterion_main!(benches);

@@ -86,6 +86,10 @@ pub struct YarnTuningOutcome {
     pub engine: WhatIfEngine,
     /// The LP result (Figure 10 artifact).
     pub optimization: YarnOptimization,
+    /// Machines per group in the observation window, so callers can
+    /// re-run the optimizer at other operating points (the Figure 10
+    /// high-percentile sensitivity check).
+    pub machine_counts: BTreeMap<GroupKey, usize>,
     /// Fleet-wide before/after evaluation with guardrails.
     pub deployment: DeploymentReport,
     /// Total Data Read change, percent (paper: +9%).
@@ -272,6 +276,7 @@ pub fn run_yarn_tuning(params: &YarnTuningParams) -> Result<YarnTuningOutcome, K
     Ok(YarnTuningOutcome {
         engine,
         optimization,
+        machine_counts,
         deployment,
         throughput_change_pct,
         latency_change_pct,

@@ -242,9 +242,16 @@ fn cmd_optimize(raw: &[String]) -> Result<(), String> {
         .collect();
     let at = match args.flags.get("percentile") {
         None => OperatingPoint::Median,
-        Some(p) => OperatingPoint::Percentile(
-            p.parse().map_err(|e| format!("--percentile '{p}': {e}"))?,
-        ),
+        Some(p) => {
+            let p: f64 = p.parse().map_err(|e| format!("--percentile '{p}': {e}"))?;
+            if !(0.0..=100.0).contains(&p) {
+                eprintln!(
+                    "warning: --percentile {p} is outside 0–100; \
+                     clamping to the nearest observed extreme"
+                );
+            }
+            OperatingPoint::Percentile(p)
+        }
     };
     let opt =
         optimize_max_containers(&engine, &counts, max_step, at).map_err(|e| e.to_string())?;

@@ -18,6 +18,18 @@
 //! ```
 //!
 //! and verify the *nonlinear* W̄ at the rounded solution before reporting.
+//!
+//! ## Scaling to fleet-sized group counts
+//!
+//! `W̄` is a ratio of sums with exactly one additive term per group, and
+//! every evaluation the optimizer needs after the operating point —
+//! gradient components, rounding-repair probes — perturbs a *single*
+//! group. [`ClusterLatencyCache`] therefore caches each group's
+//! `(l_k·n_k, w_k·l_k·n_k)` contribution once and answers "what is W̄ if
+//! only group k moves?" in O(1), making the whole gradient O(G) and each
+//! repair step O(1) instead of O(G). The previous full-recompute
+//! implementation is preserved in [`reference`] so tests can assert
+//! numerical equivalence and benches can measure the speedup.
 
 use crate::error::KeaError;
 use crate::whatif::WhatIfEngine;
@@ -31,7 +43,8 @@ pub enum OperatingPoint {
     /// The median observed load (the paper's default run).
     Median,
     /// A high-load percentile of observed containers (the paper's
-    /// sensitivity run, e.g. 90.0).
+    /// sensitivity run, e.g. 90.0). Values outside `[0, 100]` are clamped
+    /// to the nearest observed extreme rather than rejected.
     Percentile(f64),
 }
 
@@ -63,6 +76,9 @@ pub struct YarnOptimization {
     /// steps, via the full nonlinear models.
     pub predicted_latency: f64,
     /// Predicted relative capacity gain: `Σ n_k d_k / Σ n_k m'_k`.
+    /// Zero when the fleet has no current capacity to compare against
+    /// and nothing moved; infinite when capacity appears from a
+    /// zero-container base.
     pub predicted_capacity_gain: f64,
 }
 
@@ -77,8 +93,15 @@ impl YarnOptimization {
     }
 }
 
+/// Central-difference half-width for the latency gradient, in containers.
+const GRADIENT_EPS: f64 = 0.05;
+
+/// Relative slack allowed when re-checking the latency budget after
+/// integer rounding.
+const LATENCY_SLACK: f64 = 1e-9;
+
 /// Cluster-average latency `W̄` at container vector `m` (nonlinear, via
-/// the calibrated models).
+/// the calibrated models), recomputed from scratch in O(G).
 fn cluster_latency(
     engine: &WhatIfEngine,
     counts: &BTreeMap<GroupKey, usize>,
@@ -103,11 +126,167 @@ fn cluster_latency(
     Ok(num / den)
 }
 
+/// Per-group contributions to `W̄ = Σ w_k l_k n_k / Σ l_k n_k`, cached at
+/// a base container vector so single-group perturbations are O(1).
+struct ClusterLatencyCache<'a> {
+    /// Calibrated models per group, resolved once (every perturbation
+    /// would otherwise pay a map lookup).
+    models: Vec<&'a crate::whatif::GroupModels>,
+    n_machines: Vec<f64>,
+    /// Current container count per group (the cache's base point).
+    containers: Vec<f64>,
+    /// Per-group `(l_k·n_k, w_k·l_k·n_k)` at the base point.
+    terms: Vec<(f64, f64)>,
+    /// Running `Σ l_k n_k` over all groups.
+    den: f64,
+    /// Running `Σ w_k l_k n_k` over all groups.
+    num: f64,
+}
+
+impl<'a> ClusterLatencyCache<'a> {
+    fn new(
+        engine: &'a WhatIfEngine,
+        groups: &[GroupKey],
+        n_machines: Vec<f64>,
+        containers: Vec<f64>,
+    ) -> Result<Self, KeaError> {
+        let models = groups
+            .iter()
+            .map(|&g| {
+                engine.group(g).ok_or_else(|| KeaError::NoObservations {
+                    what: format!("no calibrated models for {g:?}"),
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut cache = ClusterLatencyCache {
+            models,
+            n_machines,
+            containers,
+            terms: Vec::with_capacity(groups.len()),
+            den: 0.0,
+            num: 0.0,
+        };
+        for i in 0..groups.len() {
+            let term = cache.term(i, cache.containers[i]);
+            cache.den += term.0;
+            cache.num += term.1;
+            cache.terms.push(term);
+        }
+        Ok(cache)
+    }
+
+    /// One group's `(l_k·n_k, w_k·l_k·n_k)` at a hypothetical container
+    /// count.
+    fn term(&self, idx: usize, containers: f64) -> (f64, f64) {
+        let m = self.models[idx];
+        let util = m.predict_util(containers);
+        let tasks = m.predict_tasks_per_hour(util);
+        let latency = m.predict_latency(util);
+        let n = self.n_machines[idx];
+        (tasks * n, latency * tasks * n)
+    }
+
+    fn ratio(num: f64, den: f64) -> Result<f64, KeaError> {
+        if den <= 0.0 {
+            return Err(KeaError::NoObservations {
+                what: "cluster latency denominator is zero".to_string(),
+            });
+        }
+        Ok(num / den)
+    }
+
+    /// `W̄` at the base point.
+    fn latency(&self) -> Result<f64, KeaError> {
+        Self::ratio(self.num, self.den)
+    }
+
+    /// `W̄` if *only* group `idx` moved to `containers` — O(1), the base
+    /// point is left untouched.
+    fn latency_with(&self, idx: usize, containers: f64) -> Result<f64, KeaError> {
+        let (d, n) = self.term(idx, containers);
+        Self::ratio(
+            self.num - self.terms[idx].1 + n,
+            self.den - self.terms[idx].0 + d,
+        )
+    }
+
+    /// Moves group `idx` to `containers`, updating the cached sums — O(1).
+    fn set(&mut self, idx: usize, containers: f64) {
+        let term = self.term(idx, containers);
+        self.den += term.0 - self.terms[idx].0;
+        self.num += term.1 - self.terms[idx].1;
+        self.terms[idx] = term;
+        self.containers[idx] = containers;
+    }
+}
+
+/// Participating groups, their machine counts, and the operating-point
+/// container vector, index-aligned.
+type OptimizationInputs = (Vec<GroupKey>, Vec<f64>, Vec<f64>);
+
+/// The calibrated groups that participate in the optimization, with
+/// their machine counts and operating point.
+fn optimization_inputs(
+    engine: &WhatIfEngine,
+    machine_counts: &BTreeMap<GroupKey, usize>,
+    at: OperatingPoint,
+) -> Result<OptimizationInputs, KeaError> {
+    let groups: Vec<GroupKey> = engine
+        .groups()
+        .map(|g| g.group)
+        .filter(|g| machine_counts.get(g).copied().unwrap_or(0) > 0)
+        .collect();
+    if groups.len() < 2 {
+        return Err(KeaError::Design(
+            "re-balancing needs at least two machine groups".to_string(),
+        ));
+    }
+    let n_machines: Vec<f64> = groups
+        .iter()
+        .map(|g| machine_counts[g] as f64)
+        .collect();
+    let current: Vec<f64> = groups
+        .iter()
+        .map(|&g| {
+            let models = engine.group(g).expect("group listed by engine");
+            match at {
+                OperatingPoint::Median => models.current_containers,
+                OperatingPoint::Percentile(p) => models.containers_percentile(p),
+            }
+        })
+        .collect();
+    Ok((groups, n_machines, current))
+}
+
+/// The two evaluation points of the latency gradient's central
+/// difference, with the low side clamped so the probe never asks the
+/// models about negative container counts.
+fn gradient_probe_points(current: f64) -> (f64, f64) {
+    (current + GRADIENT_EPS, (current - GRADIENT_EPS).max(0.0))
+}
+
+/// `Σ n_k d_k / Σ n_k m'_k` without dividing by zero: a fleet observed at
+/// zero containers everywhere reports `0` for a do-nothing plan and `+∞`
+/// for a plan that adds capacity, never `NaN`.
+fn capacity_gain(total_delta: f64, total_current: f64) -> f64 {
+    if total_current > 0.0 {
+        total_delta / total_current
+    } else if total_delta == 0.0 {
+        0.0
+    } else {
+        f64::INFINITY * total_delta.signum()
+    }
+}
+
 /// Solves the YARN `max_running_containers` tuning problem.
 ///
 /// `machine_counts` gives `n_k` per group; `max_step` is the conservative
 /// roll-out bound `δ` (the paper used 1 for the first round, 2 for the
 /// next).
+///
+/// Gradient evaluation and rounding repair run in O(G) total via
+/// [`ClusterLatencyCache`]; see [`reference::optimize_max_containers`]
+/// for the O(G²) full-recompute baseline they are verified against.
 ///
 /// # Errors
 /// Needs at least two calibrated groups (with one group there is nothing
@@ -123,50 +302,27 @@ pub fn optimize_max_containers(
             "max_step must be positive",
         )));
     }
-    let groups: Vec<GroupKey> = engine
-        .groups()
-        .map(|g| g.group)
-        .filter(|g| machine_counts.get(g).copied().unwrap_or(0) > 0)
-        .collect();
-    if groups.len() < 2 {
-        return Err(KeaError::Design(
-            "re-balancing needs at least two machine groups".to_string(),
-        ));
-    }
+    let (groups, n_machines, current) = optimization_inputs(engine, machine_counts, at)?;
 
-    // Operating point m'.
-    let current: BTreeMap<GroupKey, f64> = groups
-        .iter()
-        .map(|&g| {
-            let models = engine.group(g).expect("group listed by engine");
-            let c = match at {
-                OperatingPoint::Median => models.current_containers,
-                OperatingPoint::Percentile(p) => models.containers_percentile(p),
-            };
-            (g, c)
-        })
-        .collect();
-    let baseline_latency = cluster_latency(engine, machine_counts, &current)?;
+    // Cache each group's contribution at the operating point m'.
+    let mut cache =
+        ClusterLatencyCache::new(engine, &groups, n_machines.clone(), current.clone())?;
+    let baseline_latency = cache.latency()?;
+    let budget = baseline_latency * (1.0 + LATENCY_SLACK);
 
-    // Numerical gradient of W̄ w.r.t. each m_k (central difference).
-    let eps = 0.05;
+    // Numerical gradient of W̄ w.r.t. each m_k (central difference, low
+    // side clamped at zero containers). Each component perturbs a single
+    // group, so both probes are O(1) against the cache: O(G) in total.
     let mut gradients = Vec::with_capacity(groups.len());
-    for &g in &groups {
-        let mut plus = current.clone();
-        *plus.get_mut(&g).expect("group in map") += eps;
-        let mut minus = current.clone();
-        *minus.get_mut(&g).expect("group in map") -= eps;
-        let w_plus = cluster_latency(engine, machine_counts, &plus)?;
-        let w_minus = cluster_latency(engine, machine_counts, &minus)?;
-        gradients.push((w_plus - w_minus) / (2.0 * eps));
+    for (i, &c) in current.iter().enumerate() {
+        let (hi, lo) = gradient_probe_points(c);
+        let w_plus = cache.latency_with(i, hi)?;
+        let w_minus = cache.latency_with(i, lo)?;
+        gradients.push((w_plus - w_minus) / (hi - lo));
     }
 
     // LP in the step variables.
-    let objective: Vec<f64> = groups
-        .iter()
-        .map(|g| machine_counts[g] as f64)
-        .collect();
-    let mut lp = LpProblem::maximize(objective).constraint(
+    let mut lp = LpProblem::maximize(n_machines.clone()).constraint(
         gradients.clone(),
         Relation::Le,
         0.0,
@@ -178,24 +334,19 @@ pub fn optimize_max_containers(
 
     // Conservative integer rounding, re-checked against the latency
     // budget: shrink positive steps until the nonlinear W̄ clears the
-    // baseline (rounding error can otherwise leak latency).
+    // baseline (rounding error can otherwise leak latency). The cache is
+    // advanced to the rounded proposal so each withdrawal is O(1).
     let mut steps: Vec<i32> = sol
         .x
         .iter()
         .map(|&d| d.round().clamp(-max_step, max_step) as i32)
         .collect();
-    let latency_of = |steps: &[i32]| -> Result<f64, KeaError> {
-        let proposal: BTreeMap<GroupKey, f64> = groups
-            .iter()
-            .zip(steps)
-            .map(|(&g, &s)| (g, current[&g] + s as f64))
-            .collect();
-        cluster_latency(engine, machine_counts, &proposal)
-    };
-    loop {
-        if latency_of(&steps)? <= baseline_latency * (1.0 + 1e-9) {
-            break;
-        }
+    let mut net = 0.0;
+    for (i, &s) in steps.iter().enumerate() {
+        cache.set(i, current[i] + s as f64);
+        net += s as f64 * n_machines[i];
+    }
+    while cache.latency()? > budget {
         // Withdraw the positive step with the worst latency gradient.
         let Some(worst) = steps
             .iter()
@@ -207,60 +358,63 @@ pub fn optimize_max_containers(
             break; // No positive steps left; accept.
         };
         steps[worst] -= 1;
+        net -= n_machines[worst];
+        cache.set(worst, current[worst] + steps[worst] as f64);
     }
     // Rounding can also strand capacity: a continuous +0.4 rounds to 0
     // while a −0.6 rounds to −1, leaving Σ n_k·d_k < 0 even though the
     // continuous optimum was non-negative (d = 0 is always feasible).
     // Relax negative steps back toward zero where the latency budget
     // allows, largest machine groups first; if the plan still loses
-    // capacity, fall back to the do-nothing plan.
-    let net = |steps: &[i32]| -> f64 {
-        groups
-            .iter()
-            .zip(steps)
-            .map(|(g, &s)| s as f64 * machine_counts[g] as f64)
-            .sum()
-    };
-    while net(&steps) < 0.0 {
+    // capacity, fall back to the do-nothing plan. Probing a candidate is
+    // a single-group O(1) peek at the cache.
+    while net < 0.0 {
         let mut candidates: Vec<usize> = steps
             .iter()
             .enumerate()
             .filter(|(_, s)| **s < 0)
             .map(|(i, _)| i)
             .collect();
-        candidates.sort_by_key(|&i| std::cmp::Reverse(machine_counts[&groups[i]]));
+        candidates.sort_by(|&a, &b| n_machines[b].total_cmp(&n_machines[a]));
         let mut relaxed = false;
         for i in candidates {
-            steps[i] += 1;
-            if latency_of(&steps)? <= baseline_latency * (1.0 + 1e-9) {
+            let candidate = current[i] + (steps[i] + 1) as f64;
+            if cache.latency_with(i, candidate)? <= budget {
+                steps[i] += 1;
+                net += n_machines[i];
+                cache.set(i, candidate);
                 relaxed = true;
                 break;
             }
-            steps[i] -= 1;
         }
         if !relaxed {
-            for s in &mut steps {
+            for (i, s) in steps.iter_mut().enumerate() {
                 *s = 0;
+                cache.set(i, current[i]);
             }
             break;
         }
     }
 
+    // Final verification through a full recompute of the nonlinear W̄ —
+    // one O(G) pass that is independent of the incrementally maintained
+    // sums above.
     let proposal: BTreeMap<GroupKey, f64> = groups
         .iter()
-        .zip(&steps)
-        .map(|(&g, &s)| (g, current[&g] + s as f64))
+        .zip(&cache.containers)
+        .map(|(&g, &c)| (g, c))
         .collect();
     let predicted_latency = cluster_latency(engine, machine_counts, &proposal)?;
 
-    let total_current: f64 = groups
+    let total_current: f64 = current
         .iter()
-        .map(|g| current[g] * machine_counts[g] as f64)
+        .zip(&n_machines)
+        .map(|(c, n)| c * n)
         .sum();
-    let total_delta: f64 = groups
+    let total_delta: f64 = steps
         .iter()
-        .zip(&steps)
-        .map(|(g, &s)| s as f64 * machine_counts[g] as f64)
+        .zip(&n_machines)
+        .map(|(&s, n)| s as f64 * n)
         .sum();
 
     let suggestions = groups
@@ -269,7 +423,7 @@ pub fn optimize_max_containers(
         .map(|(i, &g)| GroupSuggestion {
             group: g,
             n_machines: machine_counts[&g],
-            current_containers: current[&g],
+            current_containers: current[i],
             delta_continuous: sol.x[i],
             delta_step: steps[i],
             latency_gradient: gradients[i],
@@ -280,8 +434,185 @@ pub fn optimize_max_containers(
         suggestions,
         baseline_latency,
         predicted_latency,
-        predicted_capacity_gain: total_delta / total_current,
+        predicted_capacity_gain: capacity_gain(total_delta, total_current),
     })
+}
+
+pub mod reference {
+    //! The pre-optimization O(G²) implementation, kept as an executable
+    //! specification: every `cluster_latency` evaluation recomputes all G
+    //! group contributions (with two full `BTreeMap` clones per gradient
+    //! component), so gradients cost 2G·O(G) and every rounding-repair
+    //! probe another O(G). `crates/core/tests/proptest_optimizer.rs`
+    //! asserts the incremental path matches this one, and the
+    //! `optimizer_scale` bench measures the gap. Not for production use.
+
+    use super::*;
+
+    /// Full-recompute central-difference latency gradients at the
+    /// operating point (the quantity the incremental cache must match).
+    ///
+    /// # Errors
+    /// Same conditions as [`super::optimize_max_containers`].
+    pub fn latency_gradients(
+        engine: &WhatIfEngine,
+        machine_counts: &BTreeMap<GroupKey, usize>,
+        at: OperatingPoint,
+    ) -> Result<Vec<f64>, KeaError> {
+        let (groups, _, current) = optimization_inputs(engine, machine_counts, at)?;
+        let current_map: BTreeMap<GroupKey, f64> = groups
+            .iter()
+            .copied()
+            .zip(current.iter().copied())
+            .collect();
+        let mut gradients = Vec::with_capacity(groups.len());
+        for (i, &g) in groups.iter().enumerate() {
+            let (hi, lo) = gradient_probe_points(current[i]);
+            let mut plus = current_map.clone();
+            *plus.get_mut(&g).expect("group in map") = hi;
+            let mut minus = current_map.clone();
+            *minus.get_mut(&g).expect("group in map") = lo;
+            let w_plus = cluster_latency(engine, machine_counts, &plus)?;
+            let w_minus = cluster_latency(engine, machine_counts, &minus)?;
+            gradients.push((w_plus - w_minus) / (hi - lo));
+        }
+        Ok(gradients)
+    }
+
+    /// The original `optimize_max_containers`: identical contract and
+    /// (up to floating-point noise well below any decision threshold)
+    /// identical output, but every latency evaluation is a full O(G)
+    /// recompute.
+    ///
+    /// # Errors
+    /// Same conditions as [`super::optimize_max_containers`].
+    pub fn optimize_max_containers(
+        engine: &WhatIfEngine,
+        machine_counts: &BTreeMap<GroupKey, usize>,
+        max_step: f64,
+        at: OperatingPoint,
+    ) -> Result<YarnOptimization, KeaError> {
+        if max_step <= 0.0 {
+            return Err(KeaError::Opt(kea_opt::OptError::InvalidParameter(
+                "max_step must be positive",
+            )));
+        }
+        let (groups, n_machines, current_vec) =
+            optimization_inputs(engine, machine_counts, at)?;
+        let current: BTreeMap<GroupKey, f64> = groups
+            .iter()
+            .copied()
+            .zip(current_vec.iter().copied())
+            .collect();
+        let baseline_latency = cluster_latency(engine, machine_counts, &current)?;
+        let gradients = latency_gradients(engine, machine_counts, at)?;
+
+        let mut lp = LpProblem::maximize(n_machines.clone()).constraint(
+            gradients.clone(),
+            Relation::Le,
+            0.0,
+        )?;
+        for i in 0..groups.len() {
+            lp = lp.bounds(i, -max_step, Some(max_step))?;
+        }
+        let sol = lp.solve()?;
+
+        let mut steps: Vec<i32> = sol
+            .x
+            .iter()
+            .map(|&d| d.round().clamp(-max_step, max_step) as i32)
+            .collect();
+        let latency_of = |steps: &[i32]| -> Result<f64, KeaError> {
+            let proposal: BTreeMap<GroupKey, f64> = groups
+                .iter()
+                .zip(steps)
+                .map(|(&g, &s)| (g, current[&g] + s as f64))
+                .collect();
+            cluster_latency(engine, machine_counts, &proposal)
+        };
+        loop {
+            if latency_of(&steps)? <= baseline_latency * (1.0 + LATENCY_SLACK) {
+                break;
+            }
+            let Some(worst) = steps
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| **s > 0)
+                .max_by(|(i, _), (j, _)| gradients[*i].total_cmp(&gradients[*j]))
+                .map(|(i, _)| i)
+            else {
+                break;
+            };
+            steps[worst] -= 1;
+        }
+        let net = |steps: &[i32]| -> f64 {
+            steps
+                .iter()
+                .zip(&n_machines)
+                .map(|(&s, n)| s as f64 * n)
+                .sum()
+        };
+        while net(&steps) < 0.0 {
+            let mut candidates: Vec<usize> = steps
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| **s < 0)
+                .map(|(i, _)| i)
+                .collect();
+            candidates.sort_by(|&a, &b| n_machines[b].total_cmp(&n_machines[a]));
+            let mut relaxed = false;
+            for i in candidates {
+                steps[i] += 1;
+                if latency_of(&steps)? <= baseline_latency * (1.0 + LATENCY_SLACK) {
+                    relaxed = true;
+                    break;
+                }
+                steps[i] -= 1;
+            }
+            if !relaxed {
+                steps.fill(0);
+                break;
+            }
+        }
+
+        let proposal: BTreeMap<GroupKey, f64> = groups
+            .iter()
+            .zip(&steps)
+            .map(|(&g, &s)| (g, current[&g] + s as f64))
+            .collect();
+        let predicted_latency = cluster_latency(engine, machine_counts, &proposal)?;
+
+        let total_current: f64 = current_vec
+            .iter()
+            .zip(&n_machines)
+            .map(|(c, n)| c * n)
+            .sum();
+        let total_delta: f64 = steps
+            .iter()
+            .zip(&n_machines)
+            .map(|(&s, n)| s as f64 * n)
+            .sum();
+
+        let suggestions = groups
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| GroupSuggestion {
+                group: g,
+                n_machines: machine_counts[&g],
+                current_containers: current_vec[i],
+                delta_continuous: sol.x[i],
+                delta_step: steps[i],
+                latency_gradient: gradients[i],
+            })
+            .collect();
+
+        Ok(YarnOptimization {
+            suggestions,
+            baseline_latency,
+            predicted_latency,
+            predicted_capacity_gain: capacity_gain(total_delta, total_current),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -431,5 +762,103 @@ mod tests {
             slow.latency_gradient > fast.latency_gradient,
             "slow group must have the steeper latency gradient"
         );
+    }
+
+    #[test]
+    fn incremental_plan_matches_reference_plan() {
+        let store = two_group_store();
+        let (_mon, eng) = engine(&store);
+        for at in [OperatingPoint::Median, OperatingPoint::Percentile(90.0)] {
+            let fast = optimize_max_containers(&eng, &counts(), 1.0, at).unwrap();
+            let slow = reference::optimize_max_containers(&eng, &counts(), 1.0, at).unwrap();
+            assert_eq!(fast.steps(), slow.steps());
+            for (a, b) in fast.suggestions.iter().zip(&slow.suggestions) {
+                assert!(
+                    (a.latency_gradient - b.latency_gradient).abs() < 1e-9,
+                    "gradient drift: {} vs {}",
+                    a.latency_gradient,
+                    b.latency_gradient
+                );
+            }
+            assert!((fast.baseline_latency - slow.baseline_latency).abs() < 1e-9);
+            assert!((fast.predicted_latency - slow.predicted_latency).abs() < 1e-9);
+        }
+    }
+
+    /// Telemetry from machines that are idle (zero running containers)
+    /// most hours with occasional bursts: the *median* containers is zero
+    /// in every group, the historical NaN-capacity-gain input. The bursts
+    /// keep the per-group fits non-singular.
+    fn zero_container_store() -> TelemetryStore {
+        let mut s = TelemetryStore::new();
+        for m in 0..12u32 {
+            let sku = if m < 6 { 0 } else { 5 };
+            for h in 0..48u64 {
+                let containers = if h % 4 == 0 {
+                    4.0 + (h % 8) as f64 + (m % 3) as f64 * 0.5
+                } else {
+                    0.0
+                };
+                let util = 2.0 + 1.5 * containers;
+                s.push(MachineHourRecord {
+                    machine: MachineId(m),
+                    group: kea_telemetry::GroupKey::new(SkuId(sku), ScId(1)),
+                    hour: h,
+                    metrics: MetricValues {
+                        avg_running_containers: containers,
+                        cpu_utilization: util,
+                        tasks_finished: 5.0 + util,
+                        avg_task_latency_s: 100.0 + 3.0 * util,
+                        ..Default::default()
+                    },
+                });
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn zero_container_operating_point_never_yields_nan() {
+        let store = zero_container_store();
+        let mon = PerformanceMonitor::new(&store);
+        // Hourly granularity so the idle hours dominate the median
+        // (daily means would smear the bursts into a positive median).
+        let eng = WhatIfEngine::fit_at(
+            &mon,
+            FitMethod::Huber,
+            crate::whatif::Granularity::Hourly,
+            5,
+        )
+        .unwrap();
+        let opt =
+            optimize_max_containers(&eng, &counts(), 1.0, OperatingPoint::Median).unwrap();
+        // Operating point is zero everywhere…
+        for s in &opt.suggestions {
+            assert_eq!(s.current_containers, 0.0);
+            // …and the clamped central difference never probed below zero,
+            // so the gradient is finite.
+            assert!(s.latency_gradient.is_finite());
+        }
+        // The historical failure: 0/0 → NaN. Now either 0 or +∞, never NaN.
+        assert!(!opt.predicted_capacity_gain.is_nan());
+        assert!(opt.predicted_capacity_gain >= 0.0);
+    }
+
+    #[test]
+    fn capacity_gain_edge_cases() {
+        assert_eq!(capacity_gain(0.0, 0.0), 0.0);
+        assert_eq!(capacity_gain(5.0, 0.0), f64::INFINITY);
+        assert_eq!(capacity_gain(3.0, 6.0), 0.5);
+        assert!(!capacity_gain(-2.0, 0.0).is_nan());
+    }
+
+    #[test]
+    fn gradient_probe_never_goes_negative() {
+        let (hi, lo) = gradient_probe_points(0.0);
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0);
+        let (hi2, lo2) = gradient_probe_points(10.0);
+        assert!((hi2 - 10.05).abs() < 1e-12);
+        assert!((lo2 - 9.95).abs() < 1e-12);
     }
 }

@@ -99,12 +99,24 @@ impl GroupModels {
 
     /// Percentile (0–100) of the observed daily-mean running containers —
     /// the operating point selector for high-load optimization runs.
+    ///
+    /// Out-of-range `p` (including NaN) is clamped to the nearest
+    /// observed extreme rather than indexing past the sorted
+    /// observations: `containers_percentile(150.0)` is the max,
+    /// `containers_percentile(-3.0)` the min. A group with no
+    /// observations reports `0.0` (it has never been seen running
+    /// anything).
     pub fn containers_percentile(&self, p: f64) -> f64 {
-        debug_assert!((0.0..=100.0).contains(&p));
         let s = &self.containers_sorted;
+        if s.is_empty() {
+            return 0.0;
+        }
         if s.len() == 1 {
             return s[0];
         }
+        // NaN-safe clamp: f64::clamp(NaN, ..) stays NaN, which would
+        // propagate into the rank arithmetic below.
+        let p = if p.is_nan() { 0.0 } else { p.clamp(0.0, 100.0) };
         let rank = p / 100.0 * (s.len() - 1) as f64;
         let lo = rank.floor() as usize;
         let hi = rank.ceil() as usize;
@@ -178,19 +190,67 @@ impl WhatIfEngine {
                 }
             }
         }
-        let mut models = BTreeMap::new();
-        for (group, rows) in by_group {
-            if rows.len() < min_rows {
-                continue;
-            }
-            models.insert(group, Self::fit_group(group, &rows, method)?);
-        }
-        if models.is_empty() {
+        let groups: Vec<(GroupKey, Vec<TrainRow>)> = by_group
+            .into_iter()
+            .filter(|(_, rows)| rows.len() >= min_rows)
+            .collect();
+        if groups.is_empty() {
             return Err(KeaError::NoObservations {
                 what: "no group had enough training rows to fit".to_string(),
             });
         }
+
+        // Groups are independent, so fit them in parallel on scoped
+        // threads, one worker per available core.
+        let n_workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let results = Self::fit_groups(&groups, method, n_workers);
+
+        let mut models = BTreeMap::new();
+        for ((group, _), result) in groups.iter().zip(results) {
+            models.insert(*group, result?);
+        }
         Ok(WhatIfEngine { models, method })
+    }
+
+    /// Fits every group, spreading the work over at most `n_workers`
+    /// scoped threads. Results land in per-group slots, so the output is
+    /// identical to a serial loop regardless of worker count. Each worker
+    /// takes a contiguous chunk; group count, not row count, is the unit
+    /// of work, which is the right grain for the fleet shape this models
+    /// (many groups of similar size).
+    fn fit_groups(
+        groups: &[(GroupKey, Vec<TrainRow>)],
+        method: FitMethod,
+        n_workers: usize,
+    ) -> Vec<Result<GroupModels, KeaError>> {
+        let n_workers = n_workers.clamp(1, groups.len().max(1));
+        let mut results: Vec<Option<Result<GroupModels, KeaError>>> = Vec::new();
+        results.resize_with(groups.len(), || None);
+        if n_workers <= 1 {
+            for ((group, rows), slot) in groups.iter().zip(&mut results) {
+                *slot = Some(Self::fit_group(*group, rows, method));
+            }
+        } else {
+            let per_worker = groups.len().div_ceil(n_workers);
+            std::thread::scope(|scope| {
+                for (chunk, slots) in groups
+                    .chunks(per_worker)
+                    .zip(results.chunks_mut(per_worker))
+                {
+                    scope.spawn(move || {
+                        for ((group, rows), slot) in chunk.iter().zip(slots) {
+                            *slot = Some(Self::fit_group(*group, rows, method));
+                        }
+                    });
+                }
+            });
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every fit slot filled"))
+            .collect()
     }
 
     fn fit_group(
@@ -219,13 +279,18 @@ impl WhatIfEngine {
         };
         let machines: std::collections::BTreeSet<u32> =
             rows.iter().map(|r| r.machine).collect();
+        // Sort each observation column once; the median (and, for
+        // containers, every later percentile lookup) reads the sorted
+        // copy instead of re-sorting per call.
         let mut containers_sorted = containers.clone();
         containers_sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite aggregates"));
+        let mut util_sorted = util.clone();
+        util_sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite aggregates"));
         Ok(GroupModels {
             group,
             n_machines: machines.len(),
-            current_containers: median(&containers),
-            current_util: median(&util),
+            current_containers: median_of_sorted(&containers_sorted),
+            current_util: median_of_sorted(&util_sorted),
             r2: (
                 r2_of(&g, &containers, &util),
                 r2_of(&h, &util, &tasks),
@@ -284,10 +349,14 @@ impl WhatIfEngine {
     }
 }
 
-fn median(v: &[f64]) -> f64 {
-    let mut s = v.to_vec();
-    s.sort_by(|a, b| a.partial_cmp(b).expect("finite aggregates"));
+/// Median of an already-sorted slice (callers sort each observation
+/// column exactly once at fit time).
+fn median_of_sorted(s: &[f64]) -> f64 {
+    debug_assert!(s.windows(2).all(|w| w[0] <= w[1]), "input must be sorted");
     let n = s.len();
+    if n == 0 {
+        return 0.0;
+    }
     if n % 2 == 1 {
         s[n / 2]
     } else {
@@ -400,6 +469,76 @@ mod tests {
         ));
         // With a lower bar it fits.
         assert!(WhatIfEngine::fit(&mon, FitMethod::Huber, 2).is_ok());
+    }
+
+    #[test]
+    fn out_of_range_percentiles_clamp_to_observed_extremes() {
+        let store = synthetic_store(10, 3);
+        let mon = PerformanceMonitor::new(&store);
+        let engine = WhatIfEngine::fit(&mon, FitMethod::Huber, 5).unwrap();
+        let g = engine.group(GroupKey::new(SkuId(0), ScId(1))).unwrap();
+        let min = g.containers_percentile(0.0);
+        let max = g.containers_percentile(100.0);
+        assert!(min < max, "synthetic store spans several operating points");
+        // Historical release-mode out-of-bounds: p > 100 indexed past the
+        // sorted observations. Now it clamps.
+        assert_eq!(g.containers_percentile(150.0), max);
+        assert_eq!(g.containers_percentile(-3.0), min);
+        assert_eq!(g.containers_percentile(f64::INFINITY), max);
+        assert_eq!(g.containers_percentile(f64::NAN), min);
+        // In-range values still interpolate between the extremes.
+        let mid = g.containers_percentile(50.0);
+        assert!((min..=max).contains(&mid));
+    }
+
+    #[test]
+    fn parallel_fit_matches_serial_semantics_across_groups() {
+        // Many groups with distinct known slopes: the scoped-thread fit
+        // must calibrate each group exactly as a serial loop would, for
+        // any worker count (including more workers than cores, and more
+        // workers than groups).
+        let groups: Vec<(GroupKey, Vec<TrainRow>)> = (0..16u16)
+            .map(|g| {
+                let slope = 2.0 + g as f64 * 0.5;
+                let rows: Vec<TrainRow> = (0..48u32)
+                    .map(|i| {
+                        let containers = 4.0 + (i % 5) as f64 + ((i % 7) as f64) * 0.5;
+                        let util = 5.0 + slope * containers;
+                        TrainRow {
+                            machine: i % 4,
+                            containers,
+                            util,
+                            tasks: 2.0 * util,
+                            latency: 100.0 + 3.0 * util,
+                        }
+                    })
+                    .collect();
+                (GroupKey::new(SkuId(g), ScId(1)), rows)
+            })
+            .collect();
+
+        let serial = WhatIfEngine::fit_groups(&groups, FitMethod::Huber, 1);
+        for workers in [2, 4, 16, 64] {
+            let parallel = WhatIfEngine::fit_groups(&groups, FitMethod::Huber, workers);
+            assert_eq!(serial.len(), parallel.len());
+            for (g, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+                assert_eq!(
+                    s.as_ref().unwrap(),
+                    p.as_ref().unwrap(),
+                    "group {g} diverged at {workers} workers"
+                );
+            }
+        }
+        // And the slopes are the known ground truth.
+        for (g, r) in serial.iter().enumerate() {
+            let models = r.as_ref().unwrap();
+            let expected = 2.0 + g as f64 * 0.5;
+            assert!(
+                (models.g_containers_to_util.slope() - expected).abs() < 0.05,
+                "group {g}: slope {} vs expected {expected}",
+                models.g_containers_to_util.slope()
+            );
+        }
     }
 
     #[test]

@@ -93,4 +93,58 @@ proptest! {
         // One suggestion per calibrated group.
         prop_assert_eq!(plan.suggestions.len(), 3);
     }
+
+    /// The O(G) incrementally-cached gradient must equal the O(G²)
+    /// full-recompute gradient — they evaluate the same central
+    /// difference of the same nonlinear W̄, so any drift means the cache
+    /// is updating the wrong term.
+    #[test]
+    fn incremental_gradients_match_full_recompute(
+        g1 in 2.0..8.0f64, f1 in 0.5..6.0f64, h1 in 0.5..3.0f64, n1 in 5usize..200,
+        g2 in 2.0..8.0f64, f2 in 0.5..6.0f64, h2 in 0.5..3.0f64, n2 in 5usize..200,
+        g3 in 2.0..8.0f64, f3 in 0.5..6.0f64, h3 in 0.5..3.0f64, n3 in 5usize..200,
+        max_step in 1.0..3.0f64,
+        high_load in prop::bool::ANY,
+    ) {
+        let (store, counts) = build_store(&[
+            (g1, f1, h1, n1),
+            (g2, f2, h2, n2),
+            (g3, f3, h3, n3),
+        ]);
+        let monitor = PerformanceMonitor::new(&store);
+        let engine = WhatIfEngine::fit_at(&monitor, FitMethod::Huber, Granularity::Hourly, 24)
+            .expect("synthetic data always fits");
+        let at = if high_load {
+            OperatingPoint::Percentile(95.0)
+        } else {
+            OperatingPoint::Median
+        };
+
+        let fast = optimize_max_containers(&engine, &counts, max_step, at)
+            .expect("incremental path solvable");
+        let reference_gradients =
+            kea_core::optimizer::reference::latency_gradients(&engine, &counts, at)
+                .expect("reference gradients computable");
+
+        prop_assert_eq!(fast.suggestions.len(), reference_gradients.len());
+        for (s, &g_ref) in fast.suggestions.iter().zip(&reference_gradients) {
+            prop_assert!(
+                (s.latency_gradient - g_ref).abs() < 1e-9,
+                "gradient drift for {:?}: incremental {} vs reference {}",
+                s.group,
+                s.latency_gradient,
+                g_ref
+            );
+        }
+
+        // And the whole plan agrees with the reference optimizer, not
+        // just the gradients.
+        let slow = kea_core::optimizer::reference::optimize_max_containers(
+            &engine, &counts, max_step, at,
+        )
+        .expect("reference path solvable");
+        prop_assert_eq!(fast.steps(), slow.steps());
+        prop_assert!((fast.baseline_latency - slow.baseline_latency).abs() < 1e-9);
+        prop_assert!((fast.predicted_latency - slow.predicted_latency).abs() < 1e-9);
+    }
 }

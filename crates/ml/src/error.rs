@@ -12,6 +12,15 @@ pub enum MlError {
         /// Entries in the target vector.
         y_len: usize,
     },
+    /// Feature rows disagree on width (the design matrix is ragged).
+    RaggedRows {
+        /// Width of the first row.
+        expected: usize,
+        /// Index of the first offending row.
+        row: usize,
+        /// That row's width.
+        actual: usize,
+    },
     /// Not enough observations to identify the coefficients.
     InsufficientData {
         /// Observations required (≥ number of coefficients).
@@ -39,6 +48,16 @@ impl fmt::Display for MlError {
             MlError::ShapeMismatch { x_rows, y_len } => {
                 write!(f, "shape mismatch: X has {x_rows} rows but y has {y_len}")
             }
+            MlError::RaggedRows {
+                expected,
+                row,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "ragged feature rows: row {row} has {actual} features, expected {expected}"
+                )
+            }
             MlError::InsufficientData { required, actual } => {
                 write!(f, "need at least {required} observations, got {actual}")
             }
@@ -53,6 +72,24 @@ impl fmt::Display for MlError {
 }
 
 impl std::error::Error for MlError {}
+
+/// Validates that every feature row has the same width as the first,
+/// returning that width. Estimators call this before building a design
+/// matrix, so a ragged input surfaces as [`MlError::RaggedRows`] instead
+/// of an index panic deep in the solver.
+pub(crate) fn check_rectangular(x_rows: &[Vec<f64>]) -> Result<usize, MlError> {
+    let expected = x_rows.first().map_or(0, |r| r.len());
+    for (row, r) in x_rows.iter().enumerate().skip(1) {
+        if r.len() != expected {
+            return Err(MlError::RaggedRows {
+                expected,
+                row,
+                actual: r.len(),
+            });
+        }
+    }
+    Ok(expected)
+}
 
 #[cfg(test)]
 mod tests {

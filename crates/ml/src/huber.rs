@@ -126,7 +126,9 @@ impl HuberRegressor {
                 y_len: y.len(),
             });
         }
-        let n_features = x_rows.first().map_or(0, |r| r.len());
+        // Ragged rows would otherwise panic in `weighted_ls`'s
+        // `copy_from_slice`.
+        let n_features = crate::error::check_rectangular(x_rows)?;
         let p = n_features + 1;
         if x_rows.len() < p {
             return Err(MlError::InsufficientData {
@@ -351,6 +353,30 @@ mod tests {
             HuberRegressor::fit(&[vec![1.0], vec![f64::NAN], vec![2.0]], &[1.0, 2.0, 3.0]),
             Err(MlError::NonFiniteInput)
         );
+    }
+
+    #[test]
+    fn ragged_rows_are_an_error_not_a_panic() {
+        // Historical panic: row 2 is wider than row 0, and
+        // `weighted_ls` copied it into a row-0-sized buffer.
+        let x = vec![vec![1.0], vec![2.0], vec![3.0, 4.0], vec![5.0]];
+        let y = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(
+            HuberRegressor::fit(&x, &y),
+            Err(MlError::RaggedRows {
+                expected: 1,
+                row: 2,
+                actual: 2
+            })
+        );
+        // Narrower rows must be caught too (they would silently predict
+        // with stale buffer contents rather than panic).
+        let x = vec![vec![1.0, 1.0], vec![2.0], vec![3.0, 4.0]];
+        let y = [1.0, 2.0, 3.0];
+        assert!(matches!(
+            HuberRegressor::fit(&x, &y),
+            Err(MlError::RaggedRows { row: 1, .. })
+        ));
     }
 
     #[test]

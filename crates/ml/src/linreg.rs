@@ -26,7 +26,9 @@ fn fit_linear(
     if y.iter().any(|v| !v.is_finite()) {
         return Err(MlError::NonFiniteInput);
     }
-    let n_features = x_rows.first().map_or(0, |r| r.len());
+    // Validate row widths up front: a ragged input should be a typed
+    // error here, not a failure (or panic) deep in the matrix layer.
+    let n_features = crate::error::check_rectangular(x_rows)?;
     let p = n_features + usize::from(fit_intercept);
     if x_rows.len() < p.max(1) {
         return Err(MlError::InsufficientData {
@@ -267,6 +269,28 @@ mod tests {
         assert!(matches!(
             LinearRegression::fit(&x, &[1.0]),
             Err(MlError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn ragged_rows_rejected_up_front() {
+        let x = vec![vec![1.0], vec![2.0, 9.0], vec![3.0]];
+        let y = [1.0, 2.0, 3.0];
+        assert_eq!(
+            LinearRegression::fit(&x, &y),
+            Err(MlError::RaggedRows {
+                expected: 1,
+                row: 1,
+                actual: 2
+            })
+        );
+        assert!(matches!(
+            LinearRegression::fit_no_intercept(&x, &y),
+            Err(MlError::RaggedRows { .. })
+        ));
+        assert!(matches!(
+            RidgeRegression::fit(&x, &y, 0.5),
+            Err(MlError::RaggedRows { .. })
         ));
     }
 

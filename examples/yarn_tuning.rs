@@ -7,6 +7,7 @@
 //! ```
 
 use kea_core::apps::yarn_config::{pooled_benchmark_test, run_yarn_tuning, YarnTuningParams};
+use kea_core::{optimize_max_containers, OperatingPoint};
 use kea_sim::ClusterSpec;
 
 fn main() {
@@ -35,6 +36,28 @@ fn main() {
     println!(
         "\npredicted: {:+.2}% capacity at unchanged latency",
         outcome.optimization.predicted_capacity_gain * 100.0
+    );
+
+    // Figure 10 sensitivity: re-linearize at a heavy-load operating point
+    // and check the suggested directions still agree with the median run.
+    let p95 = optimize_max_containers(
+        &outcome.engine,
+        &outcome.machine_counts,
+        1.0,
+        OperatingPoint::Percentile(95.0),
+    )
+    .expect("sensitivity run solvable");
+    let agree = outcome
+        .optimization
+        .suggestions
+        .iter()
+        .zip(&p95.suggestions)
+        .filter(|(m, h)| m.delta_step.signum() == h.delta_step.signum())
+        .count();
+    println!(
+        "p95 sensitivity: {}/{} groups keep their direction under heavy load",
+        agree,
+        p95.suggestions.len()
     );
     println!("\nmeasured after fleet-wide deployment (§5.2.2):");
     println!(

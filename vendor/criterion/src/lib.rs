@@ -1,0 +1,253 @@
+//! Offline stand-in for `criterion` (API subset).
+//!
+//! The build environment has no network access, so the workspace vendors
+//! a small wall-clock benchmark harness exposing the criterion 0.5 calls
+//! its benches use: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Methodology: each benchmark is warmed up, then timed over
+//! `sample_size` samples (default 60). Each sample runs enough
+//! iterations to last roughly [`Criterion::TARGET_SAMPLE_TIME`], and the
+//! reported triple is `[min median max]` of the per-iteration sample
+//! means, printed in criterion's familiar format. There is no outlier
+//! analysis, plotting, or state persisted between runs — compare numbers
+//! from the same process/log.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box`; criterion exposes its own copy.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How `iter_batched` amortizes setup; the stub times the routine alone
+/// either way, so the variants only exist for source compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch in real criterion.
+    SmallInput,
+    /// Large inputs: one per batch in real criterion.
+    LargeInput,
+    /// One iteration per batch.
+    PerIteration,
+}
+
+/// Timer handed to benchmark closures.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, running it repeatedly per sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std_black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; only the routine is
+    /// on the clock.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..self.sample_size {
+            let inputs: Vec<I> = (0..self.iters_per_sample).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                std_black_box(routine(input));
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_secs_f64() * 1e9;
+    if nanos < 1_000.0 {
+        format!("{nanos:.2} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} µs", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos / 1_000_000_000.0)
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
+    // Warm-up / calibration pass: find the per-iteration cost so each
+    // sample lasts about TARGET_SAMPLE_TIME.
+    let mut calib = Bencher {
+        iters_per_sample: 1,
+        samples: Vec::new(),
+        sample_size: 1,
+    };
+    f(&mut calib);
+    let per_iter = calib
+        .samples
+        .first()
+        .copied()
+        .unwrap_or(Duration::from_nanos(1))
+        .max(Duration::from_nanos(1));
+    let iters_per_sample =
+        (Criterion::TARGET_SAMPLE_TIME.as_secs_f64() / per_iter.as_secs_f64()).ceil() as u64;
+    let iters_per_sample = iters_per_sample.clamp(1, 1_000_000);
+
+    let mut bencher = Bencher {
+        iters_per_sample,
+        samples: Vec::new(),
+        sample_size,
+    };
+    f(&mut bencher);
+
+    let mut per_iteration: Vec<f64> = bencher
+        .samples
+        .iter()
+        .map(|s| s.as_secs_f64() / iters_per_sample as f64)
+        .collect();
+    per_iteration.sort_by(|a, b| a.total_cmp(b));
+    if per_iteration.is_empty() {
+        println!("{name:<40} (no samples)");
+        return;
+    }
+    let min = Duration::from_secs_f64(per_iteration[0]);
+    let median = Duration::from_secs_f64(per_iteration[per_iteration.len() / 2]);
+    let max = Duration::from_secs_f64(per_iteration[per_iteration.len() - 1]);
+    println!(
+        "{name:<40} time:   [{} {} {}]",
+        format_duration(min),
+        format_duration(median),
+        format_duration(max)
+    );
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 60 }
+    }
+}
+
+impl Criterion {
+    /// Target wall-clock duration of one timing sample.
+    pub const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(5);
+
+    /// Runs (and reports) one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, self.sample_size, f);
+        self
+    }
+
+    /// Starts a named group of benchmarks with its own sample size.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            prefix: name.to_string(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A named group of benchmarks (criterion's `BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    prefix: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timing samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs (and reports) one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.prefix, name), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (no-op in the stub; exists for API parity).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a runnable group, like criterion's.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups, like criterion's.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes harness flags (e.g. `--bench`) to the binary;
+            // the stub has no filtering, so arguments are ignored.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut count = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                count = count.wrapping_add(1);
+                count
+            })
+        });
+        assert!(count > 0, "routine must have run");
+    }
+
+    #[test]
+    fn groups_respect_sample_size() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut runs = 0u64;
+        group.bench_function("inner", |b| {
+            b.iter_batched(|| 1u64, |x| {
+                runs += x;
+                runs
+            }, BatchSize::SmallInput)
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn durations_format_in_sane_units() {
+        assert!(format_duration(Duration::from_nanos(500)).ends_with("ns"));
+        assert!(format_duration(Duration::from_micros(500)).ends_with("µs"));
+        assert!(format_duration(Duration::from_millis(500)).ends_with("ms"));
+        assert!(format_duration(Duration::from_secs(2)).ends_with(" s"));
+    }
+}

@@ -1,0 +1,233 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The build environment has no network access and no registry cache, so
+//! the workspace vendors the exact slice of `rand` it consumes:
+//!
+//! * [`rngs::StdRng`] — a seedable, deterministic generator
+//!   (xoshiro256++ seeded through SplitMix64 rather than ChaCha12; the
+//!   workspace only relies on determinism-given-seed and uniformity, not
+//!   on the specific stream).
+//! * [`SeedableRng::seed_from_u64`]
+//! * [`Rng::gen_range`] over half-open integer and float ranges
+//! * [`seq::SliceRandom::shuffle`] (Fisher–Yates)
+//!
+//! Anything outside this subset is deliberately absent: additions should
+//! be made only when a caller actually needs them, keeping the stub
+//! auditable.
+
+use std::ops::Range;
+
+/// Low-level generator interface: a source of uniform 64-bit words.
+pub trait RngCore {
+    /// The next uniformly distributed 64-bit word.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing generator interface (the subset the workspace calls).
+pub trait Rng: RngCore {
+    /// Uniform draw from a half-open range, like `rand 0.8`'s
+    /// `gen_range(lo..hi)`.
+    ///
+    /// # Panics
+    /// Panics on an empty range, matching `rand`'s contract.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample_from(self)
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Types that can produce a uniform sample from themselves (ranges).
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws one uniform sample using `rng`.
+    fn sample_from<C: RngCore + ?Sized>(self, rng: &mut C) -> Self::Output;
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample_from<C: RngCore + ?Sized>(self, rng: &mut C) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        // 53 random mantissa bits → u ∈ [0, 1).
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let v = self.start + u * (self.end - self.start);
+        // Floating-point rounding can land exactly on `end`; nudge back
+        // inside the half-open interval.
+        if v >= self.end {
+            f64::from_bits(self.end.to_bits() - 1)
+        } else {
+            v
+        }
+    }
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample_from<C: RngCore + ?Sized>(self, rng: &mut C) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128) as u64;
+                // Multiply-shift bounded sampling (Lemire); the slight
+                // modulo bias of the naive approach is avoided and no
+                // rejection loop is needed for test workloads.
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                (self.start as i128 + hi as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(u16, u32, u64, usize, i32, i64);
+
+/// Seedable generators (subset: `seed_from_u64` only).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed, expanding it to the full
+    /// state deterministically.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic seedable generator: xoshiro256++ with SplitMix64
+    /// seed expansion. Statistically solid for simulation/test use; not
+    /// cryptographic (neither was the real `StdRng` contractually).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            // All-zero state would be a fixed point; SplitMix64 cannot
+            // produce four zero words from any seed, but guard anyway.
+            if s == [0; 4] {
+                s[0] = 0x9E3779B97F4A7C15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence-related helpers (subset: `shuffle`).
+
+    use super::Rng;
+
+    /// Extension trait for slices, mirroring `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        /// In-place Fisher–Yates shuffle.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64)
+            .filter(|_| a.gen_range(0u64..1 << 60) == b.gen_range(0u64..1 << 60))
+            .count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn float_range_is_half_open_and_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let v = rng.gen_range(2.0..4.0f64);
+            assert!((2.0..4.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 3.0).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn int_range_covers_all_values() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle left the slice in order (astronomically unlikely)");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = rng.gen_range(5usize..5);
+    }
+}
