@@ -159,8 +159,8 @@ pub fn run_queue_tuning(params: &QueueTuningParams) -> Result<QueueTuningOutcome
 
     // ---- Optimize: common wait target = median of observed waits ------
     let mut waits: Vec<f64> = models.iter().map(|m| m.mean_wait_ms).collect();
-    waits.sort_by(|a, b| a.partial_cmp(b).expect("finite waits"));
-    let target_wait_ms = waits[waits.len() / 2];
+    waits.sort_by(f64::total_cmp);
+    let target_wait_ms = waits[waits.len() / 2]; // kea-lint: allow(index-in-library) — waits has >= 2 entries (checked above); len/2 < len
     for m in &mut models {
         // Invert the wait model at the target: the queue length at which
         // this group's p99 wait reaches the target.
@@ -169,17 +169,18 @@ pub fn run_queue_tuning(params: &QueueTuningParams) -> Result<QueueTuningOutcome
             .inverse(target_wait_ms)
             .unwrap_or(f64::MAX)
             .max(1.0);
+        // kea-lint: allow(truncating-as-cast) — cap is clamped to [1, 10_000] above; round of a finite value fits u32
         m.suggested_cap = cap.min(10_000.0).round() as u32;
     }
 
     // ---- Deploy & evaluate --------------------------------------------
     let mut tuned = baseline;
     for m in &models {
-        tuned
-            .base
-            .get_mut(&m.group.sku)
-            .expect("group SKU in plan")
-            .max_queue_length = m.suggested_cap;
+        // Every modeled group's SKU came from this plan; a missing entry
+        // degrades to leaving that SKU's cap untouched.
+        if let Some(base) = tuned.base.get_mut(&m.group.sku) {
+            base.max_queue_length = m.suggested_cap;
+        }
     }
     let after = run(&SimConfig {
         cluster: cluster.clone(),
@@ -224,7 +225,7 @@ pub fn run_queue_tuning(params: &QueueTuningParams) -> Result<QueueTuningOutcome
                 params.warmup_hours,
                 params.window_hours,
             )
-            .expect("telemetry present")
+            .unwrap_or(f64::NAN) // no telemetry → NaN change, not an abort
     };
     let before_lat = latency(&observe);
     let after_lat = latency(&after);

@@ -139,6 +139,7 @@ pub fn run_sc_selection(params: &ScSelectionParams) -> Result<ScSelectionOutcome
     let table4 = vec![to_row(&throughput), to_row(&latency)];
 
     // SC2 dominates when it reads more data and finishes tasks faster.
+    // kea-lint: allow(index-in-library) — table4 is built from the fixed two-SC comparison right above
     let recommendation = if table4[0].change_pct > 0.0 && table4[1].change_pct < 0.0 {
         "SC2"
     } else {
@@ -170,8 +171,23 @@ mod tests {
         }
     }
 
+    /// Runs the heavy suite when `KEA_SLOW_TESTS=1` is set, so the
+    /// opt-in works without test-runner flags; `cargo test -- --ignored`
+    /// reaches the `#[ignore]`d twin directly.
     #[test]
+    fn sc2_dominates_as_in_table_4_when_opted_in() {
+        if std::env::var("KEA_SLOW_TESTS").is_ok_and(|v| v == "1") {
+            sc2_dominates_as_in_table_4_impl();
+        }
+    }
+
+    #[test]
+    #[ignore = "slow (~24 s) Monte-Carlo suite; run with `cargo test -- --ignored` or KEA_SLOW_TESTS=1"]
     fn sc2_dominates_as_in_table_4() {
+        sc2_dominates_as_in_table_4_impl();
+    }
+
+    fn sc2_dominates_as_in_table_4_impl() {
         let out = run_sc_selection(&quick_params()).unwrap();
         assert_eq!(out.recommendation, "SC2");
         let throughput = &out.table4[0];

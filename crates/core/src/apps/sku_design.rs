@@ -190,7 +190,7 @@ pub fn run_sku_design(
         params.draws,
         &mut rng,
         move |&(s_cap, r_cap), rng: &mut StdRng| {
-            let (beta_s, beta_r) = pairs[rng.gen_range(0..pairs.len())];
+            let (beta_s, beta_r) = pairs[rng.gen_range(0..pairs.len())]; // kea-lint: allow(index-in-library) — gen_range(0..len) is in bounds
             // Binding resource: cores usable before SSD or RAM strands us.
             let c_ssd = (s_cap - alpha_s) / beta_s;
             let c_ram = (r_cap - alpha_r) / beta_r;
@@ -217,13 +217,14 @@ pub fn run_sku_design(
         .candidates
         .iter()
         .map(|cc| DesignCost {
+            // kea-lint: allow(index-in-library) — cc.index enumerates candidates in minimize_expected_cost
             ssd_gb: candidates[cc.index].0,
-            ram_gb: candidates[cc.index].1,
+            ram_gb: candidates[cc.index].1, // kea-lint: allow(index-in-library) — same in-bounds cc.index as the line above
             expected_cost: cc.mean_cost,
             std_err: cc.std_err,
         })
         .collect();
-    let best = surface[report.best_index];
+    let best = surface[report.best_index]; // kea-lint: allow(index-in-library) — best_index < candidates.len() == surface.len() by construction
 
     Ok(SkuDesignOutcome {
         ssd_model,

@@ -53,6 +53,9 @@
 //! assert!(util > 0.0 && tasks_per_hour > 0.0 && latency > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod anomaly;
 pub mod apps;
 pub mod conceptualization;

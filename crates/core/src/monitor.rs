@@ -56,9 +56,12 @@ impl<'a> PerformanceMonitor<'a> {
         })?;
         let mut sums: BTreeMap<u64, (f64, u64)> = (start..end).map(|h| (h, (0.0, 0))).collect();
         for rec in self.store.iter() {
-            let e = sums.get_mut(&rec.hour).expect("hour within span");
-            e.0 += metric.value(&rec.metrics);
-            e.1 += 1;
+            // hour_span() covers every stored record; a record outside the
+            // span (impossible today) would simply not contribute.
+            if let Some(e) = sums.get_mut(&rec.hour) {
+                e.0 += metric.value(&rec.metrics);
+                e.1 += 1;
+            }
         }
         Ok(sums
             .into_iter()

@@ -31,6 +31,8 @@
 //! implementation is preserved in [`reference`] so tests can assert
 //! numerical equivalence and benches can measure the speedup.
 
+// kea-lint: allow-file(index-in-library) — parallel per-group vectors all have identical length G, established in optimization_inputs
+
 use crate::error::KeaError;
 use crate::whatif::WhatIfEngine;
 use kea_opt::{LpProblem, Relation};
@@ -248,13 +250,15 @@ fn optimization_inputs(
     let current: Vec<f64> = groups
         .iter()
         .map(|&g| {
-            let models = engine.group(g).expect("group listed by engine");
-            match at {
+            let models = engine
+                .group(g)
+                .ok_or_else(|| KeaError::Design(format!("group {g:?} not fitted by engine")))?;
+            Ok(match at {
                 OperatingPoint::Median => models.current_containers,
                 OperatingPoint::Percentile(p) => models.containers_percentile(p),
-            }
+            })
         })
-        .collect();
+        .collect::<Result<_, KeaError>>()?;
     Ok((groups, n_machines, current))
 }
 
@@ -469,9 +473,9 @@ pub mod reference {
         for (i, &g) in groups.iter().enumerate() {
             let (hi, lo) = gradient_probe_points(current[i]);
             let mut plus = current_map.clone();
-            *plus.get_mut(&g).expect("group in map") = hi;
+            plus.insert(g, hi);
             let mut minus = current_map.clone();
-            *minus.get_mut(&g).expect("group in map") = lo;
+            minus.insert(g, lo);
             let w_plus = cluster_latency(engine, machine_counts, &plus)?;
             let w_minus = cluster_latency(engine, machine_counts, &minus)?;
             gradients.push((w_plus - w_minus) / (hi - lo));

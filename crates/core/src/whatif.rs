@@ -13,6 +13,8 @@
 //! cluster operation supplies the spread of operating points that makes
 //! this possible without experiments (the crucial observation of §4.2).
 
+// kea-lint: allow-file(index-in-library) — shared column lengths validated at load; ranks clamped into bounds before use
+
 use crate::error::KeaError;
 use crate::monitor::PerformanceMonitor;
 use kea_ml::{r2_score, LinearModel1D};
@@ -118,8 +120,8 @@ impl GroupModels {
         // propagate into the rank arithmetic below.
         let p = if p.is_nan() { 0.0 } else { p.clamp(0.0, 100.0) };
         let rank = p / 100.0 * (s.len() - 1) as f64;
-        let lo = rank.floor() as usize;
-        let hi = rank.ceil() as usize;
+        let lo = rank.floor() as usize; // kea-lint: allow(truncating-as-cast) — rank ∈ [0, len-1]: p clamped finite above
+        let hi = rank.ceil() as usize; // kea-lint: allow(truncating-as-cast) — same bound as `lo`
         let frac = rank - lo as f64;
         s[lo] * (1.0 - frac) + s[hi] * frac
     }
@@ -249,7 +251,15 @@ impl WhatIfEngine {
         }
         results
             .into_iter()
-            .map(|r| r.expect("every fit slot filled"))
+            .map(|r| {
+                // Each slot is written exactly once by the chunk partition;
+                // an unfilled slot degrades to a per-group error.
+                r.unwrap_or_else(|| {
+                    Err(KeaError::Design(
+                        "fit worker left a group slot unfilled".to_string(),
+                    ))
+                })
+            })
             .collect()
     }
 
@@ -283,9 +293,9 @@ impl WhatIfEngine {
         // containers, every later percentile lookup) reads the sorted
         // copy instead of re-sorting per call.
         let mut containers_sorted = containers.clone();
-        containers_sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite aggregates"));
+        containers_sorted.sort_by(f64::total_cmp);
         let mut util_sorted = util.clone();
-        util_sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite aggregates"));
+        util_sorted.sort_by(f64::total_cmp);
         Ok(GroupModels {
             group,
             n_machines: machines.len(),

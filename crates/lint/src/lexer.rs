@@ -1,0 +1,429 @@
+//! A minimal hand-rolled Rust lexer.
+//!
+//! `kea-lint` deliberately avoids `syn`/`proc-macro2` (the build
+//! environment vendors every dependency, and a full parse is not needed
+//! for the rule set). The lexer produces a flat token stream with
+//! comments captured out-of-band so suppression directives — which live
+//! in line comments — can be matched against diagnostics by line.
+//!
+//! Fidelity notes:
+//! * strings (plain, raw, byte, byte-raw), char literals, and lifetimes
+//!   are recognized so that `'` and `"` content never leaks tokens;
+//! * block comments nest, as in real Rust;
+//! * common multi-character operators (`::`, `==`, `!=`, `..`, `->`,
+//!   `=>`, …) are fused into single [`TokKind::Op`] tokens so rules can
+//!   match `a == b` without reassembling punctuation;
+//! * numeric literals are classified int vs. float (suffix- and
+//!   exponent-aware) because two rules key off float literals.
+
+/// Lexical class of a [`Tok`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`foo`, `let`, `r#loop` → `loop`).
+    Ident,
+    /// Lifetime such as `'a` (the quote is consumed).
+    Lifetime,
+    /// Integer literal, including hex/octal/binary and suffixed forms.
+    Int,
+    /// Float literal (`1.5`, `1e-3`, `2f64`, `1.`).
+    Float,
+    /// String literal of any flavor (contents are kept but unescaped).
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// Fused multi-character operator (`::`, `==`, `..=`, …).
+    Op,
+    /// Any single punctuation character not fused into an `Op`.
+    Punct,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Lexical class.
+    pub kind: TokKind,
+    /// Raw text of the token (for `Op`/`Punct`, the operator itself).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in bytes) of the token's first character.
+    pub col: u32,
+}
+
+impl Tok {
+    /// True if this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True if this token is the punctuation/operator `s`.
+    pub fn is_sym(&self, s: &str) -> bool {
+        (self.kind == TokKind::Punct || self.kind == TokKind::Op) && self.text == s
+    }
+}
+
+/// Result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct LexOutput {
+    /// The token stream, comments and whitespace removed.
+    pub toks: Vec<Tok>,
+    /// Line comments as `(line, text-after-“//”)`, in file order.
+    /// Doc comments (`///`, `//!`) are included; block comments are not
+    /// (suppression directives are line comments by contract).
+    pub line_comments: Vec<(u32, String)>,
+}
+
+/// Multi-character operators fused by the lexer, longest first.
+const OPS: &[&str] = &[
+    "..=", "<<=", ">>=", "::", "==", "!=", "<=", ">=", "->", "=>", "..", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+];
+
+/// Lex `src` into tokens plus out-of-band line comments.
+pub fn lex(src: &str) -> LexOutput {
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+        out: LexOutput::default(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: LexOutput,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.bytes.get(self.pos + ahead).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let b = self.bytes[self.pos];
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        b
+    }
+
+    fn push(&mut self, kind: TokKind, text: &str, line: u32, col: u32) {
+        self.out.toks.push(Tok {
+            kind,
+            text: text.to_string(),
+            line,
+            col,
+        });
+    }
+
+    fn run(mut self) -> LexOutput {
+        while self.pos < self.bytes.len() {
+            let b = self.peek(0);
+            let (line, col) = (self.line, self.col);
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == b'/' => self.line_comment(),
+                b'/' if self.peek(1) == b'*' => self.block_comment(),
+                b'"' => self.string_lit(line, col),
+                b'\'' => self.quote(line, col),
+                b'0'..=b'9' => self.number(line, col),
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.ident(line, col),
+                _ if b >= 0x80 => {
+                    // Non-ASCII outside strings/comments: consume the
+                    // whole UTF-8 sequence as an opaque punct.
+                    let start = self.pos;
+                    self.bump();
+                    while self.pos < self.bytes.len() && self.peek(0) & 0xC0 == 0x80 {
+                        self.bump();
+                    }
+                    let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+                    self.push(TokKind::Punct, &text, line, col);
+                }
+                _ => self.operator(line, col),
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.bump();
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.peek(0) != b'\n' {
+            self.bump();
+        }
+        let text = self.src[start..self.pos].to_string();
+        self.out.line_comments.push((line, text));
+    }
+
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump();
+        let mut depth = 1u32;
+        while self.pos < self.bytes.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                self.bump();
+                self.bump();
+                depth += 1;
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                self.bump();
+                self.bump();
+                depth -= 1;
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    /// Plain `"..."` string starting at the opening quote.
+    fn string_lit(&mut self, line: u32, col: u32) {
+        self.bump(); // opening quote
+        let start = self.pos;
+        while self.pos < self.bytes.len() {
+            match self.peek(0) {
+                b'\\' => {
+                    self.bump();
+                    if self.pos < self.bytes.len() {
+                        self.bump();
+                    }
+                }
+                b'"' => break,
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+        let text = self.src[start..self.pos].to_string();
+        if self.pos < self.bytes.len() {
+            self.bump(); // closing quote
+        }
+        self.push(TokKind::Str, &text, line, col);
+    }
+
+    /// Raw string `r##"..."##` starting at the first `#` or `"`.
+    fn raw_string(&mut self, line: u32, col: u32) {
+        let mut hashes = 0usize;
+        while self.peek(0) == b'#' {
+            self.bump();
+            hashes += 1;
+        }
+        self.bump(); // opening quote
+        let start = self.pos;
+        let end;
+        'outer: loop {
+            if self.pos >= self.bytes.len() {
+                end = self.pos;
+                break;
+            }
+            if self.peek(0) == b'"' {
+                let mut ok = true;
+                for k in 0..hashes {
+                    if self.peek(1 + k) != b'#' {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    end = self.pos;
+                    self.bump();
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    break 'outer;
+                }
+            }
+            self.bump();
+        }
+        let text = self.src[start..end].to_string();
+        self.push(TokKind::Str, &text, line, col);
+    }
+
+    /// `'` — lifetime or char literal.
+    fn quote(&mut self, line: u32, col: u32) {
+        self.bump(); // the quote
+        let b = self.peek(0);
+        if (b.is_ascii_alphabetic() || b == b'_') && b != 0 {
+            // Scan the identifier run; a trailing quote means a char
+            // literal like 'a', otherwise it is a lifetime.
+            let mut k = 0;
+            while {
+                let c = self.peek(k);
+                c.is_ascii_alphanumeric() || c == b'_'
+            } {
+                k += 1;
+            }
+            if self.peek(k) == b'\'' {
+                let start = self.pos;
+                for _ in 0..=k {
+                    self.bump();
+                }
+                let text = self.src[start..self.pos - 1].to_string();
+                self.push(TokKind::Char, &text, line, col);
+            } else {
+                let start = self.pos;
+                for _ in 0..k {
+                    self.bump();
+                }
+                let text = self.src[start..self.pos].to_string();
+                self.push(TokKind::Lifetime, &text, line, col);
+            }
+        } else {
+            // Char literal with an escape, punctuation, or multibyte
+            // content: scan to the closing quote.
+            let start = self.pos;
+            while self.pos < self.bytes.len() && self.peek(0) != b'\'' {
+                if self.peek(0) == b'\\' {
+                    self.bump();
+                }
+                if self.pos < self.bytes.len() {
+                    self.bump();
+                }
+            }
+            let text = self.src[start..self.pos].to_string();
+            if self.pos < self.bytes.len() {
+                self.bump(); // closing quote
+            }
+            self.push(TokKind::Char, &text, line, col);
+        }
+    }
+
+    fn number(&mut self, line: u32, col: u32) {
+        let start = self.pos;
+        let mut is_float = false;
+        if self.peek(0) == b'0' && matches!(self.peek(1), b'x' | b'o' | b'b') {
+            self.bump();
+            self.bump();
+            while self.peek(0).is_ascii_alphanumeric() || self.peek(0) == b'_' {
+                self.bump();
+            }
+        } else {
+            while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+                self.bump();
+            }
+            // Fractional part: `1.5` or trailing-dot `1.` — but not the
+            // range `1..2` or a method call `1.max(2)`.
+            if self.peek(0) == b'.' {
+                let after = self.peek(1);
+                if after.is_ascii_digit() {
+                    is_float = true;
+                    self.bump();
+                    while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+                        self.bump();
+                    }
+                } else if after != b'.' && !after.is_ascii_alphabetic() && after != b'_' {
+                    is_float = true;
+                    self.bump();
+                }
+            }
+            // Exponent.
+            if matches!(self.peek(0), b'e' | b'E') {
+                let (s1, s2) = (self.peek(1), self.peek(2));
+                if s1.is_ascii_digit() || ((s1 == b'+' || s1 == b'-') && s2.is_ascii_digit()) {
+                    is_float = true;
+                    self.bump();
+                    if matches!(self.peek(0), b'+' | b'-') {
+                        self.bump();
+                    }
+                    while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+                        self.bump();
+                    }
+                }
+            }
+            // Type suffix: `1.0f64`, `3usize`.
+            if self.peek(0) == b'f' && self.peek(1).is_ascii_digit() {
+                is_float = true;
+            }
+            while self.peek(0).is_ascii_alphanumeric() || self.peek(0) == b'_' {
+                self.bump();
+            }
+        }
+        let text = self.src[start..self.pos].to_string();
+        let kind = if is_float { TokKind::Float } else { TokKind::Int };
+        self.push(kind, &text, line, col);
+    }
+
+    fn ident(&mut self, line: u32, col: u32) {
+        let start = self.pos;
+        while {
+            let c = self.peek(0);
+            c.is_ascii_alphanumeric() || c == b'_'
+        } {
+            self.bump();
+        }
+        let text = self.src[start..self.pos].to_string();
+        // String/char prefixes and raw identifiers.
+        match text.as_str() {
+            "r" | "br" => {
+                if self.peek(0) == b'"' || (self.peek(0) == b'#' && self.raw_ahead_is_string()) {
+                    self.raw_string(line, col);
+                    return;
+                }
+                if text == "r" && self.peek(0) == b'#' {
+                    // Raw identifier `r#loop`.
+                    self.bump();
+                    let istart = self.pos;
+                    while {
+                        let c = self.peek(0);
+                        c.is_ascii_alphanumeric() || c == b'_'
+                    } {
+                        self.bump();
+                    }
+                    let raw = self.src[istart..self.pos].to_string();
+                    self.push(TokKind::Ident, &raw, line, col);
+                    return;
+                }
+            }
+            "b" => {
+                if self.peek(0) == b'"' {
+                    self.string_lit(line, col);
+                    return;
+                }
+                if self.peek(0) == b'\'' {
+                    self.quote(line, col);
+                    return;
+                }
+            }
+            _ => {}
+        }
+        self.push(TokKind::Ident, &text, line, col);
+    }
+
+    /// After an `r`/`br` ident, are we looking at `#…#"` (raw string)
+    /// rather than a raw identifier?
+    fn raw_ahead_is_string(&self) -> bool {
+        let mut k = 0;
+        while self.peek(k) == b'#' {
+            k += 1;
+        }
+        self.peek(k) == b'"'
+    }
+
+    fn operator(&mut self, line: u32, col: u32) {
+        for op in OPS {
+            let rest = &self.bytes[self.pos..];
+            if rest.len() >= op.len() && &rest[..op.len()] == op.as_bytes() {
+                for _ in 0..op.len() {
+                    self.bump();
+                }
+                self.push(TokKind::Op, op, line, col);
+                return;
+            }
+        }
+        let b = self.bump();
+        self.push(TokKind::Punct, &(b as char).to_string(), line, col);
+    }
+}

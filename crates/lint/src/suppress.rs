@@ -1,0 +1,127 @@
+//! Inline suppression directives.
+//!
+//! The contract (documented in CONTRIBUTING.md):
+//!
+//! * `// kea-lint: allow(<rule>[, <rule>…]) — <reason>` silences the
+//!   named rule(s) on the directive's own line and on the line
+//!   immediately below it. The reason is **mandatory**.
+//! * `// kea-lint: allow-file(<rule>[, <rule>…]) — <reason>` silences
+//!   the named rule(s) for the whole file; intended for dense numeric
+//!   kernels where a per-line directive per index would drown the code.
+//! * The reason separator is an em dash (`—`), `--`, `-`, or `:`.
+//! * A malformed directive (unknown rule, missing reason, bad syntax)
+//!   is itself reported as `bad-suppression` and cannot be silenced.
+
+use crate::diag::Diagnostic;
+
+/// Rule id for malformed suppression directives.
+pub const BAD_SUPPRESSION: &str = "bad-suppression";
+
+/// Parsed suppression state for one file.
+#[derive(Debug, Default)]
+pub struct Suppressions {
+    /// `(directive line, rule)` pairs from line-scoped `allow(...)`.
+    line_allows: Vec<(u32, String)>,
+    /// Rules allowed for the entire file via `allow-file(...)`.
+    file_allows: Vec<String>,
+    /// Diagnostics for malformed directives.
+    pub bad: Vec<Diagnostic>,
+}
+
+impl Suppressions {
+    /// Does a directive cover `rule` at `line`?
+    ///
+    /// Line-scoped allows cover the directive's own line and the next
+    /// line, so both trailing (`stmt; // kea-lint: allow(...) — r`) and
+    /// leading (directive on its own line above) placements work.
+    pub fn allows(&self, rule: &str, line: u32) -> bool {
+        if rule == BAD_SUPPRESSION {
+            return false;
+        }
+        if self.file_allows.iter().any(|r| r == rule) {
+            return true;
+        }
+        self.line_allows
+            .iter()
+            .any(|(l, r)| r == rule && (*l == line || l + 1 == line))
+    }
+}
+
+/// Parse every `kea-lint:` directive out of a file's line comments.
+///
+/// `known_rules` is the set of valid rule ids; referencing anything else
+/// is a `bad-suppression` diagnostic.
+pub fn parse(file: &str, comments: &[(u32, String)], known_rules: &[&str]) -> Suppressions {
+    let mut sup = Suppressions::default();
+    for (line, text) in comments {
+        let Some(at) = text.find("kea-lint:") else {
+            continue;
+        };
+        let body = text[at + "kea-lint:".len()..].trim_start();
+        match parse_directive(body, known_rules) {
+            Ok((rules, file_scoped)) => {
+                for r in rules {
+                    if file_scoped {
+                        sup.file_allows.push(r);
+                    } else {
+                        sup.line_allows.push((*line, r));
+                    }
+                }
+            }
+            Err(why) => sup.bad.push(Diagnostic::new(
+                BAD_SUPPRESSION,
+                file,
+                *line,
+                1,
+                format!("malformed kea-lint directive: {why}"),
+            )),
+        }
+    }
+    sup
+}
+
+/// Parse `allow(<rules>) <sep> <reason>` / `allow-file(...)`; returns
+/// the rule list and whether the directive is file-scoped.
+fn parse_directive(body: &str, known_rules: &[&str]) -> Result<(Vec<String>, bool), String> {
+    let (file_scoped, rest) = if let Some(r) = body.strip_prefix("allow-file") {
+        (true, r)
+    } else if let Some(r) = body.strip_prefix("allow") {
+        (false, r)
+    } else {
+        return Err(format!(
+            "expected `allow(...)` or `allow-file(...)`, found `{}`",
+            body.chars().take(30).collect::<String>()
+        ));
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return Err("expected `(` after allow".into());
+    };
+    let Some(close) = rest.find(')') else {
+        return Err("unclosed rule list — missing `)`".into());
+    };
+    let mut rules = Vec::new();
+    for raw in rest[..close].split(',') {
+        let rule = raw.trim();
+        if rule.is_empty() {
+            return Err("empty rule name in allow list".into());
+        }
+        if !known_rules.contains(&rule) {
+            return Err(format!(
+                "unknown rule `{rule}` (known: {})",
+                known_rules.join(", ")
+            ));
+        }
+        rules.push(rule.to_string());
+    }
+    // Reason: mandatory, after a separator.
+    let tail = rest[close + 1..].trim_start();
+    let reason = ["—", "--", "-", ":"]
+        .iter()
+        .find_map(|sep| tail.strip_prefix(sep))
+        .map(str::trim);
+    match reason {
+        Some(r) if !r.is_empty() => Ok((rules, file_scoped)),
+        _ => Err("missing reason — write `allow(<rule>) — <why this is safe>`".into()),
+    }
+}

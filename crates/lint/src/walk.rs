@@ -1,0 +1,63 @@
+//! Workspace discovery and the lint policy.
+//!
+//! Policy: the panic-free/NaN-safe invariants apply to the **library
+//! crates** that sit on KEA's always-on tuning path. Test files
+//! (`tests/`, `benches/`), examples, the bench harness, vendored
+//! dependency stand-ins, and this lint crate itself are out of scope —
+//! aborting a test on a violated invariant is exactly what tests are
+//! for.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Crates whose `src/` trees the lints apply to.
+pub const LIBRARY_CRATES: &[&str] = &["core", "ml", "opt", "sim", "stats", "telemetry"];
+
+/// Locate the workspace root by walking up from `start` until a
+/// directory containing a `Cargo.toml` with a `[workspace]` table.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Every `.rs` file under the library crates' `src/` directories,
+/// workspace-relative, sorted for deterministic output.
+pub fn library_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    for krate in LIBRARY_CRATES {
+        let src = root.join("crates").join(krate).join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut out)?;
+        }
+    }
+    for p in &mut out {
+        if let Ok(rel) = p.strip_prefix(root) {
+            *p = rel.to_path_buf();
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,21 @@
+//! Fixture: idiomatic KEA library code — no rule fires.
+
+/// Degrade to NaN instead of panicking; iterate instead of indexing.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// NaN-total ordering and checked access.
+pub fn max_sorted(xs: &mut Vec<f64>) -> Option<f64> {
+    xs.sort_by(f64::total_cmp);
+    xs.last().copied()
+}
+
+/// A kept-and-joined worker thread.
+pub fn run_worker() -> std::thread::Result<()> {
+    let handle = std::thread::spawn(|| {});
+    handle.join()
+}

@@ -1,0 +1,20 @@
+//! Fixture: `index-in-library` fires on index expressions but not on
+//! slice patterns or type syntax.
+
+pub fn ident_index(xs: &[f64]) -> f64 {
+    xs[0]
+}
+
+pub fn chained_index(grid: &[Vec<f64>]) -> f64 {
+    grid[1][2]
+}
+
+pub fn call_result_index(xs: &[f64]) -> f64 {
+    (xs)[0]
+}
+
+pub fn not_an_index(xs: &[f64; 2]) -> f64 {
+    let [a, b] = xs;
+    let _ty: &[f64] = xs;
+    a + b
+}

@@ -1,0 +1,29 @@
+//! Fixture: `nan-unsafe-ordering` fires on NaN-hostile comparisons and
+//! stays quiet on exact-zero division guards.
+
+pub fn partial_cmp_unwrap(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+pub fn partial_cmp_expect(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+}
+
+pub fn float_literal_equality(x: f64) -> bool {
+    x == 1.5
+}
+
+pub fn float_literal_inequality(x: f64) -> bool {
+    x != 2.0
+}
+
+pub fn nan_comparison(x: f64) -> bool {
+    x == f64::NAN
+}
+
+pub fn zero_guard_is_fine(d: f64, n: f64) -> f64 {
+    if d == 0.0 {
+        return f64::NAN;
+    }
+    n / d
+}

@@ -1,0 +1,25 @@
+//! Fixture: every arm of the `panic-in-library` rule fires.
+
+pub fn unwrap_site(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn expect_site(v: Option<u32>) -> u32 {
+    v.expect("present")
+}
+
+pub fn panic_site() {
+    panic!("boom");
+}
+
+pub fn unreachable_site() {
+    unreachable!();
+}
+
+pub fn todo_site() {
+    todo!()
+}
+
+pub fn unimplemented_site() {
+    unimplemented!()
+}

@@ -1,0 +1,16 @@
+//! Fixture: malformed directives are `bad-suppression` diagnostics and
+//! do NOT silence the violation they sit next to.
+
+pub fn missing_reason(v: Option<u32>) -> u32 {
+    // kea-lint: allow(panic-in-library)
+    v.unwrap()
+}
+
+pub fn unknown_rule(xs: &[f64]) -> f64 {
+    // kea-lint: allow(no-such-rule) — the rule name is wrong
+    xs[0]
+}
+
+pub fn not_a_directive_shape() {
+    // kea-lint: deny(panic-in-library) — only allow/allow-file exist
+}

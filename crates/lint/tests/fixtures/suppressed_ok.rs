@@ -1,0 +1,22 @@
+//! Fixture: reasoned directives silence their rule — trailing form,
+//! leading form, multi-rule form, and whole-file form.
+
+// kea-lint: allow-file(truncating-as-cast) — fixture exercises file-scoped allows
+
+pub fn trailing_allow(v: Option<u32>) -> u32 {
+    v.unwrap() // kea-lint: allow(panic-in-library) — fixture: value planted by caller
+}
+
+pub fn leading_allow(xs: &[f64]) -> f64 {
+    // kea-lint: allow(index-in-library) — fixture: caller guarantees non-empty
+    xs[0]
+}
+
+pub fn multi_rule_allow(xs: &[f64], x: f64) -> bool {
+    // kea-lint: allow(index-in-library, nan-unsafe-ordering) — fixture: both on one line
+    xs[0] == 1.5 && x > 0.0
+}
+
+pub fn file_scoped_allow(x: f64) -> u32 {
+    x.round() as u32
+}

@@ -1,0 +1,22 @@
+//! Fixture: violations inside `#[cfg(test)]` / `#[test]` items are
+//! exempt — a test that panics is a failing test, not an outage.
+
+pub fn clean_library_fn(v: Option<u32>) -> u32 {
+    v.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_in_test_is_fine() {
+        let xs = [1.0, 2.0];
+        assert_eq!(clean_library_fn(Some(1)), 1);
+        let _first = xs[0];
+        let _exact = xs[0] == 1.0;
+        let _n = 1.5 as usize;
+        Some(3u32).unwrap();
+        std::thread::spawn(|| {});
+    }
+}

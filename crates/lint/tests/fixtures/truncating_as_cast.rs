@@ -1,0 +1,26 @@
+//! Fixture: `truncating-as-cast` fires on float→int casts and narrowing
+//! `.len()` casts, and stays quiet on int→int widening.
+
+pub fn float_literal_cast() -> usize {
+    1.5 as usize
+}
+
+pub fn float_method_cast(x: f64) -> u32 {
+    x.round() as u32
+}
+
+pub fn float_floor_cast(x: f64) -> usize {
+    (x * 10.0).floor() as usize
+}
+
+pub fn narrow_len_cast(xs: &[u8]) -> u32 {
+    xs.len() as u32
+}
+
+pub fn wide_len_cast_is_fine(xs: &[u8]) -> u64 {
+    xs.len() as u64
+}
+
+pub fn int_widening_is_fine(x: u8) -> u64 {
+    x as u64
+}

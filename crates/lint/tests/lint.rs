@@ -1,0 +1,207 @@
+//! Integration tests for `kea-lint`: one fixture per rule, the
+//! test-code exemption, the suppression contract, JSON output, the CLI
+//! exit-code contract, and the self-check that the shipped workspace is
+//! violation-free.
+
+use kea_lint::diag::{render_json, Diagnostic};
+use kea_lint::lint_source;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Lint a fixture as library code, the way `kea-lint <file>` does.
+fn lint_fixture(name: &str) -> Vec<Diagnostic> {
+    let path = fixture_path(name);
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading fixture {}: {e}", path.display()));
+    lint_source(name, &src)
+}
+
+fn rules_of(diags: &[Diagnostic]) -> Vec<&str> {
+    diags.iter().map(|d| d.rule.as_str()).collect()
+}
+
+// ---- one positive fixture per rule ------------------------------------
+
+#[test]
+fn panic_fixture_catches_every_macro_and_method() {
+    let diags = lint_fixture("panic_in_library.rs");
+    assert_eq!(rules_of(&diags), vec!["panic-in-library"; 6], "{diags:#?}");
+    let msgs: String = diags.iter().map(|d| d.message.as_str()).collect();
+    for needle in ["unwrap", "expect", "panic", "unreachable", "todo", "unimplemented"] {
+        assert!(msgs.contains(needle), "missing `{needle}` in {msgs}");
+    }
+}
+
+#[test]
+fn index_fixture_flags_expressions_not_patterns() {
+    let diags = lint_fixture("index_in_library.rs");
+    assert_eq!(rules_of(&diags), vec!["index-in-library"; 4], "{diags:#?}");
+    // The slice pattern and slice type in `not_an_index` must not fire:
+    // every hit lies before that function's body.
+    assert!(diags.iter().all(|d| d.line < 17), "{diags:#?}");
+}
+
+#[test]
+fn nan_fixture_flags_partial_cmp_and_float_equality() {
+    let diags = lint_fixture("nan_unsafe_ordering.rs");
+    assert_eq!(rules_of(&diags), vec!["nan-unsafe-ordering"; 5], "{diags:#?}");
+    // The `partial_cmp(..).unwrap()` chain is reported once, as the NaN
+    // rule — not double-reported as panic-in-library.
+    assert!(diags.iter().all(|d| d.rule != "panic-in-library"));
+    // The exact-zero division guard is exempt.
+    assert!(diags.iter().all(|d| d.line < 24), "{diags:#?}");
+}
+
+#[test]
+fn cast_fixture_flags_truncation_not_widening() {
+    let diags = lint_fixture("truncating_as_cast.rs");
+    assert_eq!(rules_of(&diags), vec!["truncating-as-cast"; 4], "{diags:#?}");
+    // `.len() as u64` and `u8 as u64` (widening) are fine.
+    assert!(diags.iter().all(|d| d.line < 21), "{diags:#?}");
+}
+
+#[test]
+fn spawn_fixture_flags_discarded_handles_only() {
+    let diags = lint_fixture("unguarded_spawn.rs");
+    assert_eq!(rules_of(&diags), vec!["unguarded-spawn"; 2], "{diags:#?}");
+    // The bound and chained forms are guarded.
+    assert!(diags.iter().all(|d| d.line < 15), "{diags:#?}");
+}
+
+// ---- exemptions and suppressions --------------------------------------
+
+#[test]
+fn test_code_is_exempt() {
+    let diags = lint_fixture("test_code_exempt.rs");
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn reasoned_suppressions_silence_their_rule() {
+    let diags = lint_fixture("suppressed_ok.rs");
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn malformed_suppressions_are_reported_and_do_not_silence() {
+    let diags = lint_fixture("suppressed_bad.rs");
+    let bad: Vec<_> = diags.iter().filter(|d| d.rule == "bad-suppression").collect();
+    assert_eq!(bad.len(), 3, "{diags:#?}");
+    // The violations next to the malformed directives still fire.
+    assert!(diags.iter().any(|d| d.rule == "panic-in-library"));
+    assert!(diags.iter().any(|d| d.rule == "index-in-library"));
+    assert_eq!(diags.len(), 5, "{diags:#?}");
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    let diags = lint_fixture("clean.rs");
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+// ---- output formats ----------------------------------------------------
+
+#[test]
+fn json_output_has_the_documented_shape() {
+    let diags = lint_fixture("unguarded_spawn.rs");
+    let json = render_json(&diags);
+    assert!(json.contains("\"version\": 1"), "{json}");
+    assert!(json.contains("\"count\": 2"), "{json}");
+    assert!(json.contains("\"rule\": \"unguarded-spawn\""), "{json}");
+    assert!(json.contains("\"file\": \"unguarded_spawn.rs\""), "{json}");
+    assert!(json.contains("\"line\": "), "{json}");
+    // Messages containing quotes/backslashes must be escaped.
+    let tricky = vec![Diagnostic::new("panic-in-library", r"a\b.rs", 1, 1, "say \"hi\"")];
+    let json = render_json(&tricky);
+    assert!(json.contains(r#""file": "a\\b.rs""#), "{json}");
+    assert!(json.contains(r#"say \"hi\""#), "{json}");
+}
+
+#[test]
+fn empty_json_document_is_well_formed() {
+    let json = render_json(&[]);
+    assert!(json.contains("\"count\": 0"), "{json}");
+    assert!(json.contains("\"diagnostics\": [\n  ]"), "{json}");
+}
+
+// ---- CLI exit-code contract -------------------------------------------
+
+fn run_cli(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_kea-lint"))
+        .args(args)
+        .output()
+        .expect("spawning kea-lint")
+}
+
+#[test]
+fn cli_exits_nonzero_on_each_rule_fixture() {
+    for fixture in [
+        "panic_in_library.rs",
+        "index_in_library.rs",
+        "nan_unsafe_ordering.rs",
+        "truncating_as_cast.rs",
+        "unguarded_spawn.rs",
+        "suppressed_bad.rs",
+    ] {
+        let path = fixture_path(fixture);
+        let out = run_cli(&[path.to_str().expect("utf-8 path")]);
+        assert_eq!(out.status.code(), Some(1), "{fixture}: {out:?}");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("error["), "{fixture}: {stdout}");
+    }
+}
+
+#[test]
+fn cli_exits_zero_on_clean_input() {
+    let path = fixture_path("clean.rs");
+    let out = run_cli(&[path.to_str().expect("utf-8 path")]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("kea-lint: clean"));
+}
+
+#[test]
+fn cli_exits_two_on_usage_errors() {
+    assert_eq!(run_cli(&[]).status.code(), Some(2));
+    assert_eq!(run_cli(&["--no-such-flag"]).status.code(), Some(2));
+    assert_eq!(
+        run_cli(&["does/not/exist.rs"]).status.code(),
+        Some(2),
+        "unreadable input is an I/O error, not a lint failure"
+    );
+}
+
+#[test]
+fn cli_json_flag_switches_format() {
+    let path = fixture_path("clean.rs");
+    let out = run_cli(&["--format", "json", path.to_str().expect("utf-8 path")]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"version\": 1"), "{stdout}");
+    assert!(stdout.contains("\"count\": 0"), "{stdout}");
+}
+
+// ---- the self-check ----------------------------------------------------
+
+/// The shipped workspace must be violation-free: every library
+/// unwrap/index/cast either got fixed or carries a reasoned allow. This
+/// is the same scan CI runs via `cargo run -p kea-lint -- --workspace`.
+#[test]
+fn shipped_workspace_is_violation_free() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists");
+    let diags = kea_lint::lint_workspace(&root).expect("workspace walk succeeds");
+    assert!(
+        diags.is_empty(),
+        "workspace has {} violation(s):\n{}",
+        diags.len(),
+        diags.iter().map(|d| d.human()).collect::<Vec<_>>().join("\n")
+    );
+}

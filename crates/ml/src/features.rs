@@ -64,10 +64,11 @@ impl StandardScaler {
     /// # Errors
     /// Rows must be non-empty, rectangular, and finite.
     pub fn fit(rows: &[Vec<f64>]) -> Result<Self, MlError> {
+        // kea-lint: allow(index-in-library) — short-circuit: rows[0] only evaluated when non-empty
         if rows.is_empty() || rows[0].is_empty() {
             return Err(MlError::InvalidParameter("scaler input must be non-empty"));
         }
-        let p = rows[0].len();
+        let p = rows[0].len(); // kea-lint: allow(index-in-library) — emptiness handled by the early return above
         if rows.iter().any(|r| r.len() != p) {
             return Err(MlError::InvalidParameter("ragged rows"));
         }

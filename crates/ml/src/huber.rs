@@ -14,6 +14,8 @@
 //! form. Scale is re-estimated each iteration from the median absolute
 //! deviation (MAD).
 
+// kea-lint: allow-file(index-in-library) — IRLS over a design matrix validated rectangular at entry
+
 use crate::error::MlError;
 use crate::matrix::Matrix;
 use crate::Regressor;
@@ -44,7 +46,7 @@ pub struct HuberRegressor {
 /// deviation under normality (factor 1.4826).
 fn mad_scale(residuals: &[f64]) -> f64 {
     let mut abs: Vec<f64> = residuals.iter().map(|r| r.abs()).collect();
-    abs.sort_by(|a, b| a.partial_cmp(b).expect("finite residuals"));
+    abs.sort_by(f64::total_cmp);
     let n = abs.len();
     let median = if n % 2 == 1 {
         abs[n / 2]

@@ -24,6 +24,9 @@
 //! * [`metrics`] — R², RMSE, MAE, MAPE.
 //! * [`validate`] — seeded train/test splits and k-fold cross-validation.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod error;
 pub mod features;
 pub mod huber;

@@ -43,7 +43,7 @@ impl LinearModel1D {
         let m = LinearRegression::fit(&rows, y)?;
         Ok(LinearModel1D {
             intercept: m.intercept(),
-            slope: m.coefficients()[0],
+            slope: m.coefficients()[0], // kea-lint: allow(index-in-library) — degree-1 fit always has one coefficient
             estimator: Estimator::Ols,
             n_obs: x.len(),
         })
@@ -58,7 +58,7 @@ impl LinearModel1D {
         let m = HuberRegressor::fit(&rows, y)?;
         Ok(LinearModel1D {
             intercept: m.intercept(),
-            slope: m.coefficients()[0],
+            slope: m.coefficients()[0], // kea-lint: allow(index-in-library) — degree-1 fit always has one coefficient
             estimator: Estimator::Huber,
             n_obs: x.len(),
         })
@@ -116,7 +116,7 @@ impl LinearModel1D {
 
 impl Regressor for LinearModel1D {
     fn predict_row(&self, features: &[f64]) -> f64 {
-        self.predict(features[0])
+        self.predict(features.first().copied().unwrap_or(f64::NAN))
     }
 }
 

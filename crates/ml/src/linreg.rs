@@ -65,7 +65,7 @@ fn fit_linear(
     let beta = xtx.solve(&xty)?;
 
     if fit_intercept {
-        Ok((beta[0], beta[1..].to_vec()))
+        Ok((beta[0], beta[1..].to_vec())) // kea-lint: allow(index-in-library) — beta has 1 + n_features entries by construction
     } else {
         Ok((0.0, beta))
     }

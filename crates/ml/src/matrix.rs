@@ -4,6 +4,8 @@
 //! SC-SKU group — so a simple dense matrix with an `O(n³)` partial-pivoting
 //! solver is the right tool: no sparse formats, no BLAS, fully auditable.
 
+// kea-lint: allow-file(index-in-library) — dense row-major kernel; dimensions validated at matrix construction
+
 use crate::error::MlError;
 
 /// Dense row-major matrix of `f64`.

@@ -13,6 +13,8 @@
 //! hundred to a few thousand training rows; anything deeper is
 //! unjustifiable for this data regime.
 
+// kea-lint: allow-file(index-in-library) — layer weight/bias vectors are sized at construction and never resized
+
 use crate::error::MlError;
 use crate::features::StandardScaler;
 use crate::Regressor;
@@ -210,10 +212,9 @@ impl MlpRegressor {
 
 impl Regressor for MlpRegressor {
     fn predict_row(&self, features: &[f64]) -> f64 {
-        let row = self
-            .x_scaler
-            .transform_one(features)
-            .expect("feature width matches training");
+        let Ok(row) = self.x_scaler.transform_one(features) else {
+            return f64::NAN; // wrong feature width: degrade, never abort
+        };
         let h = self.b1.len();
         let mut out = self.b2;
         for j in 0..h {

@@ -4,6 +4,8 @@
 //! on them (Phase II → Phase III gate in Figure 3). Splits are seeded so a
 //! validation run is reproducible alongside the rest of the pipeline.
 
+// kea-lint: allow-file(index-in-library) — fold index sets partition 0..n; x/y lengths validated equal at entry
+
 use crate::error::MlError;
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -30,6 +32,7 @@ pub fn train_test_split<R: Rng + ?Sized>(
     if !(test_fraction > 0.0 && test_fraction < 1.0) {
         return Err(MlError::InvalidParameter("test_fraction must be in (0, 1)"));
     }
+    // kea-lint: allow(truncating-as-cast) — test_fraction ∈ (0, 1) validated above, so the product is in [0, n]
     let n_test = ((n as f64) * test_fraction).round() as usize;
     if n_test == 0 || n_test >= n {
         return Err(MlError::InsufficientData {

@@ -6,6 +6,8 @@
 //! (container counts, capping levels, candidate SSD/RAM sizes), so
 //! enumerating them with a well-defined tie-break beats anything clever.
 
+// kea-lint: allow-file(index-in-library) — odometer indices are bounded per-axis by the axis lengths they iterate
+
 use crate::error::OptError;
 
 /// One evaluated grid point.
@@ -111,7 +113,9 @@ impl GridSearch {
             let mut pos = self.axes.len();
             loop {
                 if pos == 0 {
-                    return Ok(best.expect("at least one point evaluated"));
+                    // At least one point was evaluated before the odometer
+                    // can wrap, so `best` is always populated.
+                    return best.ok_or(OptError::EmptySearchSpace);
                 }
                 pos -= 1;
                 idx[pos] += 1;

@@ -13,6 +13,9 @@
 //! * [`monte_carlo`] — the Monte-Carlo expected-cost minimizer of §6.1,
 //!   used to choose SSD/RAM sizes for future SKUs (Figure 14).
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod error;
 pub mod grid;
 pub mod monte_carlo;

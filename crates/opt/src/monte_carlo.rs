@@ -39,6 +39,7 @@ pub struct MonteCarloReport {
 impl MonteCarloReport {
     /// The winning candidate's estimate.
     pub fn best(&self) -> &CandidateCost {
+        // kea-lint: allow(index-in-library) — best_index is produced in-bounds by minimize_expected_cost
         &self.candidates[self.best_index]
     }
 }
@@ -99,13 +100,9 @@ where
     let best_index = out
         .iter()
         .enumerate()
-        .min_by(|(_, a), (_, b)| {
-            a.mean_cost
-                .partial_cmp(&b.mean_cost)
-                .expect("finite means")
-        })
+        .min_by(|(_, a), (_, b)| a.mean_cost.total_cmp(&b.mean_cost))
         .map(|(i, _)| i)
-        .expect("non-empty candidates");
+        .unwrap_or(0);
     Ok(MonteCarloReport {
         candidates: out,
         best_index,

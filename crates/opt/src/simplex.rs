@@ -14,6 +14,8 @@
 //!   shifting lower bounds to zero and materialising upper bounds as rows —
 //!   the straightforward choice at this problem size.
 
+// kea-lint: allow-file(index-in-library) — dense tableau kernel; all indices are bounded by the tableau dimensions fixed at construction
+
 use crate::error::OptError;
 
 /// Relation of a linear constraint.

@@ -135,6 +135,7 @@ pub fn default_scs_static(id: ScId) -> &'static ScSpec {
     SCS.get_or_init(default_scs)
         .iter()
         .find(|s| s.id == id)
+        // kea-lint: allow(panic-in-library) — documented `# Panics` contract; ScId is a two-variant enum
         .expect("ScId must be SC1 or SC2")
 }
 

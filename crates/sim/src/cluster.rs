@@ -128,6 +128,7 @@ impl ClusterSpec {
         self.skus
             .iter()
             .find(|s| s.id == id)
+            // kea-lint: allow(panic-in-library) — documented `# Panics` contract on this lookup API
             .expect("SkuId from this cluster's catalog")
     }
 
@@ -136,6 +137,7 @@ impl ClusterSpec {
     /// # Panics
     /// The id must be in range.
     pub fn machine(&self, id: MachineId) -> &Machine {
+        // kea-lint: allow(index-in-library) — documented `# Panics` contract on this lookup API
         &self.machines[id.0 as usize]
     }
 

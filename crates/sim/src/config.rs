@@ -128,6 +128,7 @@ impl ConfigPlan {
     pub fn set_max_containers(&mut self, sku: SkuId, max: u32) {
         self.base
             .get_mut(&sku)
+            // kea-lint: allow(panic-in-library) — documented `# Panics` contract; plans are built from the same catalog
             .expect("SKU present in plan")
             .max_running_containers = max;
     }
@@ -143,6 +144,7 @@ impl ConfigPlan {
     /// # Panics
     /// The SKU must exist in the plan.
     pub fn effective(&self, machine: MachineId, sku: SkuId, hour: f64) -> MachineConfig {
+        // kea-lint: allow(panic-in-library) — documented `# Panics` contract; engine validates SKUs at construction
         let mut cfg = *self.base.get(&sku).expect("SKU present in plan");
         for flight in &self.flights {
             if flight.active_at(hour) && flight.machines.contains(&machine) {

@@ -11,6 +11,8 @@
 //! Determinism: all randomness flows through one seeded `StdRng`, so a
 //! `SimConfig` fully determines the output.
 
+// kea-lint: allow-file(index-in-library) — event-driven simulator hot loop; machine/task arena indices are maintained by this module and bounded by construction
+
 use crate::cluster::ClusterSpec;
 use crate::config::ConfigPlan;
 use crate::machine::{self};
@@ -218,6 +220,7 @@ impl<'a> Engine<'a> {
                     .skus
                     .iter()
                     .position(|s| s.id == m.sku)
+                    // kea-lint: allow(panic-in-library) — construction-time check: cluster machines reference their own catalog
                     .expect("machine SKU in catalog"),
                 running: 0,
                 queue: VecDeque::new(),
@@ -250,6 +253,7 @@ impl<'a> Engine<'a> {
 
     fn free_add(&mut self, m: usize) {
         if self.free_pos[m] == u32::MAX {
+            // kea-lint: allow(truncating-as-cast) — fleet size < u32::MAX; u32 indices are the free-list layout choice
             self.free_pos[m] = self.free_set.len() as u32;
             self.free_set.push(m as u32);
         }
@@ -260,7 +264,11 @@ impl<'a> Engine<'a> {
         if pos == u32::MAX {
             return;
         }
-        let last = *self.free_set.last().expect("set non-empty if pos valid");
+        // pos != MAX implies the set is non-empty; degrade to a no-op if
+        // the invariant is ever broken rather than aborting the sim.
+        let Some(&last) = self.free_set.last() else {
+            return;
+        };
         self.free_set.swap_remove(pos as usize);
         if last != m as u32 {
             self.free_pos[last as usize] = pos;
@@ -383,7 +391,7 @@ impl<'a> Engine<'a> {
     fn on_poisson_candidate(&mut self, template: usize) {
         let Schedule::Poisson { rate_per_hour } = self.cfg.workload.templates[template].schedule
         else {
-            unreachable!("Poisson candidate for non-Poisson template");
+            return; // candidates are only scheduled for Poisson templates
         };
         // Chain the next candidate first.
         let next = self.next_poisson_gap(rate_per_hour);
@@ -507,6 +515,7 @@ impl<'a> Engine<'a> {
         for _ in 0..10 {
             let info = self.cfg.cluster.machines[target];
             let cfg = self.cfg.plan.effective(info.id, info.sku, hour);
+            // kea-lint: allow(truncating-as-cast) — queue length is capped by max_queue_length: u32 well before overflow
             if (self.machines[target].queue.len() as u32) < cfg.max_queue_length {
                 break;
             }
@@ -572,6 +581,7 @@ impl<'a> Engine<'a> {
             .record(mach_info.sku, mach_info.rack, task.task_type);
         let mut log_index = u32::MAX;
         if task.log_index == u32::MAX - 1 {
+            // kea-lint: allow(truncating-as-cast) — task log is sampled; u32 indices are the record-layout choice
             log_index = self.out.tasks.len() as u32;
             let template = if task.job == Self::BACKLOG_JOB {
                 usize::MAX
@@ -596,12 +606,11 @@ impl<'a> Engine<'a> {
         // the closed loop that keeps opportunistic pressure constant.
         if task.job == Self::BACKLOG_JOB {
             self.task_free.push(task_idx);
-            let backlog = self
-                .cfg
-                .workload
-                .backlog
-                .expect("backlog task implies backlog spec");
-            self.spawn_backlog_task(&backlog);
+            // A backlog task can only exist if a backlog spec was set;
+            // if not, degrade by not respawning.
+            if let Some(backlog) = self.cfg.workload.backlog {
+                self.spawn_backlog_task(&backlog);
+            }
             self.serve_queue(m);
             return;
         }
@@ -672,10 +681,10 @@ impl<'a> Engine<'a> {
                 return;
             }
             self.advance(m, self.now_s);
-            let (task_idx, enqueued_s) = self.machines[m]
-                .queue
-                .pop_front()
-                .expect("queue checked non-empty");
+            // Non-empty checked at the top of the loop.
+            let Some((task_idx, enqueued_s)) = self.machines[m].queue.pop_front() else {
+                return;
+            };
             let wait = self.now_s - enqueued_s;
             // Attribute the wait to the hour the container *enqueued*:
             // that pairs each wait with the queue state that caused it
@@ -752,7 +761,7 @@ impl<'a> Engine<'a> {
                     0.0
                 } else {
                     acc.queue_waits_s
-                        .sort_by(|a, b| a.partial_cmp(b).expect("finite waits"));
+                        .sort_by(f64::total_cmp);
                     kea_stats_percentile(&acc.queue_waits_s, 99.0)
                 };
                 // Small measurement noise on resource gauges so the §6
@@ -804,8 +813,8 @@ fn kea_stats_percentile(sorted: &[f64], p: f64) -> f64 {
         return sorted[0];
     }
     let rank = p / 100.0 * (sorted.len() - 1) as f64;
-    let lo = rank.floor() as usize;
-    let hi = rank.ceil() as usize;
+    let lo = rank.floor() as usize; // kea-lint: allow(truncating-as-cast) — p is a finite literal at every call site
+    let hi = rank.ceil() as usize; // kea-lint: allow(truncating-as-cast) — same bound as `lo`
     if lo == hi {
         sorted[lo]
     } else {

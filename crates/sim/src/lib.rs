@@ -31,6 +31,9 @@
 //! assert!(out.counters.total > 0);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod catalog;
 pub mod cluster;
 pub mod config;

@@ -139,6 +139,7 @@ impl Seasonality {
         let diurnal = 1.0
             + self.diurnal_amplitude
                 * (2.0 * std::f64::consts::PI * (hod - self.peak_hour) / 24.0).cos();
+        // kea-lint: allow(truncating-as-cast) — simulated hours are small finite values; NaN saturates and still yields a valid weekday index
         let day = ((hour / 24.0).floor() as i64).rem_euclid(7);
         let weekly = if day >= 5 { self.weekend_factor } else { 1.0 };
         diurnal * weekly

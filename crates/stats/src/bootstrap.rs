@@ -77,7 +77,7 @@ where
     let mut stats = Vec::with_capacity(resamples);
     for _ in 0..resamples {
         for slot in resample.iter_mut() {
-            *slot = data[rng.gen_range(0..data.len())];
+            *slot = data[rng.gen_range(0..data.len())]; // kea-lint: allow(index-in-library) — gen_range(0..len) is in bounds
         }
         let s = statistic(&resample);
         if !s.is_finite() {
@@ -85,7 +85,7 @@ where
         }
         stats.push(s);
     }
-    stats.sort_by(|a, b| a.partial_cmp(b).expect("finite values always compare"));
+    stats.sort_by(f64::total_cmp);
 
     let alpha = 1.0 - confidence;
     let lower = percentile_of_sorted(&stats, 100.0 * alpha / 2.0);

@@ -68,28 +68,33 @@ pub fn percentile(data: &[f64], p: f64) -> Result<f64, StatsError> {
     }
     check_finite(data)?;
     let mut sorted = data.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values always compare"));
+    sorted.sort_by(f64::total_cmp);
     Ok(percentile_of_sorted(&sorted, p))
 }
 
 /// Percentile of an already-sorted slice. Callers computing many percentiles
 /// over the same sample should sort once and use this directly.
 ///
-/// # Panics
-/// Debug-asserts that the slice is non-empty; an empty slice returns NaN in
-/// release builds, so prefer [`percentile`] for untrusted input.
+/// Out-of-range or NaN `p` is clamped into `[0, 100]` (NaN maps to 0) and an
+/// empty slice returns NaN; prefer [`percentile`] for untrusted input, which
+/// reports those cases as typed errors instead.
 pub fn percentile_of_sorted(sorted: &[f64], p: f64) -> f64 {
     debug_assert!(!sorted.is_empty());
-    if sorted.len() == 1 {
-        return sorted[0];
+    if sorted.is_empty() {
+        return f64::NAN;
     }
+    if sorted.len() == 1 {
+        return sorted[0]; // kea-lint: allow(index-in-library) — len == 1 in this branch
+    }
+    let p = if p.is_nan() { 0.0 } else { p.clamp(0.0, 100.0) };
     let rank = p / 100.0 * (sorted.len() - 1) as f64;
-    let lo = rank.floor() as usize;
-    let hi = rank.ceil() as usize;
+    let lo = rank.floor() as usize; // kea-lint: allow(truncating-as-cast) — rank ∈ [0, len-1]: p clamped finite above
+    let hi = rank.ceil() as usize; // kea-lint: allow(truncating-as-cast) — same bound as `lo`
     if lo == hi {
-        sorted[lo]
+        sorted[lo] // kea-lint: allow(index-in-library) — lo = hi in [0, len-1] by the rank clamp
     } else {
         let frac = rank - lo as f64;
+        // kea-lint: allow(index-in-library) — lo, hi in [0, len-1] by the rank clamp
         sorted[lo] * (1.0 - frac) + sorted[hi] * frac
     }
 }
@@ -200,7 +205,7 @@ impl Summary {
         }
         check_finite(data)?;
         let mut sorted = data.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values always compare"));
+        sorted.sort_by(f64::total_cmp);
         let mut acc = Welford::new();
         for &v in data {
             acc.push(v);
@@ -209,12 +214,12 @@ impl Summary {
             count: data.len(),
             mean: acc.mean(),
             stddev: acc.sample_variance().sqrt(),
-            min: sorted[0],
+            min: sorted[0], // kea-lint: allow(index-in-library) — emptiness rejected at the top of this function
             p25: percentile_of_sorted(&sorted, 25.0),
             median: percentile_of_sorted(&sorted, 50.0),
             p75: percentile_of_sorted(&sorted, 75.0),
             p99: percentile_of_sorted(&sorted, 99.0),
-            max: *sorted.last().expect("non-empty"),
+            max: sorted.last().copied().unwrap_or(f64::NAN), // non-empty checked above
         })
     }
 }

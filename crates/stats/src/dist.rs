@@ -7,6 +7,8 @@
 //! scratch: Lanczos log-gamma, a Lentz continued fraction for the incomplete
 //! beta, an erf-based normal CDF, and Acklam's normal quantile.
 
+// kea-lint: allow-file(index-in-library) — fixed-size coefficient tables indexed by constant literals
+
 use crate::error::StatsError;
 
 /// Natural log of the gamma function, via the Lanczos approximation
@@ -57,6 +59,7 @@ pub fn inc_beta(a: f64, b: f64, x: f64) -> Result<f64, StatsError> {
     if x == 0.0 {
         return Ok(0.0);
     }
+    // kea-lint: allow(nan-unsafe-ordering) — exact boundary of the validated [0, 1] domain
     if x == 1.0 {
         return Ok(1.0);
     }
@@ -188,6 +191,7 @@ impl Normal {
     /// # Errors
     /// `p` must be strictly inside `(0, 1)`.
     pub fn quantile(&self, p: f64) -> Result<f64, StatsError> {
+        // kea-lint: allow(nan-unsafe-ordering) — exact open-interval endpoint check after range validation
         if !(0.0..=1.0).contains(&p) || p == 0.0 || p == 1.0 {
             return Err(StatsError::InvalidParameter("quantile p must be in (0, 1)"));
         }
@@ -275,7 +279,11 @@ impl StudentsT {
             return 0.5;
         }
         let x = self.df / (self.df + t * t);
-        let i = inc_beta(self.df / 2.0, 0.5, x).expect("parameters validated at construction");
+        // df > 0 by construction; a NaN t degrades to a NaN probability.
+        let i = match inc_beta(self.df / 2.0, 0.5, x) {
+            Ok(i) => i,
+            Err(_) => return f64::NAN,
+        };
         if t > 0.0 {
             1.0 - 0.5 * i
         } else {
@@ -291,7 +299,8 @@ impl StudentsT {
     /// Two-sided p-value `P(|T| ≥ |t|)`.
     pub fn p_two_sided(&self, t: f64) -> f64 {
         let x = self.df / (self.df + t * t);
-        inc_beta(self.df / 2.0, 0.5, x).expect("parameters validated at construction")
+        // Same degrade-to-NaN policy as `cdf`.
+        inc_beta(self.df / 2.0, 0.5, x).unwrap_or(f64::NAN)
     }
 }
 

@@ -24,6 +24,9 @@
 //! All randomised routines take explicit [`rand::Rng`] handles so that every
 //! KEA experiment is reproducible from a seed.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod bootstrap;
 pub mod describe;
 pub mod dist;

@@ -59,20 +59,21 @@ pub fn mann_whitney_u(
         .map(|&v| (v, true))
         .chain(b.iter().map(|&v| (v, false)))
         .collect();
-    pooled.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("finite values always compare"));
+    pooled.sort_by(|x, y| x.0.total_cmp(&y.0));
 
     let mut rank_sum_a = 0.0;
     let mut tie_term = 0.0; // Σ (t³ − t) over tie groups.
     let mut i = 0;
     while i < n {
         let mut j = i;
+        // kea-lint: allow(index-in-library) — j + 1 < n guards the lookahead; i < n from the outer loop
         while j + 1 < n && pooled[j + 1].0 == pooled[i].0 {
             j += 1;
         }
         let group = (j - i + 1) as f64;
         // Mid-rank of positions i..=j (1-based ranks).
         let mid_rank = (i + 1 + j + 1) as f64 / 2.0;
-        for item in &pooled[i..=j] {
+        for item in &pooled[i..=j] { // kea-lint: allow(index-in-library) — i <= j < n maintained by the tie-scan above
             if item.1 {
                 rank_sum_a += mid_rank;
             }

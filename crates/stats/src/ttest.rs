@@ -76,11 +76,15 @@ impl TTestResult {
 }
 
 fn finish(t: f64, df: f64, mean_diff: f64, std_err: f64, alt: Alternative) -> TTestResult {
-    let dist = StudentsT::new(df).expect("df validated by callers");
-    let p_value = match alt {
-        Alternative::TwoSided => dist.p_two_sided(t),
-        Alternative::Greater => dist.sf(t),
-        Alternative::Less => dist.cdf(t),
+    // df > 0 is validated by every caller; an invalid df degrades to a
+    // NaN p-value (treated as "no evidence") instead of aborting.
+    let p_value = match StudentsT::new(df) {
+        Ok(dist) => match alt {
+            Alternative::TwoSided => dist.p_two_sided(t),
+            Alternative::Greater => dist.sf(t),
+            Alternative::Less => dist.cdf(t),
+        },
+        Err(_) => f64::NAN,
     };
     TTestResult {
         t,

@@ -31,11 +31,12 @@ pub struct DailyAggregate {
 impl DailyAggregate {
     /// The daily mean of `metric`.
     pub fn mean(&self, metric: Metric) -> f64 {
-        let idx = Metric::ALL
+        Metric::ALL
             .iter()
             .position(|m| *m == metric)
-            .expect("metric present in Metric::ALL");
-        self.means[idx]
+            .and_then(|idx| self.means.get(idx))
+            .copied()
+            .unwrap_or(f64::NAN)
     }
 }
 

@@ -116,14 +116,15 @@ pub fn read_csv<R: BufRead>(input: R) -> Result<TelemetryStore, CsvError> {
                 reason: format!("expected 18 fields, got {}", fields.len()),
             });
         }
+        let field = |idx: usize| -> &str { fields.get(idx).copied().unwrap_or("").trim() };
         let int = |idx: usize| -> Result<u64, CsvError> {
-            fields[idx].trim().parse().map_err(|e| CsvError::BadRow {
+            field(idx).parse().map_err(|e| CsvError::BadRow {
                 line: line_no,
                 reason: format!("field {idx}: {e}"),
             })
         };
         let num = |idx: usize| -> Result<f64, CsvError> {
-            let v: f64 = fields[idx].trim().parse().map_err(|e| CsvError::BadRow {
+            let v: f64 = field(idx).parse().map_err(|e| CsvError::BadRow {
                 line: line_no,
                 reason: format!("field {idx}: {e}"),
             })?;

@@ -22,6 +22,9 @@
 //! analysis happens at the `(software configuration, SKU)` machine-group
 //! level, so every record carries a [`record::GroupKey`].
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod aggregate;
 pub mod csv;
 pub mod metric;
