@@ -1,13 +1,24 @@
-//! Scaling benchmark for the tuning hot path: fits a 64-group /
-//! 2048-machine synthetic fleet and runs `optimize_max_containers`
-//! through both the incremental O(G) implementation and the preserved
-//! O(G²) full-recompute reference, so the speedup is measured in the
-//! same process on the same engine. Methodology and current numbers are
-//! recorded in the repository README ("Performance") and CHANGES.md.
+//! Scaling benchmarks for the tuning hot path.
+//!
+//! * `whatif_fit` / `optimize_max_containers`: fits a 64-group /
+//!   2048-machine synthetic fleet and runs `optimize_max_containers`
+//!   through both the incremental O(G) implementation and the preserved
+//!   O(G²) full-recompute reference, so the speedup is measured in the
+//!   same process on the same engine.
+//! * `lp_simplex`: the solver itself at fleet scale — a 256-group
+//!   YARN-shaped LP (one latency row, per-group `[−δ, δ]` step boxes)
+//!   solved by the row-materialising `simplex::reference`, the
+//!   bounded-variable solver cold, and a warm-started 8-point
+//!   operating-point sweep vs the same sweep solved cold.
+//!
+//! Methodology and current numbers are recorded in the repository README
+//! ("Performance") and `BENCH_simplex.json` (written when
+//! `KEA_BENCH_JSON` is set; CI uploads it as an artifact).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use kea_core::whatif::{FitMethod, Granularity, WhatIfEngine};
 use kea_core::{optimize_max_containers, OperatingPoint, PerformanceMonitor};
+use kea_opt::{simplex, LpProblem, Relation};
 use kea_telemetry::{
     GroupKey, MachineHourRecord, MachineId, MetricValues, ScId, SkuId, TelemetryStore,
 };
@@ -115,5 +126,101 @@ fn bench_optimize(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fit, bench_optimize);
+const LP_GROUPS: usize = 256;
+const SWEEP_POINTS: usize = 8;
+
+/// Deterministic pseudo-varied latency gradients for a 256-group
+/// YARN-shaped LP at "operating point" `point` (the sweep perturbs the
+/// gradients the way a percentile shift does: same signs, nearby
+/// magnitudes).
+fn lp_gradients(point: usize) -> Vec<f64> {
+    (0..LP_GROUPS)
+        .map(|k| {
+            let base = 0.2 + ((k * 37 + 11) % 97) as f64 / 97.0 * 4.0;
+            base * (1.0 + 0.03 * point as f64) + ((k * 13 + point * 29) % 17) as f64 * 0.01
+        })
+        .collect()
+}
+
+fn lp_machine_counts() -> Vec<f64> {
+    (0..LP_GROUPS)
+        .map(|k| 16.0 + ((k * 53 + 7) % 31) as f64 * 4.0)
+        .collect()
+}
+
+/// The §5.2 LP in the step variables at fleet scale: maximize
+/// `Σ n_k d_k` s.t. `∇W̄·d ≤ 0`, `−δ ≤ d_k ≤ δ`. One tableau row for the
+/// bounded solver; `1 + 2·256` effective rows for the reference.
+fn yarn_lp(point: usize) -> LpProblem {
+    let n_machines = lp_machine_counts();
+    let mut lp = LpProblem::maximize(n_machines)
+        .constraint(lp_gradients(point), Relation::Le, 0.0)
+        .expect("dimensions match");
+    for i in 0..LP_GROUPS {
+        lp = lp.bounds(i, -1.0, Some(1.0)).expect("valid bounds");
+    }
+    lp
+}
+
+fn bench_simplex(c: &mut Criterion) {
+    // Sanity before timing: all three paths must agree at every sweep
+    // point (reference vs bounded-cold vs warm-started).
+    let mut warm = None;
+    for point in 0..SWEEP_POINTS {
+        let lp = yarn_lp(point);
+        let refsol = simplex::reference::solve(&lp).expect("reference solves");
+        let cold = lp.solve().expect("bounded solves");
+        let (warm_sol, basis) = lp.solve_warm(warm.as_ref()).expect("warm solves");
+        warm = Some(basis);
+        let tol = 1e-9 * (1.0 + refsol.objective.abs());
+        assert!(
+            (refsol.objective - cold.objective).abs() <= tol,
+            "reference vs bounded diverged at point {point}"
+        );
+        assert!(
+            (refsol.objective - warm_sol.objective).abs() <= tol,
+            "reference vs warm diverged at point {point}"
+        );
+    }
+
+    let mut group = c.benchmark_group("lp_simplex");
+    group.sample_size(10);
+    group.bench_function("reference_256_groups", |b| {
+        let lp = yarn_lp(0);
+        b.iter(|| simplex::reference::solve(black_box(&lp)).expect("reference solves"))
+    });
+    group.bench_function("bounded_cold_256_groups", |b| {
+        let lp = yarn_lp(0);
+        b.iter(|| black_box(&lp).solve().expect("bounded solves"))
+    });
+    // The sweep benches re-cost the LP per point (fresh problem build
+    // each iteration for both, so the only difference on the clock is
+    // cold start vs warm start).
+    group.bench_function("cold_sweep_8_points_256_groups", |b| {
+        b.iter(|| {
+            let mut last = None;
+            for point in 0..SWEEP_POINTS {
+                last = Some(yarn_lp(point).solve().expect("bounded solves"));
+            }
+            last
+        })
+    });
+    group.bench_function("warm_sweep_8_points_256_groups", |b| {
+        b.iter(|| {
+            let mut warm = None;
+            let mut last = None;
+            for point in 0..SWEEP_POINTS {
+                let (sol, basis) = yarn_lp(point)
+                    .solve_warm(warm.as_ref())
+                    .expect("warm solves");
+                warm = Some(basis);
+                last = Some(sol);
+            }
+            last
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit, bench_optimize, bench_simplex);
 criterion_main!(benches);

@@ -81,5 +81,8 @@ pub use experiment::{
 };
 pub use flighting::{evaluate_deployment, DeploymentReport, FlightingTool, Guardrail};
 pub use monitor::PerformanceMonitor;
-pub use optimizer::{optimize_max_containers, OperatingPoint, YarnOptimization};
+pub use optimizer::{
+    optimize_max_containers, optimize_max_containers_warm, optimize_sweep, OperatingPoint,
+    YarnOptimization,
+};
 pub use whatif::{FitMethod, GroupModels, WhatIfEngine};

@@ -301,6 +301,29 @@ pub fn optimize_max_containers(
     max_step: f64,
     at: OperatingPoint,
 ) -> Result<YarnOptimization, KeaError> {
+    optimize_max_containers_warm(engine, machine_counts, max_step, at, &mut None)
+}
+
+/// [`optimize_max_containers`] with an explicit LP warm-start slot.
+///
+/// `warm` carries the optimal [`Basis`](kea_opt::Basis) between calls:
+/// pass the slot left by a previous solve over the *same groups* (a
+/// different operating point or sensitivity percentile only re-costs the
+/// LP — same shape) and the simplex restarts from that basis instead of
+/// from scratch. On success the slot is updated with this solve's
+/// optimal basis. A stale or mismatched basis is detected by the solver
+/// and falls back to a cold start, so the result is always identical to
+/// [`optimize_max_containers`].
+///
+/// # Errors
+/// Same conditions as [`optimize_max_containers`].
+pub fn optimize_max_containers_warm(
+    engine: &WhatIfEngine,
+    machine_counts: &BTreeMap<GroupKey, usize>,
+    max_step: f64,
+    at: OperatingPoint,
+    warm: &mut Option<kea_opt::Basis>,
+) -> Result<YarnOptimization, KeaError> {
     if max_step <= 0.0 {
         return Err(KeaError::Opt(kea_opt::OptError::InvalidParameter(
             "max_step must be positive",
@@ -334,7 +357,8 @@ pub fn optimize_max_containers(
     for i in 0..groups.len() {
         lp = lp.bounds(i, -max_step, Some(max_step))?;
     }
-    let sol = lp.solve()?;
+    let (sol, basis) = lp.solve_warm(warm.as_ref())?;
+    *warm = Some(basis);
 
     // Conservative integer rounding, re-checked against the latency
     // budget: shrink positive steps until the nonlinear W̄ clears the
@@ -440,6 +464,38 @@ pub fn optimize_max_containers(
         predicted_latency,
         predicted_capacity_gain: capacity_gain(total_delta, total_current),
     })
+}
+
+/// Solves the YARN tuning problem at a sequence of operating points —
+/// the `Median` plan plus its sensitivity percentiles — warm-starting
+/// each LP from the previous point's optimal basis.
+///
+/// Moving the operating point re-costs the LP (new latency gradients)
+/// but keeps its shape — same groups, same `[−δ, δ]` step box, one
+/// latency row — and nearby operating points rarely change which groups
+/// sit at the box edges, so the previous basis is usually optimal or a
+/// pivot or two away. Results are identical to calling
+/// [`optimize_max_containers`] once per point.
+///
+/// # Errors
+/// Propagates the first failing point's error (same conditions as
+/// [`optimize_max_containers`]); `points` must be non-empty.
+pub fn optimize_sweep(
+    engine: &WhatIfEngine,
+    machine_counts: &BTreeMap<GroupKey, usize>,
+    max_step: f64,
+    points: &[OperatingPoint],
+) -> Result<Vec<YarnOptimization>, KeaError> {
+    if points.is_empty() {
+        return Err(KeaError::Opt(kea_opt::OptError::InvalidParameter(
+            "sweep needs at least one operating point",
+        )));
+    }
+    let mut warm = None;
+    points
+        .iter()
+        .map(|&at| optimize_max_containers_warm(engine, machine_counts, max_step, at, &mut warm))
+        .collect()
 }
 
 pub mod reference {
@@ -726,6 +782,52 @@ mod tests {
         }
         // Operating points differ though.
         assert!(p90.suggestions[0].current_containers > median.suggestions[0].current_containers);
+    }
+
+    #[test]
+    fn warm_sweep_matches_individual_solves() {
+        // The warm-started sweep must be a pure performance optimization:
+        // every per-point plan identical to a cold solve at that point.
+        let store = two_group_store();
+        let (_mon, eng) = engine(&store);
+        let points = [
+            OperatingPoint::Median,
+            OperatingPoint::Percentile(75.0),
+            OperatingPoint::Percentile(90.0),
+            OperatingPoint::Percentile(95.0),
+            OperatingPoint::Percentile(99.0),
+        ];
+        let swept = optimize_sweep(&eng, &counts(), 1.0, &points).unwrap();
+        assert_eq!(swept.len(), points.len());
+        for (at, warm) in points.iter().zip(&swept) {
+            let cold = optimize_max_containers(&eng, &counts(), 1.0, *at).unwrap();
+            assert_eq!(
+                warm.suggestions.len(),
+                cold.suggestions.len(),
+                "at {at:?}"
+            );
+            for (w, c) in warm.suggestions.iter().zip(&cold.suggestions) {
+                assert_eq!(w.group, c.group);
+                assert_eq!(w.delta_step, c.delta_step, "at {at:?}");
+                assert!(
+                    (w.delta_continuous - c.delta_continuous).abs() < 1e-9,
+                    "continuous optima diverge at {at:?}: {} vs {}",
+                    w.delta_continuous,
+                    c.delta_continuous
+                );
+            }
+            assert!((warm.predicted_latency - cold.predicted_latency).abs() < 1e-9);
+            assert!(
+                (warm.predicted_capacity_gain - cold.predicted_capacity_gain).abs() < 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_rejects_empty_points() {
+        let store = two_group_store();
+        let (_mon, eng) = engine(&store);
+        assert!(optimize_sweep(&eng, &counts(), 1.0, &[]).is_err());
     }
 
     #[test]

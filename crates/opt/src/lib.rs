@@ -3,11 +3,16 @@
 //! The paper's Optimizer consumes calibrated models and picks the best
 //! configuration. Three solver families cover all four applications:
 //!
-//! * [`simplex`] — a from-scratch two-phase primal simplex solving the
-//!   linear program of §5.2 (Equations 7–10: maximize total running
-//!   containers subject to the cluster-wide average-latency constraint).
-//!   The paper uses "commercial solvers"; KEA's LPs have one variable per
-//!   SC-SKU group (K ≤ ~10), so a dense tableau is more than enough.
+//! * [`simplex`] — a from-scratch bounded-variable two-phase primal
+//!   simplex solving the linear program of §5.2 (Equations 7–10:
+//!   maximize total running containers subject to the cluster-wide
+//!   average-latency constraint). Per-variable bounds are carried as
+//!   variable status instead of tableau rows, and
+//!   [`LpProblem::solve_warm`] re-solves a re-costed instance from a
+//!   previous optimal [`Basis`] — the operating-point sweep's hot path.
+//!   The paper uses "commercial solvers"; the original row-materialising
+//!   solver survives as `simplex::reference`, the executable
+//!   specification the property tests pin the production solver against.
 //! * [`grid`] — exhaustive grid search, the "simple heuristics" fallback
 //!   mentioned in §6.2.
 //! * [`monte_carlo`] — the Monte-Carlo expected-cost minimizer of §6.1,
@@ -24,4 +29,4 @@ pub mod simplex;
 pub use error::OptError;
 pub use grid::{GridPoint, GridSearch};
 pub use monte_carlo::{minimize_expected_cost, CandidateCost, MonteCarloReport};
-pub use simplex::{LpProblem, LpSolution, Relation};
+pub use simplex::{Basis, LpProblem, LpSolution, Relation};

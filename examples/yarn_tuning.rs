@@ -7,7 +7,7 @@
 //! ```
 
 use kea_core::apps::yarn_config::{pooled_benchmark_test, run_yarn_tuning, YarnTuningParams};
-use kea_core::{optimize_max_containers, OperatingPoint};
+use kea_core::{optimize_sweep, OperatingPoint};
 use kea_sim::ClusterSpec;
 
 fn main() {
@@ -38,27 +38,36 @@ fn main() {
         outcome.optimization.predicted_capacity_gain * 100.0
     );
 
-    // Figure 10 sensitivity: re-linearize at a heavy-load operating point
-    // and check the suggested directions still agree with the median run.
-    let p95 = optimize_max_containers(
+    // Figure 10 sensitivity: re-linearize at progressively heavier
+    // operating points and check the suggested directions still agree
+    // with the median run. The sweep warm-starts each LP from the
+    // previous percentile's optimal basis — one cold solve, then cheap
+    // re-solves.
+    let sweep = optimize_sweep(
         &outcome.engine,
         &outcome.machine_counts,
         1.0,
-        OperatingPoint::Percentile(95.0),
+        &[
+            OperatingPoint::Percentile(75.0),
+            OperatingPoint::Percentile(90.0),
+            OperatingPoint::Percentile(95.0),
+        ],
     )
-    .expect("sensitivity run solvable");
-    let agree = outcome
-        .optimization
-        .suggestions
-        .iter()
-        .zip(&p95.suggestions)
-        .filter(|(m, h)| m.delta_step.signum() == h.delta_step.signum())
-        .count();
-    println!(
-        "p95 sensitivity: {}/{} groups keep their direction under heavy load",
-        agree,
-        p95.suggestions.len()
-    );
+    .expect("sensitivity sweep solvable");
+    for (label, run) in ["p75", "p90", "p95"].iter().zip(&sweep) {
+        let agree = outcome
+            .optimization
+            .suggestions
+            .iter()
+            .zip(&run.suggestions)
+            .filter(|(m, h)| m.delta_step.signum() == h.delta_step.signum())
+            .count();
+        println!(
+            "{label} sensitivity: {}/{} groups keep their direction under heavy load",
+            agree,
+            run.suggestions.len()
+        );
+    }
     println!("\nmeasured after fleet-wide deployment (§5.2.2):");
     println!(
         "  Total Data Read   {:+.2}%  (t = {:.2}; paper: +9%, t = 4.45)",

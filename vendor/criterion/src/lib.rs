@@ -12,11 +12,78 @@
 //! iterations to last roughly [`Criterion::TARGET_SAMPLE_TIME`], and the
 //! reported triple is `[min median max]` of the per-iteration sample
 //! means, printed in criterion's familiar format. There is no outlier
-//! analysis, plotting, or state persisted between runs — compare numbers
-//! from the same process/log.
+//! analysis or plotting.
+//!
+//! Persistence: when the `KEA_BENCH_JSON` environment variable names a
+//! file, every benchmark that completes in the process appends its
+//! `[min median max]` triple (seconds, per iteration) to that file as
+//! JSON — the whole file is rewritten after each benchmark, so a
+//! partially-completed run still leaves valid JSON behind. CI uses this
+//! to upload `BENCH_simplex.json` as a perf-trajectory artifact.
 
 use std::hint::black_box as std_black_box;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Benchmarks completed so far in this process, for `KEA_BENCH_JSON`.
+static COMPLETED: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+struct BenchRecord {
+    name: String,
+    min_s: f64,
+    median_s: f64,
+    max_s: f64,
+}
+
+/// Minimal JSON string escaping (bench names are code-controlled ASCII,
+/// but quotes/backslashes must not corrupt the file).
+fn escape_json(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            '\n' => vec!['\\', 'n'],
+            c if (c as u32) < 0x20 => vec![' '],
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Records one finished benchmark and, if `KEA_BENCH_JSON` is set,
+/// rewrites that file with every record seen so far. IO failures are
+/// reported to stderr and never panic — persistence is best-effort.
+fn persist(name: &str, min_s: f64, median_s: f64, max_s: f64) {
+    let Ok(path) = std::env::var("KEA_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let Ok(mut completed) = COMPLETED.lock() else {
+        return;
+    };
+    completed.push(BenchRecord {
+        name: name.to_string(),
+        min_s,
+        median_s,
+        max_s,
+    });
+    let mut json = String::from("{\n  \"unit\": \"seconds_per_iteration\",\n  \"benches\": [\n");
+    for (i, r) in completed.iter().enumerate() {
+        let sep = if i + 1 == completed.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"min\": {:e}, \"median\": {:e}, \"max\": {:e}}}{sep}\n",
+            escape_json(&r.name),
+            r.min_s,
+            r.median_s,
+            r.max_s
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("criterion stand-in: could not write {path}: {e}");
+    }
+}
 
 /// Re-export of `std::hint::black_box`; criterion exposes its own copy.
 pub fn black_box<T>(x: T) -> T {
@@ -130,6 +197,12 @@ fn run_one<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
         format_duration(median),
         format_duration(max)
     );
+    persist(
+        name,
+        per_iteration[0],
+        per_iteration[per_iteration.len() / 2],
+        per_iteration[per_iteration.len() - 1],
+    );
 }
 
 /// The benchmark harness entry point.
@@ -241,6 +314,30 @@ mod tests {
         });
         group.finish();
         assert!(runs > 0);
+    }
+
+    #[test]
+    fn persists_json_when_env_is_set() {
+        let path = std::env::temp_dir().join("kea_criterion_stub_probe.json");
+        std::env::set_var("KEA_BENCH_JSON", &path);
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("probe");
+        group.sample_size(2);
+        group.bench_function("json_roundtrip", |b| b.iter(|| 1u64 + 1));
+        group.finish();
+        std::env::remove_var("KEA_BENCH_JSON");
+        let body = std::fs::read_to_string(&path).expect("bench JSON written");
+        assert!(body.contains("\"probe/json_roundtrip\""), "{body}");
+        assert!(body.contains("\"median\""), "{body}");
+        assert!(body.trim_end().ends_with('}'), "valid JSON shape: {body}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn json_escaping_neutralizes_quotes_and_control_chars() {
+        assert_eq!(escape_json("plain/name_64"), "plain/name_64");
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_json("tab\tchar"), "tab char");
     }
 
     #[test]
