@@ -223,6 +223,10 @@ pub fn required_machine_hours(
 
 /// Extracts per-machine-hour samples of `metric` for a machine set in a
 /// window — the unit of analysis for all experiment comparisons.
+///
+/// Served by the store's hour index: the window is a binary-searched
+/// contiguous run of hour-ordered rows, with membership tested against a
+/// dense-id bitmap, so cost scales with the window rather than the store.
 pub fn machine_hour_samples(
     store: &TelemetryStore,
     machines: &BTreeSet<MachineId>,

@@ -139,11 +139,18 @@ pub fn evaluate_deployment(
     metrics: &[Metric],
     guardrails: &[Guardrail],
 ) -> Result<DeploymentReport, KeaError> {
-    let machines: BTreeSet<MachineId> = store.machines().into_iter().collect();
+    // Whole-fleet comparison: read the hour-indexed windows directly
+    // instead of probing a machine bitmap that would admit every row.
+    let fleet_samples = |start: u64, end: u64, metric: Metric| -> Vec<f64> {
+        store
+            .by_hours(start, end)
+            .map(|r| metric.value(&r.metrics))
+            .collect()
+    };
     let mut effects = Vec::with_capacity(metrics.len());
     for &metric in metrics {
-        let b = machine_hour_samples(store, &machines, before.0, before.1, metric);
-        let a = machine_hour_samples(store, &machines, after.0, after.1, metric);
+        let b = fleet_samples(before.0, before.1, metric);
+        let a = fleet_samples(after.0, after.1, metric);
         if a.is_empty() || b.is_empty() {
             return Err(KeaError::NoObservations {
                 what: format!("deployment windows for {metric}"),
@@ -157,8 +164,8 @@ pub fn evaluate_deployment(
         let effect = match effects.iter().find(|(m, _)| *m == rail.metric) {
             Some((_, e)) => e.clone(),
             None => {
-                let b = machine_hour_samples(store, &machines, before.0, before.1, rail.metric);
-                let a = machine_hour_samples(store, &machines, after.0, after.1, rail.metric);
+                let b = fleet_samples(before.0, before.1, rail.metric);
+                let a = fleet_samples(after.0, after.1, rail.metric);
                 treatment_effect(&b, &a)?
             }
         };

@@ -14,25 +14,17 @@ use kea_telemetry::{
     daily_group_aggregates, scatter, DailyAggregate, GroupKey, Metric, ScatterPoint,
     TelemetryStore,
 };
-use std::collections::BTreeMap;
+
+pub use kea_telemetry::GroupUtilization;
 
 /// Read-only analytical facade over a telemetry window.
+///
+/// Every derived view delegates to the fused aggregation kernels of
+/// `kea-telemetry`, which run over the store's sealed columnar index —
+/// the first query seals the window, every later one reuses the index.
 #[derive(Debug)]
 pub struct PerformanceMonitor<'a> {
     store: &'a TelemetryStore,
-}
-
-/// Per-group fleet composition and utilization (Figure 2).
-#[derive(Debug, Clone, PartialEq)]
-pub struct GroupUtilization {
-    /// The machine group.
-    pub group: GroupKey,
-    /// Number of distinct machines observed in the group.
-    pub machines: usize,
-    /// Mean CPU utilization over all machine-hours, percent.
-    pub mean_cpu_utilization: f64,
-    /// Mean running containers.
-    pub mean_running_containers: f64,
 }
 
 impl<'a> PerformanceMonitor<'a> {
@@ -46,49 +38,27 @@ impl<'a> PerformanceMonitor<'a> {
         self.store
     }
 
-    /// Fleet-wide mean of `metric` per hour — the Figure 1 series.
+    /// Fleet-wide mean of `metric` per hour — the Figure 1 series,
+    /// served by the hour-indexed column kernel.
     ///
     /// # Errors
     /// The store must be non-empty.
     pub fn hourly_fleet_series(&self, metric: Metric) -> Result<Vec<(u64, f64)>, KeaError> {
-        let (start, end) = self.store.hour_span().ok_or(KeaError::NoObservations {
-            what: "empty telemetry store".to_string(),
-        })?;
-        let mut sums: BTreeMap<u64, (f64, u64)> = (start..end).map(|h| (h, (0.0, 0))).collect();
-        for rec in self.store.iter() {
-            // hour_span() covers every stored record; a record outside the
-            // span (impossible today) would simply not contribute.
-            if let Some(e) = sums.get_mut(&rec.hour) {
-                e.0 += metric.value(&rec.metrics);
-                e.1 += 1;
-            }
+        let series = kea_telemetry::hourly_fleet_series(self.store, metric);
+        if series.is_empty() {
+            return Err(KeaError::NoObservations {
+                what: "empty telemetry store".to_string(),
+            });
         }
-        Ok(sums
-            .into_iter()
-            .map(|(h, (sum, n))| (h, if n == 0 { 0.0 } else { sum / n as f64 }))
-            .collect())
+        Ok(series)
     }
 
     /// Machine counts and mean utilization per group — Figure 2's two
-    /// panels, sorted by group key (i.e. hardware generation).
+    /// panels, sorted by group key (i.e. hardware generation). Served by
+    /// the per-group-partition kernel (contiguous column sums plus a
+    /// dense-id seen-bitmap for the machine counts).
     pub fn group_utilization(&self) -> Vec<GroupUtilization> {
-        let mut acc: BTreeMap<GroupKey, (std::collections::BTreeSet<u32>, f64, f64, u64)> =
-            BTreeMap::new();
-        for rec in self.store.iter() {
-            let e = acc.entry(rec.group).or_default();
-            e.0.insert(rec.machine.0);
-            e.1 += rec.metrics.cpu_utilization;
-            e.2 += rec.metrics.avg_running_containers;
-            e.3 += 1;
-        }
-        acc.into_iter()
-            .map(|(group, (machines, util, containers, n))| GroupUtilization {
-                group,
-                machines: machines.len(),
-                mean_cpu_utilization: util / n as f64,
-                mean_running_containers: containers / n as f64,
-            })
-            .collect()
+        kea_telemetry::group_utilization(self.store)
     }
 
     /// The scatter view of Figure 8 for one group.

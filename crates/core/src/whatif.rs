@@ -163,12 +163,22 @@ impl WhatIfEngine {
         granularity: Granularity,
         min_rows: usize,
     ) -> Result<Self, KeaError> {
-        let mut by_group: BTreeMap<GroupKey, Vec<TrainRow>> = BTreeMap::new();
+        // Both sources arrive group-contiguous and group-sorted (daily
+        // aggregates are (group, machine, day)-sorted; the sealed store
+        // serves each group as one contiguous slice), so training rows
+        // accumulate into per-group runs with no map lookup per row.
+        let mut groups: Vec<(GroupKey, Vec<TrainRow>)> = Vec::new();
+        let mut push_row = |group: GroupKey, row: TrainRow| {
+            match groups.last_mut() {
+                Some((g, rows)) if *g == group => rows.push(row),
+                _ => groups.push((group, vec![row])),
+            }
+        };
         match granularity {
             Granularity::Daily => {
                 for agg in monitor.daily_aggregates() {
                     if agg.mean(Metric::NumberOfTasks) > 0.0 {
-                        by_group.entry(agg.group).or_default().push(TrainRow {
+                        push_row(agg.group, TrainRow {
                             machine: agg.machine.0,
                             containers: agg.mean(Metric::AverageRunningContainers),
                             util: agg.mean(Metric::CpuUtilization),
@@ -179,23 +189,22 @@ impl WhatIfEngine {
                 }
             }
             Granularity::Hourly => {
-                for rec in monitor.store().iter() {
-                    if rec.metrics.tasks_finished > 0.0 {
-                        by_group.entry(rec.group).or_default().push(TrainRow {
-                            machine: rec.machine.0,
-                            containers: rec.metrics.avg_running_containers,
-                            util: rec.metrics.cpu_utilization,
-                            tasks: rec.metrics.tasks_finished,
-                            latency: rec.metrics.avg_task_latency_s,
-                        });
+                for group in monitor.store().groups() {
+                    for rec in monitor.store().group_records(group) {
+                        if rec.metrics.tasks_finished > 0.0 {
+                            push_row(group, TrainRow {
+                                machine: rec.machine.0,
+                                containers: rec.metrics.avg_running_containers,
+                                util: rec.metrics.cpu_utilization,
+                                tasks: rec.metrics.tasks_finished,
+                                latency: rec.metrics.avg_task_latency_s,
+                            });
+                        }
                     }
                 }
             }
         }
-        let groups: Vec<(GroupKey, Vec<TrainRow>)> = by_group
-            .into_iter()
-            .filter(|(_, rows)| rows.len() >= min_rows)
-            .collect();
+        groups.retain(|(_, rows)| rows.len() >= min_rows);
         if groups.is_empty() {
             return Err(KeaError::NoObservations {
                 what: "no group had enough training rows to fit".to_string(),

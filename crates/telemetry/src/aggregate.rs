@@ -1,15 +1,29 @@
-//! Aggregation and scatter-view extraction.
+//! Aggregation kernels and scatter-view extraction.
 //!
 //! §5.2.1: "Each small dot corresponds to an observation aggregated at the
 //! daily level for a machine" — model fitting happens over daily
 //! machine-level aggregates, grouped by `(SC, SKU)`. The scatter view of
-//! Figure 8 is the hourly disaggregated variant. Both are produced here.
+//! Figure 8 is the hourly disaggregated variant. Both are produced here,
+//! along with the fleet series (Figure 1) and per-group utilization
+//! (Figure 2) views the Performance Monitor serves.
+//!
+//! All four roll-ups are **fused single-pass kernels** over the sealed
+//! columnar layout of [`TelemetryStore`]: they accumulate counts, sums,
+//! and distinct-machine membership in flat arrays indexed by dense ids
+//! (no `BTreeMap` entry lookup per record), and the per-group kernels
+//! parallelize across contiguous group partitions with
+//! [`std::thread::scope`] — the same worker shape as
+//! `WhatIfEngine::fit_at`. The pre-columnar implementations survive in
+//! [`reference`] as the executable specification and benchmark baseline.
+
+// kea-lint: allow-file(index-in-library) — dense aggregation kernels: rows
+// come from the store's own CSR offset tables and every bucket index is a
+// dense id interned by the same index (bounds pinned by store tests).
 
 use crate::metric::Metric;
 use crate::record::{GroupKey, MachineId};
 use crate::store::TelemetryStore;
 use kea_stats::Summary;
-use std::collections::BTreeMap;
 
 /// One daily aggregate for one machine: per-metric means over the hours
 /// observed that day.
@@ -29,58 +43,238 @@ pub struct DailyAggregate {
 }
 
 impl DailyAggregate {
-    /// The daily mean of `metric`.
+    /// The daily mean of `metric` — a constant-time array read via
+    /// [`Metric::index`].
     pub fn mean(&self, metric: Metric) -> f64 {
-        Metric::ALL
-            .iter()
-            .position(|m| *m == metric)
-            .and_then(|idx| self.means.get(idx))
+        self.means
+            .get(metric.index())
             .copied()
             .unwrap_or(f64::NAN)
     }
 }
 
-/// Rolls the store up into per-machine, per-day aggregates (the training
-/// rows of §5.2.1), sorted by `(group, machine, day)`.
-pub fn daily_group_aggregates(store: &TelemetryStore) -> Vec<DailyAggregate> {
-    // (group, machine, day) → (count, per-metric sums)
-    let mut acc: BTreeMap<(GroupKey, MachineId, u64), (u32, [f64; Metric::ALL.len()])> =
-        BTreeMap::new();
-    for r in store.iter() {
-        let entry = acc
-            .entry((r.group, r.machine, r.day()))
-            .or_insert((0, [0.0; Metric::ALL.len()]));
-        entry.0 += 1;
-        for (i, metric) in Metric::ALL.iter().enumerate() {
-            entry.1[i] += metric.value(&r.metrics);
-        }
+/// Per-group fleet composition and utilization (Figure 2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupUtilization {
+    /// The machine group.
+    pub group: GroupKey,
+    /// Number of distinct machines observed in the group.
+    pub machines: usize,
+    /// Mean CPU utilization over all machine-hours, percent.
+    pub mean_cpu_utilization: f64,
+    /// Mean running containers.
+    pub mean_running_containers: f64,
+}
+
+/// Splits `0..n_groups` into at most `n_workers` contiguous partitions of
+/// near-equal size (group count, not row count, is the unit of work —
+/// the right grain for many similar-sized groups).
+fn group_partitions(n_groups: usize, n_workers: usize) -> Vec<std::ops::Range<usize>> {
+    if n_groups == 0 {
+        return Vec::new();
     }
-    acc.into_iter()
-        .map(|((group, machine, day), (count, sums))| {
-            let mut means = sums;
-            for v in &mut means {
-                *v /= count as f64;
-            }
-            DailyAggregate {
-                machine,
-                group,
-                day,
-                hours_observed: count,
-                means,
-            }
-        })
+    let n_workers = n_workers.clamp(1, n_groups);
+    let per_worker = n_groups.div_ceil(n_workers);
+    (0..n_groups)
+        .step_by(per_worker)
+        .map(|start| start..(start + per_worker).min(n_groups))
         .collect()
 }
 
-/// Distribution summary of one metric over all machine-hours of one group.
+/// Runs `work` over each contiguous group partition, in parallel on
+/// scoped threads when more than one partition exists. Partition results
+/// land in order, so concatenating them preserves global group order and
+/// the output is identical to a serial loop for any worker count.
+fn run_group_partitions<T: Send>(
+    n_groups: usize,
+    work: impl Fn(std::ops::Range<usize>) -> Vec<T> + Sync,
+) -> Vec<T> {
+    let n_workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let partitions = group_partitions(n_groups, n_workers);
+    if partitions.len() <= 1 {
+        return partitions.into_iter().flat_map(&work).collect();
+    }
+    let mut slots: Vec<Option<Vec<T>>> = Vec::new();
+    slots.resize_with(partitions.len(), || None);
+    std::thread::scope(|scope| {
+        for (partition, slot) in partitions.into_iter().zip(&mut slots) {
+            let work = &work;
+            scope.spawn(move || {
+                *slot = Some(work(partition));
+            });
+        }
+    });
+    // Every slot is written exactly once by its worker; flatten in
+    // partition order.
+    slots.into_iter().flatten().flatten().collect()
+}
+
+/// Rolls the store up into per-machine, per-day aggregates (the training
+/// rows of §5.2.1), sorted by `(group, machine, day)`.
+///
+/// Kernel shape: within a group the sorted rows are hour-major, so days
+/// arrive as contiguous runs; each day's rows accumulate into flat
+/// `(count, sums)` buckets indexed by dense machine id, and only touched
+/// buckets are drained and reset at the day boundary. Groups are
+/// processed in parallel partitions.
+pub fn daily_group_aggregates(store: &TelemetryStore) -> Vec<DailyAggregate> {
+    let index = store.index();
+    let n_machines = index.machines.len();
+    let out = run_group_partitions(index.groups.len(), |partition| {
+        // Per-worker scratch, sized once for the whole fleet: a u32
+        // count and a metric-row sum per dense machine id, plus the list
+        // of ids touched this day (so a day boundary resets O(touched),
+        // not O(n_machines)).
+        let mut counts = vec![0u32; n_machines];
+        let mut sums = vec![[0.0f64; Metric::ALL.len()]; n_machines];
+        let mut touched: Vec<u32> = Vec::new();
+        let mut out: Vec<DailyAggregate> = Vec::new();
+        for gi in partition {
+            let group = index.groups[gi];
+            let rows = index.group_offsets[gi]..index.group_offsets[gi + 1];
+            let group_start = out.len();
+            let mut current_day = index.sorted[rows.start].hour / 24;
+            for row in rows {
+                let r = &index.sorted[row];
+                let day = r.hour / 24;
+                if day != current_day {
+                    drain_day(group, current_day, index, &mut counts, &mut sums, &mut touched, &mut out);
+                    current_day = day;
+                }
+                let dense = index.machine_dense[row] as usize;
+                if counts[dense] == 0 {
+                    touched.push(dense as u32);
+                }
+                counts[dense] += 1;
+                let row_values = Metric::row_of(&r.metrics);
+                for (acc, v) in sums[dense].iter_mut().zip(row_values) {
+                    *acc += v;
+                }
+            }
+            drain_day(group, current_day, index, &mut counts, &mut sums, &mut touched, &mut out);
+            // Day-major production order → the documented (machine, day)
+            // order within the group.
+            out[group_start..].sort_unstable_by_key(|a| (a.machine, a.day));
+        }
+        out
+    });
+    out
+}
+
+/// Drains every touched daily bucket into `out` and resets the scratch.
+fn drain_day(
+    group: GroupKey,
+    day: u64,
+    index: &crate::store::ColumnIndex,
+    counts: &mut [u32],
+    sums: &mut [[f64; Metric::ALL.len()]],
+    touched: &mut Vec<u32>,
+    out: &mut Vec<DailyAggregate>,
+) {
+    for &dense in touched.iter() {
+        let dense = dense as usize;
+        let count = counts[dense];
+        let mut means = sums[dense];
+        for v in &mut means {
+            *v /= count as f64;
+        }
+        out.push(DailyAggregate {
+            machine: index.machines[dense],
+            group,
+            day,
+            hours_observed: count,
+            means,
+        });
+        counts[dense] = 0;
+        sums[dense] = [0.0; Metric::ALL.len()];
+    }
+    touched.clear();
+}
+
+/// Distribution summary of one metric over all machine-hours of one group
+/// — a single pass over the group's contiguous metric column.
 ///
 /// Returns `None` when the group has no records.
 pub fn group_summary(store: &TelemetryStore, group: GroupKey, metric: Metric) -> Option<Summary> {
-    let values: Vec<f64> = store
-        .by_group(group)
-        .map(|r| metric.value(&r.metrics))
-        .collect();
-    Summary::of(&values).ok()
+    Summary::of(store.index().group_column(group, metric)).ok()
+}
+
+/// Fleet-wide mean of `metric` per hour — the Figure 1 series, with one
+/// `(hour, mean)` point for every hour of the store's span (0.0 for hours
+/// no machine reported). Empty when the store is empty.
+///
+/// Kernel shape: the hour CSR index yields each hour's rows directly;
+/// the mean is a gather-sum over the metric column — no per-record map
+/// lookups and no predicate scans.
+pub fn hourly_fleet_series(store: &TelemetryStore, metric: Metric) -> Vec<(u64, f64)> {
+    let index = store.index();
+    let Some((&start, &end_inclusive)) = index.hours.first().zip(index.hours.last()) else {
+        return Vec::new();
+    };
+    let column = &index.columns[metric.index()];
+    let mut out = Vec::with_capacity((end_inclusive - start + 1) as usize);
+    let mut hp = 0usize; // cursor into the distinct-hour index
+    for hour in start..=end_inclusive {
+        if index.hours.get(hp) == Some(&hour) {
+            let positions = index.hour_offsets[hp]..index.hour_offsets[hp + 1];
+            let n = positions.len();
+            let sum: f64 = index.hour_order[positions]
+                .iter()
+                .map(|&row| column[row])
+                .sum();
+            out.push((hour, sum / n as f64));
+            hp += 1;
+        } else {
+            out.push((hour, 0.0));
+        }
+    }
+    out
+}
+
+/// Machine counts and mean utilization per group — Figure 2's two panels,
+/// sorted by group key (i.e. hardware generation). Empty when the store
+/// is empty.
+///
+/// Kernel shape: per group, the CPU and container means are contiguous
+/// column-slice sums, and the distinct-machine count is a seen-bitmap
+/// over dense machine ids (reset via the touched list). Groups run in
+/// parallel partitions.
+pub fn group_utilization(store: &TelemetryStore) -> Vec<GroupUtilization> {
+    let index = store.index();
+    let n_machines = index.machines.len();
+    let cpu = &index.columns[Metric::CpuUtilization.index()];
+    let containers = &index.columns[Metric::AverageRunningContainers.index()];
+    run_group_partitions(index.groups.len(), |partition| {
+        let mut seen = vec![false; n_machines];
+        let mut touched: Vec<u32> = Vec::new();
+        let mut out = Vec::with_capacity(partition.len());
+        for gi in partition {
+            let rows = index.group_offsets[gi]..index.group_offsets[gi + 1];
+            let n = rows.len();
+            for row in rows.clone() {
+                let dense = index.machine_dense[row] as usize;
+                if !seen[dense] {
+                    seen[dense] = true;
+                    touched.push(dense as u32);
+                }
+            }
+            let cpu_sum: f64 = cpu[rows.clone()].iter().sum();
+            let containers_sum: f64 = containers[rows].iter().sum();
+            out.push(GroupUtilization {
+                group: index.groups[gi],
+                machines: touched.len(),
+                mean_cpu_utilization: cpu_sum / n as f64,
+                mean_running_containers: containers_sum / n as f64,
+            });
+            for &dense in &touched {
+                seen[dense as usize] = false;
+            }
+            touched.clear();
+        }
+        out
+    })
 }
 
 /// One point of a scatter view (Figure 8): an `(x, y)` metric pair for one
@@ -100,7 +294,8 @@ pub struct ScatterPoint {
 /// Extracts the scatter view of `(x_metric, y_metric)` for one group —
 /// "the scatter view depicts the data in a disaggregated way with each
 /// point corresponding to one observation for a machine during one hour"
-/// (§4.1).
+/// (§4.1). Points come out in `(hour, machine)` order (the group's
+/// contiguous slice order).
 pub fn scatter(
     store: &TelemetryStore,
     group: GroupKey,
@@ -108,7 +303,8 @@ pub fn scatter(
     y_metric: Metric,
 ) -> Vec<ScatterPoint> {
     store
-        .by_group(group)
+        .group_records(group)
+        .iter()
         .map(|r| ScatterPoint {
             machine: r.machine,
             hour: r.hour,
@@ -116,6 +312,106 @@ pub fn scatter(
             y: y_metric.value(&r.metrics),
         })
         .collect()
+}
+
+/// Pre-columnar roll-ups over the flat [`reference
+/// store`](crate::store::reference::TelemetryStore), preserved as the
+/// executable specification: per-record `BTreeMap` entry lookups for the
+/// bucketed views and full predicate scans for the filtered ones. The
+/// agreement suite pins these against the columnar kernels to 1e-9; the
+/// `telemetry_scan` bench reports the speedup.
+pub mod reference {
+    use super::{DailyAggregate, GroupUtilization};
+    use crate::metric::Metric;
+    use crate::record::{GroupKey, MachineId};
+    use crate::store::reference::TelemetryStore;
+    use kea_stats::Summary;
+    use std::collections::BTreeMap;
+
+    /// Per-machine, per-day aggregates via a `(group, machine, day)` →
+    /// `(count, sums)` tree with one entry lookup per record.
+    pub fn daily_group_aggregates(store: &TelemetryStore) -> Vec<DailyAggregate> {
+        let mut acc: BTreeMap<(GroupKey, MachineId, u64), (u32, [f64; Metric::ALL.len()])> =
+            BTreeMap::new();
+        for r in store.iter() {
+            let entry = acc
+                .entry((r.group, r.machine, r.day()))
+                .or_insert((0, [0.0; Metric::ALL.len()]));
+            entry.0 += 1;
+            for (i, metric) in Metric::ALL.iter().enumerate() {
+                entry.1[i] += metric.value(&r.metrics);
+            }
+        }
+        acc.into_iter()
+            .map(|((group, machine, day), (count, sums))| {
+                let mut means = sums;
+                for v in &mut means {
+                    *v /= count as f64;
+                }
+                DailyAggregate {
+                    machine,
+                    group,
+                    day,
+                    hours_observed: count,
+                    means,
+                }
+            })
+            .collect()
+    }
+
+    /// Distribution summary of one metric for one group via a full
+    /// predicate scan and a collected value vector.
+    pub fn group_summary(
+        store: &TelemetryStore,
+        group: GroupKey,
+        metric: Metric,
+    ) -> Option<Summary> {
+        let values: Vec<f64> = store
+            .by_group(group)
+            .map(|r| metric.value(&r.metrics))
+            .collect();
+        Summary::of(&values).ok()
+    }
+
+    /// Fleet-wide hourly mean series via an hour-keyed `BTreeMap` with
+    /// one lookup per record.
+    pub fn hourly_fleet_series(store: &TelemetryStore, metric: Metric) -> Vec<(u64, f64)> {
+        let Some((start, end)) = store.hour_span() else {
+            return Vec::new();
+        };
+        let mut sums: BTreeMap<u64, (f64, u64)> = (start..end).map(|h| (h, (0.0, 0))).collect();
+        for rec in store.iter() {
+            if let Some(e) = sums.get_mut(&rec.hour) {
+                e.0 += metric.value(&rec.metrics);
+                e.1 += 1;
+            }
+        }
+        sums.into_iter()
+            .map(|(h, (sum, n))| (h, if n == 0 { 0.0 } else { sum / n as f64 }))
+            .collect()
+    }
+
+    /// Per-group machine counts and means via a group-keyed `BTreeMap`
+    /// holding a `BTreeSet` of machine ids per group.
+    pub fn group_utilization(store: &TelemetryStore) -> Vec<GroupUtilization> {
+        let mut acc: BTreeMap<GroupKey, (std::collections::BTreeSet<u32>, f64, f64, u64)> =
+            BTreeMap::new();
+        for rec in store.iter() {
+            let e = acc.entry(rec.group).or_default();
+            e.0.insert(rec.machine.0);
+            e.1 += rec.metrics.cpu_utilization;
+            e.2 += rec.metrics.avg_running_containers;
+            e.3 += 1;
+        }
+        acc.into_iter()
+            .map(|(group, (machines, util, containers, n))| GroupUtilization {
+                group,
+                machines: machines.len(),
+                mean_cpu_utilization: util / n as f64,
+                mean_running_containers: containers / n as f64,
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -175,6 +471,33 @@ mod tests {
     }
 
     #[test]
+    fn daily_aggregates_sorted_by_group_machine_day() {
+        // Machines interleaved across days and groups, inserted shuffled.
+        let mut store = TelemetryStore::new();
+        for (m, sku, hour) in [
+            (2u32, 1u16, 30u64),
+            (1, 0, 0),
+            (2, 1, 2),
+            (1, 0, 26),
+            (3, 0, 1),
+            (3, 0, 49),
+        ] {
+            store.push(MachineHourRecord {
+                machine: MachineId(m),
+                group: GroupKey::new(SkuId(sku), ScId(0)),
+                hour,
+                metrics: MetricValues::default(),
+            });
+        }
+        let daily = daily_group_aggregates(&store);
+        let keys: Vec<_> = daily.iter().map(|a| (a.group, a.machine, a.day)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "output must be (group, machine, day)-sorted");
+        assert_eq!(daily.len(), 6);
+    }
+
+    #[test]
     fn group_summary_reports_distribution() {
         let store = store_with_two_days();
         let group = GroupKey::new(SkuId(1), ScId(0));
@@ -201,6 +524,57 @@ mod tests {
     }
 
     #[test]
+    fn hourly_series_fills_gaps_with_zero() {
+        let mut store = TelemetryStore::new();
+        let group = GroupKey::new(SkuId(0), ScId(0));
+        for (m, hour, cpu) in [(1u32, 3u64, 10.0), (2, 3, 30.0), (1, 6, 50.0)] {
+            store.push(MachineHourRecord {
+                machine: MachineId(m),
+                group,
+                hour,
+                metrics: MetricValues {
+                    cpu_utilization: cpu,
+                    ..Default::default()
+                },
+            });
+        }
+        let series = hourly_fleet_series(&store, Metric::CpuUtilization);
+        assert_eq!(
+            series,
+            vec![(3, 20.0), (4, 0.0), (5, 0.0), (6, 50.0)],
+            "span-covering series with zero-filled gaps"
+        );
+        assert!(hourly_fleet_series(&TelemetryStore::new(), Metric::CpuUtilization).is_empty());
+    }
+
+    #[test]
+    fn group_utilization_counts_distinct_machines() {
+        let mut store = TelemetryStore::new();
+        for m in 0..4u32 {
+            for h in 0..10u64 {
+                let sku = if m < 2 { 0 } else { 1 };
+                store.push(MachineHourRecord {
+                    machine: MachineId(m),
+                    group: GroupKey::new(SkuId(sku), ScId(1)),
+                    hour: h,
+                    metrics: MetricValues {
+                        cpu_utilization: 50.0 + sku as f64 * 10.0 + h as f64,
+                        avg_running_containers: 5.0 + sku as f64,
+                        ..Default::default()
+                    },
+                });
+            }
+        }
+        let groups = group_utilization(&store);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].machines, 2);
+        assert_eq!(groups[1].machines, 2);
+        assert!(groups[1].mean_cpu_utilization > groups[0].mean_cpu_utilization);
+        assert!((groups[0].mean_running_containers - 5.0).abs() < 1e-12);
+        assert!(group_utilization(&TelemetryStore::new()).is_empty());
+    }
+
+    #[test]
     fn empty_store_empty_outputs() {
         let store = TelemetryStore::new();
         assert!(daily_group_aggregates(&store).is_empty());
@@ -211,5 +585,17 @@ mod tests {
             Metric::NumberOfTasks
         )
         .is_empty());
+    }
+
+    #[test]
+    fn partitions_cover_groups_exactly_once() {
+        for n_groups in [0usize, 1, 2, 5, 16, 17] {
+            for n_workers in [1usize, 2, 4, 32] {
+                let parts = group_partitions(n_groups, n_workers);
+                let covered: Vec<usize> = parts.iter().cloned().flatten().collect();
+                assert_eq!(covered, (0..n_groups).collect::<Vec<_>>());
+                assert!(parts.len() <= n_workers.max(1));
+            }
+        }
     }
 }

@@ -17,6 +17,28 @@ task_exec_time_s,cpu_time_s,cpu_utilization,avg_running_containers,avg_task_late
 queued_containers,queue_latency_p99_ms,power_draw_w,ssd_used_gb,ram_used_gb,cores_used,\
 network_used_gbps";
 
+/// Column names of [`CSV_HEADER`] by field position, for error reporting.
+const COLUMN_NAMES: [&str; 18] = [
+    "machine",
+    "sku",
+    "sc",
+    "hour",
+    "total_data_read_gb",
+    "tasks_finished",
+    "task_exec_time_s",
+    "cpu_time_s",
+    "cpu_utilization",
+    "avg_running_containers",
+    "avg_task_latency_s",
+    "queued_containers",
+    "queue_latency_p99_ms",
+    "power_draw_w",
+    "ssd_used_gb",
+    "ram_used_gb",
+    "cores_used",
+    "network_used_gbps",
+];
+
 /// Errors raised while reading telemetry CSV.
 #[derive(Debug)]
 pub enum CsvError {
@@ -34,6 +56,18 @@ pub enum CsvError {
         /// What went wrong.
         reason: String,
     },
+    /// A metric field parsed as a float but was NaN or infinite. Typed
+    /// separately from [`CsvError::BadRow`] so ingestion pipelines can
+    /// distinguish "malformed file" from "well-formed file carrying
+    /// poisoned measurements" — the store itself only guards against
+    /// non-finite values with a `debug_assert`, so this check is the
+    /// release-build gate.
+    NonFinite {
+        /// Line number in the file.
+        line: usize,
+        /// Header name of the offending column.
+        column: &'static str,
+    },
 }
 
 impl fmt::Display for CsvError {
@@ -44,6 +78,9 @@ impl fmt::Display for CsvError {
                 write!(f, "telemetry CSV header mismatch; found: {found}")
             }
             CsvError::BadRow { line, reason } => write!(f, "bad row at line {line}: {reason}"),
+            CsvError::NonFinite { line, column } => {
+                write!(f, "non-finite value at line {line}, column {column}")
+            }
         }
     }
 }
@@ -129,9 +166,9 @@ pub fn read_csv<R: BufRead>(input: R) -> Result<TelemetryStore, CsvError> {
                 reason: format!("field {idx}: {e}"),
             })?;
             if !v.is_finite() {
-                return Err(CsvError::BadRow {
+                return Err(CsvError::NonFinite {
                     line: line_no,
-                    reason: format!("field {idx}: non-finite value"),
+                    column: COLUMN_NAMES.get(idx).copied().unwrap_or("?"),
                 });
             }
             Ok(v)
@@ -237,11 +274,34 @@ mod tests {
             read_csv(corrupted.as_bytes()),
             Err(CsvError::BadRow { .. })
         ));
-        let infinite = good.replacen("61.25", "inf", 1);
-        assert!(matches!(
-            read_csv(infinite.as_bytes()),
-            Err(CsvError::BadRow { .. })
-        ));
+    }
+
+    #[test]
+    fn rejects_non_finite_values_with_typed_error() {
+        let good = {
+            let mut buf = Vec::new();
+            write_csv(&sample_store(), &mut buf).unwrap();
+            String::from_utf8(buf).unwrap()
+        };
+        // "NaN" and "inf" both parse as f64 — a release build with only
+        // the store's debug_assert would ingest them silently. The typed
+        // error names the line and the column.
+        let nan_row = good.replacen("61.25", "NaN", 1);
+        match read_csv(nan_row.as_bytes()) {
+            Err(CsvError::NonFinite { line, column }) => {
+                assert_eq!(line, 2);
+                assert_eq!(column, "cpu_utilization");
+            }
+            other => panic!("expected NonFinite, got {other:?}"),
+        }
+        let infinite = good.replacen("260.5", "inf", 1);
+        match read_csv(infinite.as_bytes()) {
+            Err(CsvError::NonFinite { line, column }) => {
+                assert_eq!(line, 2);
+                assert_eq!(column, "power_draw_w");
+            }
+            other => panic!("expected NonFinite, got {other:?}"),
+        }
     }
 
     #[test]
@@ -274,5 +334,16 @@ mod tests {
             found: "bogus".to_string(),
         };
         assert!(e.to_string().contains("bogus"));
+        let e = CsvError::NonFinite {
+            line: 3,
+            column: "power_draw_w",
+        };
+        assert!(e.to_string().contains("line 3"));
+        assert!(e.to_string().contains("power_draw_w"));
+    }
+
+    #[test]
+    fn column_names_match_header() {
+        assert_eq!(COLUMN_NAMES.join(","), CSV_HEADER);
     }
 }

@@ -13,10 +13,19 @@
 //! * [`record`] — one observation per machine per hour, the granularity of
 //!   the paper's scatter view (Figure 8: "each point corresponding to one
 //!   observation for a machine during one hour").
-//! * [`store`] — an in-memory append-only store with time/group filters.
-//! * [`csv`] — flat-file persistence with schema checking.
-//! * [`aggregate`] — hourly→daily roll-ups, per-group summaries, and the
-//!   scatter-view extraction that feeds model fitting.
+//! * [`store`] — an in-memory append-only store that seals into a
+//!   columnar, indexed layout (sorted `(group, hour, machine)` rows,
+//!   interned dense ids, offset-range indexes, struct-of-arrays metric
+//!   columns) so every filtered view is a binary search plus a contiguous
+//!   range instead of a full predicate scan. The pre-columnar flat store
+//!   survives as [`store::reference`].
+//! * [`csv`] — flat-file persistence with schema checking and typed
+//!   rejection of non-finite metric values.
+//! * [`aggregate`] — fused single-pass aggregation kernels over the
+//!   sealed columns (hourly→daily roll-ups, per-group summaries, fleet
+//!   series, group utilization), parallel across group partitions, plus
+//!   the scatter-view extraction that feeds model fitting. Pre-columnar
+//!   roll-ups survive as [`aggregate::reference`].
 //!
 //! The key design decision mirrors the paper's Level-V abstraction: all
 //! analysis happens at the `(software configuration, SKU)` machine-group
@@ -31,7 +40,10 @@ pub mod metric;
 pub mod record;
 pub mod store;
 
-pub use aggregate::{daily_group_aggregates, group_summary, scatter, DailyAggregate, ScatterPoint};
+pub use aggregate::{
+    daily_group_aggregates, group_summary, group_utilization, hourly_fleet_series, scatter,
+    DailyAggregate, GroupUtilization, ScatterPoint,
+};
 pub use csv::{read_csv, write_csv, CsvError};
 pub use metric::{Metric, MetricCategory};
 pub use record::{GroupKey, MachineHourRecord, MachineId, MetricValues, ScId, SkuId};

@@ -74,6 +74,51 @@ impl Metric {
         Metric::NetworkUsed,
     ];
 
+    /// Position of this metric in [`Metric::ALL`] (and therefore in every
+    /// per-metric column or row array). `const` so dense kernels can use
+    /// it in array indexing without a linear search.
+    pub const fn index(self) -> usize {
+        match self {
+            Metric::TotalDataRead => 0,
+            Metric::NumberOfTasks => 1,
+            Metric::BytesPerSecond => 2,
+            Metric::BytesPerCpuTime => 3,
+            Metric::CpuUtilization => 4,
+            Metric::AverageRunningContainers => 5,
+            Metric::AverageTaskLatency => 6,
+            Metric::QueuedContainers => 7,
+            Metric::QueueLatencyP99 => 8,
+            Metric::PowerDraw => 9,
+            Metric::SsdUsed => 10,
+            Metric::RamUsed => 11,
+            Metric::CoresUsed => 12,
+            Metric::NetworkUsed => 13,
+        }
+    }
+
+    /// All metric values of one record as a row array in [`Metric::ALL`]
+    /// order (`row[m.index()] == m.value(values)`), including the derived
+    /// ratio metrics. One call per record replaces 14 enum dispatches in
+    /// the aggregation kernels.
+    pub fn row_of(m: &MetricValues) -> [f64; Self::ALL.len()] {
+        [
+            m.total_data_read_gb,
+            m.tasks_finished,
+            m.bytes_per_second(),
+            m.bytes_per_cpu_time(),
+            m.cpu_utilization,
+            m.avg_running_containers,
+            m.avg_task_latency_s,
+            m.queued_containers,
+            m.queue_latency_p99_ms,
+            m.power_draw_w,
+            m.ssd_used_gb,
+            m.ram_used_gb,
+            m.cores_used,
+            m.network_used_gbps,
+        ]
+    }
+
     /// Extracts this metric's value from a record's metric block.
     pub fn value(&self, m: &MetricValues) -> f64 {
         match self {
@@ -227,5 +272,36 @@ mod tests {
         use std::collections::HashSet;
         let set: HashSet<_> = Metric::ALL.iter().collect();
         assert_eq!(set.len(), Metric::ALL.len());
+    }
+
+    #[test]
+    fn index_matches_all_order() {
+        for (i, m) in Metric::ALL.iter().enumerate() {
+            assert_eq!(m.index(), i, "{m} out of position");
+        }
+    }
+
+    #[test]
+    fn row_of_matches_value_per_metric() {
+        let m = MetricValues {
+            total_data_read_gb: 1.0,
+            tasks_finished: 2.0,
+            task_exec_time_s: 3.0,
+            cpu_time_s: 4.0,
+            cpu_utilization: 5.0,
+            avg_running_containers: 6.0,
+            avg_task_latency_s: 7.0,
+            queued_containers: 8.0,
+            queue_latency_p99_ms: 9.0,
+            power_draw_w: 10.0,
+            ssd_used_gb: 11.0,
+            ram_used_gb: 12.0,
+            cores_used: 13.0,
+            network_used_gbps: 14.0,
+        };
+        let row = Metric::row_of(&m);
+        for metric in Metric::ALL {
+            assert_eq!(row[metric.index()], metric.value(&m), "{metric}");
+        }
     }
 }

@@ -1,18 +1,235 @@
-//! In-memory telemetry store.
+//! In-memory telemetry store: columnar, indexed.
 //!
 //! The production KEA pipeline lands metrics in Cosmos itself and re-reads
 //! them daily; our reproduction keeps the observation window in memory
 //! (a 7-day window for a simulated cluster is a few million records at
 //! most). The store is append-only with filtered views — exactly the
-//! access pattern of the Performance Monitor.
+//! access pattern of the Performance Monitor — and every module re-reads
+//! the same window many times per tuning run, so reads are what must be
+//! fast.
+//!
+//! # Layout
+//!
+//! Appends land in a flat insertion-order vector. On [`TelemetryStore::seal`]
+//! — or lazily, on the first filtered query — the store builds a
+//! [`ColumnIndex`]:
+//!
+//! * the records re-sorted by `(group, hour, machine)`, so every group is
+//!   one contiguous slice and, within it, hours are contiguous runs;
+//! * interned **dense ids**: the distinct groups, machines, and hours,
+//!   sorted, with per-row dense machine ids for bitmap probes;
+//! * offset-range indexes over groups, hours, and machines, so
+//!   [`by_group`](TelemetryStore::by_group),
+//!   [`by_hours`](TelemetryStore::by_hours), and
+//!   [`by_machine`](TelemetryStore::by_machine) are a binary search plus a
+//!   contiguous range — zero per-record predicates;
+//! * struct-of-arrays **metric columns** (one `Vec<f64>` per
+//!   [`Metric`](crate::Metric), including the derived ratios) in sorted-row
+//!   order, which the fused aggregation kernels in [`crate::aggregate`]
+//!   consume.
+//!
+//! Appending after a seal simply drops the index; the next query rebuilds
+//! it. The previous flat-scan implementation survives unchanged as
+//! [`reference::TelemetryStore`]: it is the executable specification that
+//! the randomized agreement suite (`tests/agreement.rs`) pins the columnar
+//! engine against, and the baseline the `telemetry_scan` bench measures
+//! speedups over.
 
+use crate::metric::Metric;
 use crate::record::{GroupKey, MachineHourRecord, MachineId};
 use std::collections::BTreeSet;
+use std::ops::Range;
+use std::sync::OnceLock;
 
-/// Append-only store of machine-hour records.
+/// Append-only store of machine-hour records with a columnar read index.
 #[derive(Debug, Clone, Default)]
 pub struct TelemetryStore {
+    /// Insertion-order records ([`iter`](TelemetryStore::iter) and CSV
+    /// round-trips preserve this order exactly).
     records: Vec<MachineHourRecord>,
+    /// Sorted/columnar read index, built once per generation of the data.
+    index: OnceLock<ColumnIndex>,
+}
+
+/// The sealed columnar layout. Built by [`ColumnIndex::build`]; immutable
+/// afterwards. All `Vec<usize>` offset tables follow the CSR convention:
+/// `offsets.len() == keys.len() + 1` and key `i` owns rows
+/// `offsets[i]..offsets[i + 1]`.
+//
+// kea-lint: allow-file(index-in-library) — dense index kernel: every row
+// position is produced by this module's own sort/partition passes and every
+// offset table is constructed with the CSR invariant checked in tests.
+#[derive(Debug, Clone)]
+pub(crate) struct ColumnIndex {
+    /// All records sorted by `(group, hour, machine)`.
+    pub(crate) sorted: Vec<MachineHourRecord>,
+    /// Distinct groups, ascending.
+    pub(crate) groups: Vec<GroupKey>,
+    /// CSR offsets into `sorted` per group.
+    pub(crate) group_offsets: Vec<usize>,
+    /// Distinct machines, ascending. A machine's position here is its
+    /// *dense id*.
+    pub(crate) machines: Vec<MachineId>,
+    /// Dense machine id of each row of `sorted`.
+    pub(crate) machine_dense: Vec<u32>,
+    /// Distinct hours, ascending.
+    pub(crate) hours: Vec<u64>,
+    /// Row positions of `sorted`, re-ordered by `(hour, machine)`.
+    pub(crate) hour_order: Vec<usize>,
+    /// CSR offsets into `hour_order` per distinct hour.
+    pub(crate) hour_offsets: Vec<usize>,
+    /// Row positions of `sorted`, re-ordered by `(machine, hour)`.
+    pub(crate) machine_order: Vec<usize>,
+    /// CSR offsets into `machine_order` per dense machine id.
+    pub(crate) machine_offsets: Vec<usize>,
+    /// Struct-of-arrays metric columns in `sorted` row order:
+    /// `columns[m.index()][row] == m.value(&sorted[row].metrics)`.
+    pub(crate) columns: Vec<Vec<f64>>,
+}
+
+impl ColumnIndex {
+    /// Sorts and interns `records` into the columnar layout.
+    fn build(records: &[MachineHourRecord]) -> Self {
+        let n = records.len();
+        let mut sorted = records.to_vec();
+        sorted.sort_unstable_by_key(|r| (r.group, r.hour, r.machine));
+
+        // Group runs → CSR offsets (sorted is group-major).
+        let mut groups = Vec::new();
+        let mut group_offsets = vec![0];
+        for (row, r) in sorted.iter().enumerate() {
+            if groups.last() != Some(&r.group) {
+                if !groups.is_empty() {
+                    group_offsets.push(row);
+                }
+                groups.push(r.group);
+            }
+        }
+        group_offsets.push(n);
+        if groups.is_empty() {
+            group_offsets = vec![0];
+        }
+
+        // Machine interning: distinct sorted ids, then a dense id per row.
+        let mut machines: Vec<MachineId> = sorted.iter().map(|r| r.machine).collect();
+        machines.sort_unstable();
+        machines.dedup();
+        let machine_dense: Vec<u32> = sorted
+            .iter()
+            .map(|r| {
+                // Every row's machine is in `machines` by construction,
+                // and dense ids fit u32 because MachineId wraps a u32.
+                machines.partition_point(|m| *m < r.machine) as u32
+            })
+            .collect();
+
+        // Secondary orderings: by (hour, machine) and by (machine, hour).
+        // Both are permutations of row positions into `sorted`, so the
+        // heavy record payload is stored exactly once.
+        let mut hour_order: Vec<usize> = (0..n).collect();
+        hour_order.sort_unstable_by_key(|&row| (sorted[row].hour, sorted[row].machine));
+        let mut hours = Vec::new();
+        let mut hour_offsets = vec![0];
+        for (pos, &row) in hour_order.iter().enumerate() {
+            let h = sorted[row].hour;
+            if hours.last() != Some(&h) {
+                if !hours.is_empty() {
+                    hour_offsets.push(pos);
+                }
+                hours.push(h);
+            }
+        }
+        hour_offsets.push(n);
+        if hours.is_empty() {
+            hour_offsets = vec![0];
+        }
+
+        let mut machine_order: Vec<usize> = (0..n).collect();
+        machine_order.sort_unstable_by_key(|&row| (machine_dense[row], sorted[row].hour));
+        let mut machine_offsets = vec![0; machines.len() + 1];
+        for &row in &machine_order {
+            machine_offsets[machine_dense[row] as usize + 1] += 1;
+        }
+        for i in 1..machine_offsets.len() {
+            machine_offsets[i] += machine_offsets[i - 1];
+        }
+
+        // Struct-of-arrays metric columns, derived ratios included.
+        let mut columns = vec![Vec::with_capacity(n); Metric::ALL.len()];
+        for r in &sorted {
+            let row = Metric::row_of(&r.metrics);
+            for (col, v) in columns.iter_mut().zip(row) {
+                col.push(v);
+            }
+        }
+
+        ColumnIndex {
+            sorted,
+            groups,
+            group_offsets,
+            machines,
+            machine_dense,
+            hours,
+            hour_order,
+            hour_offsets,
+            machine_order,
+            machine_offsets,
+            columns,
+        }
+    }
+
+    /// Row range of one group in `sorted`, empty when absent.
+    pub(crate) fn group_range(&self, group: GroupKey) -> Range<usize> {
+        let gi = self.groups.partition_point(|g| *g < group);
+        if self.groups.get(gi) == Some(&group) {
+            self.group_offsets[gi]..self.group_offsets[gi + 1]
+        } else {
+            0..0
+        }
+    }
+
+    /// Position range in `hour_order` covering hours `[start, end)`.
+    pub(crate) fn hour_position_range(&self, start: u64, end: u64) -> Range<usize> {
+        let lo = self.hours.partition_point(|&h| h < start);
+        let hi = self.hours.partition_point(|&h| h < end);
+        self.hour_offsets[lo]..self.hour_offsets[hi]
+    }
+
+    /// Dense id of `machine`, if present.
+    fn dense_machine(&self, machine: MachineId) -> Option<usize> {
+        let mi = self.machines.partition_point(|m| *m < machine);
+        (self.machines.get(mi) == Some(&machine)).then_some(mi)
+    }
+
+    /// One contiguous metric column slice for a group.
+    pub(crate) fn group_column(&self, group: GroupKey, metric: Metric) -> &[f64] {
+        &self.columns[metric.index()][self.group_range(group)]
+    }
+}
+
+/// A set-membership bitmap over dense machine ids — the probe structure
+/// behind [`TelemetryStore::by_machines_and_hours`]. One bit per distinct
+/// machine in the window, so a 64k-machine fleet fits in 8 KiB.
+struct MachineBitmap {
+    words: Vec<u64>,
+}
+
+impl MachineBitmap {
+    fn from_set(index: &ColumnIndex, machines: &BTreeSet<MachineId>) -> Self {
+        let mut words = vec![0u64; index.machines.len().div_ceil(64)];
+        for &m in machines {
+            if let Some(dense) = index.dense_machine(m) {
+                words[dense / 64] |= 1 << (dense % 64);
+            }
+        }
+        MachineBitmap { words }
+    }
+
+    #[inline]
+    fn contains(&self, dense: u32) -> bool {
+        let dense = dense as usize;
+        (self.words[dense / 64] >> (dense % 64)) & 1 == 1
+    }
 }
 
 impl TelemetryStore {
@@ -21,10 +238,13 @@ impl TelemetryStore {
         Self::default()
     }
 
-    /// Appends one record. Non-finite metric blocks are rejected by
-    /// debug assertion — the simulator must never emit them.
+    /// Appends one record, dropping any built index. Non-finite metric
+    /// blocks are rejected by debug assertion — the simulator must never
+    /// emit them (CSV ingest checks them with a typed error instead, see
+    /// [`crate::csv`]).
     pub fn push(&mut self, record: MachineHourRecord) {
         debug_assert!(record.metrics.is_finite(), "non-finite telemetry emitted");
+        self.index.take();
         self.records.push(record);
     }
 
@@ -45,69 +265,233 @@ impl TelemetryStore {
         self.records.is_empty()
     }
 
+    /// Builds the columnar read index now (sorting, interning, and column
+    /// extraction are O(N log N)). Queries seal lazily on first use, so
+    /// calling this is never required — it only moves the one-time cost to
+    /// a chosen point (e.g. right after a simulation flush, before the
+    /// timed analysis path).
+    pub fn seal(&self) {
+        self.index();
+    }
+
+    /// True when the columnar index is currently built (no append since
+    /// the last seal or indexed query).
+    pub fn is_sealed(&self) -> bool {
+        self.index.get().is_some()
+    }
+
+    /// The columnar index, building it on first use per data generation.
+    pub(crate) fn index(&self) -> &ColumnIndex {
+        self.index.get_or_init(|| ColumnIndex::build(&self.records))
+    }
+
     /// All records, in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = &MachineHourRecord> {
         self.records.iter()
     }
 
-    /// Records for one machine group.
+    /// Records for one machine group as one contiguous slice, sorted by
+    /// `(hour, machine)`. Empty when the group is absent.
+    pub fn group_records(&self, group: GroupKey) -> &[MachineHourRecord] {
+        let index = self.index();
+        &index.sorted[index.group_range(group)]
+    }
+
+    /// Records for one machine group, sorted by `(hour, machine)`.
     pub fn by_group(&self, group: GroupKey) -> impl Iterator<Item = &MachineHourRecord> {
-        self.records.iter().filter(move |r| r.group == group)
+        self.group_records(group).iter()
     }
 
-    /// Records for one machine.
+    /// Records for one machine, sorted by hour.
     pub fn by_machine(&self, machine: MachineId) -> impl Iterator<Item = &MachineHourRecord> {
-        self.records.iter().filter(move |r| r.machine == machine)
+        let index = self.index();
+        let range = match index.dense_machine(machine) {
+            Some(dense) => index.machine_offsets[dense]..index.machine_offsets[dense + 1],
+            None => 0..0,
+        };
+        index.machine_order[range]
+            .iter()
+            .map(move |&row| &index.sorted[row])
     }
 
-    /// Records within `[start_hour, end_hour)`.
+    /// Records within `[start_hour, end_hour)`, sorted by
+    /// `(hour, machine)`.
     pub fn by_hours(
         &self,
         start_hour: u64,
         end_hour: u64,
     ) -> impl Iterator<Item = &MachineHourRecord> {
-        self.records
+        let index = self.index();
+        index.hour_order[index.hour_position_range(start_hour, end_hour)]
             .iter()
-            .filter(move |r| r.hour >= start_hour && r.hour < end_hour)
+            .map(move |&row| &index.sorted[row])
     }
 
     /// Records for a set of machines within `[start_hour, end_hour)` —
-    /// the shape of a flighting measurement query.
+    /// the shape of a flighting measurement query. The hour range is an
+    /// index probe; machine membership is one bitmap test per candidate
+    /// row (dense ids, no `BTreeSet` lookup per record).
     pub fn by_machines_and_hours<'a>(
         &'a self,
-        machines: &'a BTreeSet<MachineId>,
+        machines: &BTreeSet<MachineId>,
         start_hour: u64,
         end_hour: u64,
     ) -> impl Iterator<Item = &'a MachineHourRecord> {
-        self.records.iter().filter(move |r| {
-            r.hour >= start_hour && r.hour < end_hour && machines.contains(&r.machine)
-        })
+        let index = self.index();
+        let bitmap = MachineBitmap::from_set(index, machines);
+        index.hour_order[index.hour_position_range(start_hour, end_hour)]
+            .iter()
+            .filter(move |&&row| bitmap.contains(index.machine_dense[row]))
+            .map(move |&row| &index.sorted[row])
     }
 
     /// The distinct machine groups present, sorted.
     pub fn groups(&self) -> Vec<GroupKey> {
-        let set: BTreeSet<GroupKey> = self.records.iter().map(|r| r.group).collect();
-        set.into_iter().collect()
+        self.index().groups.clone()
     }
 
     /// The distinct machines present, sorted.
     pub fn machines(&self) -> Vec<MachineId> {
-        let set: BTreeSet<MachineId> = self.records.iter().map(|r| r.machine).collect();
-        set.into_iter().collect()
+        self.index().machines.clone()
     }
 
     /// Inclusive-exclusive hour span `(min, max+1)` covered by the store,
-    /// or `None` when empty.
+    /// or `None` when empty. O(1) when sealed; a single min/max pass when
+    /// not (this never forces an index build).
     pub fn hour_span(&self) -> Option<(u64, u64)> {
-        let min = self.records.iter().map(|r| r.hour).min()?;
-        let max = self.records.iter().map(|r| r.hour).max()?;
-        Some((min, max + 1))
+        if let Some(index) = self.index.get() {
+            return match (index.hours.first(), index.hours.last()) {
+                (Some(&min), Some(&max)) => Some((min, max + 1)),
+                _ => None,
+            };
+        }
+        self.records
+            .iter()
+            .map(|r| r.hour)
+            .fold(None, |acc, h| match acc {
+                None => Some((h, h)),
+                Some((lo, hi)) => Some((lo.min(h), hi.max(h))),
+            })
+            .map(|(lo, hi)| (lo, hi + 1))
     }
 
     /// Merges another store into this one (e.g. combining experiment and
-    /// control windows collected separately).
+    /// control windows collected separately). Drops any built index.
     pub fn merge(&mut self, other: TelemetryStore) {
+        self.index.take();
         self.records.extend(other.records);
+    }
+}
+
+/// The pre-columnar flat store, preserved verbatim as an executable
+/// specification. Every view is an O(N) scan with a per-record predicate
+/// and every distinct-set query materializes a `BTreeSet` — exactly what
+/// the columnar engine replaces. The randomized agreement suite
+/// (`tests/agreement.rs`) pins the two implementations to identical views
+/// and 1e-9-identical aggregates; the `telemetry_scan` bench measures the
+/// speedup against it.
+pub mod reference {
+    use crate::record::{GroupKey, MachineHourRecord, MachineId};
+    use std::collections::BTreeSet;
+
+    /// Append-only store of machine-hour records (flat-scan reference).
+    #[derive(Debug, Clone, Default)]
+    pub struct TelemetryStore {
+        records: Vec<MachineHourRecord>,
+    }
+
+    impl TelemetryStore {
+        /// Creates an empty store.
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// Appends one record.
+        pub fn push(&mut self, record: MachineHourRecord) {
+            debug_assert!(record.metrics.is_finite(), "non-finite telemetry emitted");
+            self.records.push(record);
+        }
+
+        /// Appends many records.
+        pub fn extend(&mut self, records: impl IntoIterator<Item = MachineHourRecord>) {
+            for r in records {
+                self.push(r);
+            }
+        }
+
+        /// Number of records.
+        pub fn len(&self) -> usize {
+            self.records.len()
+        }
+
+        /// True when empty.
+        pub fn is_empty(&self) -> bool {
+            self.records.is_empty()
+        }
+
+        /// All records, in insertion order.
+        pub fn iter(&self) -> impl Iterator<Item = &MachineHourRecord> {
+            self.records.iter()
+        }
+
+        /// Records for one machine group (predicate scan).
+        pub fn by_group(&self, group: GroupKey) -> impl Iterator<Item = &MachineHourRecord> {
+            self.records.iter().filter(move |r| r.group == group)
+        }
+
+        /// Records for one machine (predicate scan).
+        pub fn by_machine(&self, machine: MachineId) -> impl Iterator<Item = &MachineHourRecord> {
+            self.records.iter().filter(move |r| r.machine == machine)
+        }
+
+        /// Records within `[start_hour, end_hour)` (predicate scan).
+        pub fn by_hours(
+            &self,
+            start_hour: u64,
+            end_hour: u64,
+        ) -> impl Iterator<Item = &MachineHourRecord> {
+            self.records
+                .iter()
+                .filter(move |r| r.hour >= start_hour && r.hour < end_hour)
+        }
+
+        /// Records for a set of machines within `[start_hour, end_hour)`
+        /// (predicate scan with a `BTreeSet::contains` per record).
+        pub fn by_machines_and_hours<'a>(
+            &'a self,
+            machines: &'a BTreeSet<MachineId>,
+            start_hour: u64,
+            end_hour: u64,
+        ) -> impl Iterator<Item = &'a MachineHourRecord> {
+            self.records.iter().filter(move |r| {
+                r.hour >= start_hour && r.hour < end_hour && machines.contains(&r.machine)
+            })
+        }
+
+        /// The distinct machine groups present, sorted.
+        pub fn groups(&self) -> Vec<GroupKey> {
+            let set: BTreeSet<GroupKey> = self.records.iter().map(|r| r.group).collect();
+            set.into_iter().collect()
+        }
+
+        /// The distinct machines present, sorted.
+        pub fn machines(&self) -> Vec<MachineId> {
+            let set: BTreeSet<MachineId> = self.records.iter().map(|r| r.machine).collect();
+            set.into_iter().collect()
+        }
+
+        /// Inclusive-exclusive hour span `(min, max+1)` covered by the
+        /// store, or `None` when empty (two-pass, as shipped).
+        pub fn hour_span(&self) -> Option<(u64, u64)> {
+            let min = self.records.iter().map(|r| r.hour).min()?;
+            let max = self.records.iter().map(|r| r.hour).max()?;
+            Some((min, max + 1))
+        }
+
+        /// Merges another store into this one.
+        pub fn merge(&mut self, other: TelemetryStore) {
+            self.records.extend(other.records);
+        }
     }
 }
 
@@ -162,6 +546,11 @@ mod tests {
         assert_eq!(store.hour_span(), None);
         store.push(rec(1, 0, 5, 0.0));
         store.push(rec(1, 0, 9, 0.0));
+        // One-pass unsealed path must not force an index build.
+        assert_eq!(store.hour_span(), Some((5, 10)));
+        assert!(!store.is_sealed());
+        // Sealed path reads the hour index in O(1).
+        store.seal();
         assert_eq!(store.hour_span(), Some((5, 10)));
     }
 
@@ -175,6 +564,9 @@ mod tests {
         }
         let subset: BTreeSet<MachineId> = [MachineId(1), MachineId(3)].into_iter().collect();
         assert_eq!(store.by_machines_and_hours(&subset, 1, 3).count(), 4);
+        // Machines the store has never seen are simply absent.
+        let strangers: BTreeSet<MachineId> = [MachineId(99)].into_iter().collect();
+        assert_eq!(store.by_machines_and_hours(&strangers, 0, 5).count(), 0);
     }
 
     #[test]
@@ -193,5 +585,72 @@ mod tests {
         store.extend((0..10).map(|h| rec(1, 0, h, h as f64)));
         assert_eq!(store.len(), 10);
         assert!(store.iter().all(|r| r.machine == MachineId(1)));
+    }
+
+    #[test]
+    fn group_records_is_contiguous_and_sorted() {
+        let mut store = TelemetryStore::new();
+        // Shuffled insertion order.
+        store.push(rec(2, 1, 5, 0.0));
+        store.push(rec(1, 0, 3, 0.0));
+        store.push(rec(3, 0, 1, 0.0));
+        store.push(rec(1, 0, 1, 0.0));
+        let g0 = store.group_records(GroupKey::new(SkuId(0), ScId(0)));
+        assert_eq!(g0.len(), 3);
+        assert!(g0.windows(2).all(|w| (w[0].hour, w[0].machine) <= (w[1].hour, w[1].machine)));
+        assert!(store
+            .group_records(GroupKey::new(SkuId(9), ScId(0)))
+            .is_empty());
+    }
+
+    #[test]
+    fn append_after_seal_reindexes() {
+        let mut store = TelemetryStore::new();
+        store.push(rec(1, 0, 0, 1.0));
+        store.seal();
+        assert!(store.is_sealed());
+        store.push(rec(2, 0, 1, 2.0));
+        assert!(!store.is_sealed(), "append must invalidate the index");
+        assert_eq!(store.by_hours(0, 2).count(), 2);
+        assert_eq!(store.machines().len(), 2);
+    }
+
+    #[test]
+    fn index_csr_invariants() {
+        let mut store = TelemetryStore::new();
+        for m in 0..5u32 {
+            for h in [0u64, 2, 7] {
+                store.push(rec(m, (m % 2) as u16, h, m as f64));
+            }
+        }
+        store.seal();
+        let idx = store.index();
+        assert_eq!(idx.group_offsets.len(), idx.groups.len() + 1);
+        assert_eq!(idx.hour_offsets.len(), idx.hours.len() + 1);
+        assert_eq!(idx.machine_offsets.len(), idx.machines.len() + 1);
+        assert_eq!(*idx.group_offsets.last().unwrap(), store.len());
+        assert_eq!(*idx.hour_offsets.last().unwrap(), store.len());
+        assert_eq!(*idx.machine_offsets.last().unwrap(), store.len());
+        assert!(idx.group_offsets.windows(2).all(|w| w[0] <= w[1]));
+        assert!(idx.hour_offsets.windows(2).all(|w| w[0] <= w[1]));
+        assert!(idx.machine_offsets.windows(2).all(|w| w[0] <= w[1]));
+        // Columns are per-metric and full-length.
+        assert_eq!(idx.columns.len(), Metric::ALL.len());
+        assert!(idx.columns.iter().all(|c| c.len() == store.len()));
+        // Dense ids round-trip.
+        for (row, r) in idx.sorted.iter().enumerate() {
+            assert_eq!(idx.machines[idx.machine_dense[row] as usize], r.machine);
+        }
+    }
+
+    #[test]
+    fn empty_store_indexed_queries() {
+        let store = TelemetryStore::new();
+        store.seal();
+        assert!(store.groups().is_empty());
+        assert!(store.machines().is_empty());
+        assert_eq!(store.hour_span(), None);
+        assert_eq!(store.by_hours(0, 10).count(), 0);
+        assert_eq!(store.by_machine(MachineId(0)).count(), 0);
     }
 }

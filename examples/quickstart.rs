@@ -26,6 +26,10 @@ fn main() {
 
     // 2. Model: the Performance Monitor prepares group-level views and
     //    the What-if Engine calibrates per-group Huber regressions.
+    //    Sealing builds the columnar index (sorted runs, dense ids,
+    //    metric columns) up front; it would otherwise happen lazily on
+    //    the first monitor query.
+    observed.telemetry.seal();
     let monitor = PerformanceMonitor::new(&observed.telemetry);
     let engine = WhatIfEngine::fit_at(&monitor, FitMethod::Huber, Granularity::Hourly, 24)
         .expect("enough telemetry to calibrate");
