@@ -31,37 +31,42 @@ const MACHINES_PER_GROUP: u32 = 32; // 8 × 32 = 256 machines
 const DAYS: u64 = 14;
 const HOURS: u64 = DAYS * 24; // 336 hourly records per machine
 
-/// The monitor-window fleet: 86,016 machine-hour rows with smooth
-/// per-group dynamics (so summaries and roll-ups exercise real spreads).
-fn monitor_window() -> Vec<MachineHourRecord> {
-    let mut records = Vec::with_capacity((N_GROUPS as usize) * (MACHINES_PER_GROUP as usize) * HOURS as usize);
+/// One hour of fleet telemetry: 256 machine-hour rows (8 groups × 32
+/// machines) with smooth per-group dynamics, the shape of one streaming
+/// ingest batch.
+fn hour_batch(h: u64) -> Vec<MachineHourRecord> {
+    let mut records = Vec::with_capacity((N_GROUPS as usize) * (MACHINES_PER_GROUP as usize));
     for g in 0..N_GROUPS {
         let group = GroupKey::new(SkuId(g), ScId(1));
         for m in 0..MACHINES_PER_GROUP {
             let machine = MachineId(g as u32 * 10_000 + m);
-            for h in 0..HOURS {
-                let phase = (h % 24) as f64 / 24.0;
-                let util = 30.0 + g as f64 * 5.0 + 40.0 * phase + (m % 5) as f64;
-                records.push(MachineHourRecord {
-                    machine,
-                    group,
-                    hour: h,
-                    metrics: MetricValues {
-                        cpu_utilization: util.min(100.0),
-                        avg_running_containers: 4.0 + (m % 7) as f64 + 3.0 * phase,
-                        tasks_finished: 50.0 + util,
-                        total_data_read_gb: 2.0 + 0.1 * util,
-                        task_exec_time_s: 3000.0 + 10.0 * util,
-                        cpu_time_s: 1500.0 + 5.0 * util,
-                        avg_task_latency_s: 100.0 + util,
-                        power_draw_w: 200.0 + util,
-                        ..Default::default()
-                    },
-                });
-            }
+            let phase = (h % 24) as f64 / 24.0;
+            let util = 30.0 + g as f64 * 5.0 + 40.0 * phase + (m % 5) as f64;
+            records.push(MachineHourRecord {
+                machine,
+                group,
+                hour: h,
+                metrics: MetricValues {
+                    cpu_utilization: util.min(100.0),
+                    avg_running_containers: 4.0 + (m % 7) as f64 + 3.0 * phase,
+                    tasks_finished: 50.0 + util,
+                    total_data_read_gb: 2.0 + 0.1 * util,
+                    task_exec_time_s: 3000.0 + 10.0 * util,
+                    cpu_time_s: 1500.0 + 5.0 * util,
+                    avg_task_latency_s: 100.0 + util,
+                    power_draw_w: 200.0 + util,
+                    ..Default::default()
+                },
+            });
         }
     }
     records
+}
+
+/// The monitor-window fleet: 86,016 machine-hour rows (14 days of
+/// [`hour_batch`]es), so summaries and roll-ups exercise real spreads.
+fn monitor_window() -> Vec<MachineHourRecord> {
+    (0..HOURS).flat_map(hour_batch).collect()
 }
 
 fn build_columnar(records: &[MachineHourRecord]) -> TelemetryStore {
@@ -206,14 +211,14 @@ fn bench_seal(c: &mut Criterion) {
     let records = monitor_window();
     let mut group = c.benchmark_group("telemetry_seal");
     group.sample_size(10);
+    // Bulk extend now compacts inside the call, so the timed region is
+    // the whole ingest: copy-in, sort, and index build.
     group.bench_function("seal_86k_records", |b| {
         b.iter_batched(
-            || {
+            || records.clone(),
+            |rs| {
                 let mut store = TelemetryStore::new();
-                store.extend(records.iter().copied());
-                store
-            },
-            |store| {
+                store.extend(rs);
                 store.seal();
                 store
             },
@@ -223,10 +228,115 @@ fn bench_seal(c: &mut Criterion) {
     group.finish();
 }
 
+/// Streaming-append benches: the run+delta store against the
+/// append-then-rebuild world it replaces.
+///
+/// * `append_one_hour_then_query_delta`: the steady state — a sealed 86k
+///   store takes one fresh hour (256 rows, far under the compaction
+///   threshold) and answers `group_utilization` by merging run + delta.
+/// * `append_one_hour_then_query_rebuild`: what the same arrival cost
+///   before incremental re-seal — re-sort and re-index all 86k+256 rows
+///   before the query can run.
+/// * `seal_4096_row_delta`: compacting a near-threshold delta via the
+///   O(n+d) two-sorted-sequence merge, against `telemetry_seal`'s
+///   from-scratch build of the same data.
+/// * `replay_14_days_hourly`: the full ingest loop — 336 per-hour
+///   batches, a fleet query after every batch, automatic compactions
+///   included.
+fn bench_stream(c: &mut Criterion) {
+    let records = monitor_window();
+    let sealed = build_columnar(&records);
+    let batch = hour_batch(HOURS); // the next hour arriving
+
+    // Sanity: the delta-merged answer must equal the reference over the
+    // combined stream before any timing is believed.
+    {
+        let mut streamed = sealed.clone();
+        streamed.extend(batch.iter().copied());
+        assert!(!streamed.is_sealed(), "one hour must stay in the delta");
+        let mut all = records.clone();
+        all.extend(batch.iter().copied());
+        let reference = build_reference(&all);
+        assert_agreement(&streamed, &reference);
+    }
+
+    let mut group = c.benchmark_group("telemetry_stream");
+    group.sample_size(10);
+    group.bench_function("append_one_hour_then_query_delta", |b| {
+        b.iter_batched(
+            || {
+                // A fresh clone's record log is allocated exactly-sized;
+                // pre-reserve so the timed region measures the streaming
+                // append, not a one-off realloc of the whole log.
+                let mut store = sealed.clone();
+                store.reserve(batch.len());
+                store
+            },
+            |mut store| {
+                store.extend(batch.iter().copied());
+                group_utilization(black_box(&store))
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("append_one_hour_then_query_rebuild", |b| {
+        b.iter_batched(
+            || {
+                let mut all = records.clone();
+                all.extend(batch.iter().copied());
+                all
+            },
+            |all| {
+                let mut store = TelemetryStore::new();
+                store.extend(all);
+                store.seal();
+                group_utilization(black_box(&store))
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    // 16 hours of arrivals (4,096 rows) sit just under the 5% compaction
+    // threshold at this run size, so the whole delta compacts in one
+    // explicit seal.
+    group.bench_function("seal_4096_row_delta", |b| {
+        b.iter_batched(
+            || {
+                let mut store = sealed.clone();
+                for h in 0..16 {
+                    store.extend(hour_batch(HOURS + h));
+                }
+                assert!(!store.is_sealed(), "4,096 rows must stay in the delta");
+                store
+            },
+            |mut store| {
+                store.seal();
+                store
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("replay_14_days_hourly", |b| {
+        b.iter(|| {
+            let mut store = TelemetryStore::new();
+            let mut acc = 0.0;
+            for h in 0..HOURS {
+                store.extend(hour_batch(h));
+                acc += group_utilization(black_box(&store))
+                    .iter()
+                    .map(|g| g.mean_cpu_utilization)
+                    .sum::<f64>();
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_monitor_window,
     bench_wide_fleet,
-    bench_seal
+    bench_seal,
+    bench_stream
 );
 criterion_main!(benches);

@@ -20,6 +20,7 @@ use crate::monitor::PerformanceMonitor;
 use kea_ml::{r2_score, LinearModel1D};
 use kea_telemetry::{GroupKey, Metric};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Training-row granularity.
 ///
@@ -164,8 +165,8 @@ impl WhatIfEngine {
         min_rows: usize,
     ) -> Result<Self, KeaError> {
         // Both sources arrive group-contiguous and group-sorted (daily
-        // aggregates are (group, machine, day)-sorted; the sealed store
-        // serves each group as one contiguous slice), so training rows
+        // aggregates are (group, machine, day)-sorted; the store serves
+        // each group as one run+delta merged stream), so training rows
         // accumulate into per-group runs with no map lookup per row.
         let mut groups: Vec<(GroupKey, Vec<TrainRow>)> = Vec::new();
         let mut push_row = |group: GroupKey, row: TrainRow| {
@@ -190,7 +191,7 @@ impl WhatIfEngine {
             }
             Granularity::Hourly => {
                 for group in monitor.store().groups() {
-                    for rec in monitor.store().group_records(group) {
+                    for rec in monitor.store().by_group(group) {
                         if rec.metrics.tasks_finished > 0.0 {
                             push_row(group, TrainRow {
                                 machine: rec.machine.0,
@@ -225,44 +226,63 @@ impl WhatIfEngine {
         Ok(WhatIfEngine { models, method })
     }
 
-    /// Fits every group, spreading the work over at most `n_workers`
-    /// scoped threads. Results land in per-group slots, so the output is
-    /// identical to a serial loop regardless of worker count. Each worker
-    /// takes a contiguous chunk; group count, not row count, is the unit
-    /// of work, which is the right grain for the fleet shape this models
-    /// (many groups of similar size).
+    /// Fits every group, work-stealing across at most `n_workers` scoped
+    /// threads: each worker pulls the next unfitted group off a shared
+    /// atomic cursor, so one giant group (row count is wildly skewed in
+    /// real fleets) pins exactly one worker while the others drain the
+    /// remaining groups — a contiguous chunk split would serialize every
+    /// group sharing the giant's chunk. Results land in per-group slots,
+    /// so the output is identical to a serial loop for any worker count
+    /// and any steal interleaving.
     fn fit_groups(
         groups: &[(GroupKey, Vec<TrainRow>)],
         method: FitMethod,
         n_workers: usize,
     ) -> Vec<Result<GroupModels, KeaError>> {
         let n_workers = n_workers.clamp(1, groups.len().max(1));
+        if n_workers <= 1 {
+            return groups
+                .iter()
+                .map(|(group, rows)| Self::fit_group(*group, rows, method))
+                .collect();
+        }
+        let cursor = AtomicUsize::new(0);
         let mut results: Vec<Option<Result<GroupModels, KeaError>>> = Vec::new();
         results.resize_with(groups.len(), || None);
-        if n_workers <= 1 {
-            for ((group, rows), slot) in groups.iter().zip(&mut results) {
-                *slot = Some(Self::fit_group(*group, rows, method));
-            }
-        } else {
-            let per_worker = groups.len().div_ceil(n_workers);
-            std::thread::scope(|scope| {
-                for (chunk, slots) in groups
-                    .chunks(per_worker)
-                    .zip(results.chunks_mut(per_worker))
-                {
-                    scope.spawn(move || {
-                        for ((group, rows), slot) in chunk.iter().zip(slots) {
-                            *slot = Some(Self::fit_group(*group, rows, method));
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n_workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut claimed: Vec<(usize, Result<GroupModels, KeaError>)> = Vec::new();
+                        loop {
+                            let gi = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some((group, rows)) = groups.get(gi) else {
+                                break;
+                            };
+                            claimed.push((gi, Self::fit_group(*group, rows, method)));
                         }
-                    });
+                        claimed
+                    })
+                })
+                .collect();
+            for handle in handles {
+                match handle.join() {
+                    Ok(claimed) => {
+                        for (gi, result) in claimed {
+                            results[gi] = Some(result);
+                        }
+                    }
+                    // A panicking fit (estimator assertion) must surface,
+                    // not silently leave slots unfilled.
+                    Err(payload) => std::panic::resume_unwind(payload),
                 }
-            });
-        }
+            }
+        });
         results
             .into_iter()
             .map(|r| {
-                // Each slot is written exactly once by the chunk partition;
-                // an unfilled slot degrades to a per-group error.
+                // Every claimed slot is written exactly once; an unfilled
+                // slot degrades to a per-group error.
                 r.unwrap_or_else(|| {
                     Err(KeaError::Design(
                         "fit worker left a group slot unfilled".to_string(),
@@ -557,6 +577,48 @@ mod tests {
                 "group {g}: slope {} vs expected {expected}",
                 models.g_containers_to_util.slope()
             );
+        }
+    }
+
+    #[test]
+    fn work_stealing_fit_handles_pathological_group_skew() {
+        // One giant group (10k rows) among many tiny ones (8 rows each):
+        // a contiguous chunk split would serialize the giant's whole
+        // chunk behind it. The work-stealing fit must keep output order
+        // (and every fitted model) identical to the serial loop for any
+        // worker count, with the giant claimed by exactly one worker.
+        let make_rows = |slope: f64, n: usize| -> Vec<TrainRow> {
+            (0..n as u32)
+                .map(|i| {
+                    let containers = 4.0 + (i % 5) as f64 + ((i % 7) as f64) * 0.5;
+                    let util = 5.0 + slope * containers;
+                    TrainRow {
+                        machine: i % 16,
+                        containers,
+                        util,
+                        tasks: 2.0 * util,
+                        latency: 100.0 + 3.0 * util,
+                    }
+                })
+                .collect()
+        };
+        let mut groups: Vec<(GroupKey, Vec<TrainRow>)> = Vec::new();
+        groups.push((GroupKey::new(SkuId(0), ScId(1)), make_rows(2.0, 10_000)));
+        for g in 1..12u16 {
+            groups.push((GroupKey::new(SkuId(g), ScId(1)), make_rows(2.0 + g as f64 * 0.5, 8)));
+        }
+
+        let serial = WhatIfEngine::fit_groups(&groups, FitMethod::Huber, 1);
+        for workers in [2, 3, 8, 32] {
+            let parallel = WhatIfEngine::fit_groups(&groups, FitMethod::Huber, workers);
+            assert_eq!(serial.len(), parallel.len());
+            for (g, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+                assert_eq!(
+                    s.as_ref().unwrap(),
+                    p.as_ref().unwrap(),
+                    "group {g} diverged at {workers} workers under skew"
+                );
+            }
         }
     }
 

@@ -15,6 +15,11 @@ pub const PANIC_IN_LIBRARY: &str = "panic-in-library";
 /// [`PANIC_IN_LIBRARY`] so dense numeric kernels can `allow-file` the
 /// indexing arm without also silencing stray unwraps.
 pub const INDEX_IN_LIBRARY: &str = "index-in-library";
+/// Rule id: panicking position-taking methods in library code
+/// (`remove`, `swap_remove`, `split_at`, `drain(range)`, `copy_within`,
+/// …) — the method-call cousins of [`INDEX_IN_LIBRARY`], which only sees
+/// `[` bracket syntax.
+pub const PANIC_METHOD_IN_LIBRARY: &str = "panic-method-in-library";
 /// Rule id: orderings that panic or misbehave on NaN.
 pub const NAN_UNSAFE_ORDERING: &str = "nan-unsafe-ordering";
 /// Rule id: float→int `as` casts that silently truncate/saturate.
@@ -26,6 +31,7 @@ pub const UNGUARDED_SPAWN: &str = "unguarded-spawn";
 pub const ALL_RULES: &[&str] = &[
     PANIC_IN_LIBRARY,
     INDEX_IN_LIBRARY,
+    PANIC_METHOD_IN_LIBRARY,
     NAN_UNSAFE_ORDERING,
     TRUNCATING_AS_CAST,
     UNGUARDED_SPAWN,
@@ -204,6 +210,7 @@ pub fn run_all(file: &str, toks: &[Tok], spans: &[(u32, u32)]) -> Vec<Diagnostic
     nan_unsafe_ordering(file, toks, spans, &mut diags, &mut consumed);
     panic_in_library(file, toks, spans, &mut diags, &consumed);
     index_in_library(file, toks, spans, &mut diags);
+    panic_method_in_library(file, toks, spans, &mut diags);
     truncating_as_cast(file, toks, spans, &mut diags);
     unguarded_spawn(file, toks, spans, &mut diags);
     diags
@@ -285,6 +292,85 @@ fn index_in_library(file: &str, toks: &[Tok], spans: &[(u32, u32)], diags: &mut 
                 format!(
                     "indexing (`…[…]`) panics when out of bounds; use `.get(…)`, \
                      an iterator, or add `// kea-lint: allow({INDEX_IN_LIBRARY}) — <reason>`"
+                ),
+            ));
+        }
+    }
+}
+
+/// Methods that panic on out-of-range positions for every receiver type
+/// they exist on (slice/`Vec`/`VecDeque` position APIs) — no keyed
+/// non-panicking homonym to worry about.
+const ALWAYS_PANIC_METHODS: &[&str] = &[
+    "swap_remove",
+    "split_at",
+    "split_at_mut",
+    "copy_within",
+    "copy_from_slice",
+    "clone_from_slice",
+];
+
+/// Methods that panic on out-of-range *positions* when the receiver is a
+/// sequence, but also exist as non-panicking *key* operations on
+/// `HashMap`/`BTreeMap`/sets. The keyed form passes the key by reference
+/// (`map.remove(&k)`), so a leading `&` in the argument list marks the
+/// call as keyed and exempt.
+const POSITION_PANIC_METHODS: &[&str] = &["remove", "split_off", "swap"];
+
+fn panic_method_in_library(
+    file: &str,
+    toks: &[Tok],
+    spans: &[(u32, u32)],
+    diags: &mut Vec<Diagnostic>,
+) {
+    for i in 1..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident
+            || !toks[i - 1].is_sym(".")
+            || i + 1 >= toks.len()
+            || !toks[i + 1].is_sym("(")
+        {
+            continue;
+        }
+        if in_spans(spans, t.line) {
+            continue;
+        }
+        let name = t.text.as_str();
+        let first_arg = toks.get(i + 2);
+        let flagged = if ALWAYS_PANIC_METHODS.contains(&name) {
+            true
+        } else if POSITION_PANIC_METHODS.contains(&name) {
+            // `.remove(&key)` / `.swap(&mut a, &mut b)` are keyed-map or
+            // `mem::swap`-style calls — non-panicking. A position call
+            // passes the index by value.
+            !first_arg.map(|a| a.is_sym("&")).unwrap_or(true)
+        } else if name == "drain" {
+            // `.drain()` (maps) and `.drain(..)` (full range) cannot go
+            // out of bounds; `.drain(i..j)` can.
+            match first_arg {
+                Some(a) if a.is_sym(")") => false,
+                Some(a) if a.is_sym("..") => {
+                    !toks.get(i + 3).map(|b| b.is_sym(")")).unwrap_or(false)
+                }
+                Some(_) => true,
+                None => false,
+            }
+        } else {
+            // Residual gap, documented: `.insert(i, v)` panics on Vec
+            // when `i > len`, but the map form is far more common and
+            // indistinguishable without type information.
+            false
+        };
+        if flagged {
+            diags.push(Diagnostic::new(
+                PANIC_METHOD_IN_LIBRARY,
+                file,
+                t.line,
+                t.col,
+                format!(
+                    "`.{name}(…)` panics when the position is out of bounds; check against \
+                     `.len()` first, restructure, or add \
+                     `// kea-lint: allow({PANIC_METHOD_IN_LIBRARY}) — <reason>`"
                 ),
             ));
         }

@@ -1,5 +1,6 @@
-//! Fixture: `index-in-library` fires on index expressions but not on
-//! slice patterns or type syntax.
+//! Fixture: `index-in-library` fires on index expressions — including
+//! range indexing and map `[]`-lookup — but not on slice patterns or
+//! type syntax.
 
 pub fn ident_index(xs: &[f64]) -> f64 {
     xs[0]
@@ -11,6 +12,14 @@ pub fn chained_index(grid: &[Vec<f64>]) -> f64 {
 
 pub fn call_result_index(xs: &[f64]) -> f64 {
     (xs)[0]
+}
+
+pub fn range_index(xs: &[f64]) -> &[f64] {
+    &xs[1..3]
+}
+
+pub fn map_index(m: &std::collections::HashMap<u32, f64>) -> f64 {
+    m[&7]
 }
 
 pub fn not_an_index(xs: &[f64; 2]) -> f64 {

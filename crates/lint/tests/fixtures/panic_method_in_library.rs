@@ -1,0 +1,45 @@
+//! Fixture: `panic-method-in-library` fires on position-taking methods
+//! that panic out of bounds, but not on their keyed (map/set) homonyms
+//! or full-range drains.
+
+pub fn vec_remove(xs: &mut Vec<f64>) -> f64 {
+    xs.remove(0)
+}
+
+pub fn vec_swap_remove(xs: &mut Vec<f64>) -> f64 {
+    xs.swap_remove(3)
+}
+
+pub fn slice_split_at(xs: &[f64]) -> (&[f64], &[f64]) {
+    xs.split_at(2)
+}
+
+pub fn slice_swap(xs: &mut [f64]) {
+    xs.swap(0, 9)
+}
+
+pub fn vec_split_off(xs: &mut Vec<f64>) -> Vec<f64> {
+    xs.split_off(4)
+}
+
+pub fn range_drain(xs: &mut Vec<f64>) {
+    xs.drain(1..5);
+}
+
+pub fn copy_within(xs: &mut [f64]) {
+    xs.copy_within(0..2, 6);
+}
+
+pub fn copy_from_slice(xs: &mut [f64], ys: &[f64]) {
+    xs.copy_from_slice(ys);
+}
+
+pub fn keyed_calls_are_exempt(m: &mut std::collections::BTreeMap<u32, f64>) -> Option<f64> {
+    let _tail = m.split_off(&10);
+    m.remove(&7)
+}
+
+pub fn full_drain_is_exempt(xs: &mut Vec<f64>, m: &mut std::collections::HashMap<u32, f64>) {
+    xs.drain(..);
+    m.drain();
+}

@@ -41,10 +41,38 @@ fn panic_fixture_catches_every_macro_and_method() {
 #[test]
 fn index_fixture_flags_expressions_not_patterns() {
     let diags = lint_fixture("index_in_library.rs");
-    assert_eq!(rules_of(&diags), vec!["index-in-library"; 4], "{diags:#?}");
-    // The slice pattern and slice type in `not_an_index` must not fire:
-    // every hit lies before that function's body.
-    assert!(diags.iter().all(|d| d.line < 17), "{diags:#?}");
+    assert_eq!(rules_of(&diags), vec!["index-in-library"; 6], "{diags:#?}");
+    // Range indexing (`xs[1..3]`) and map `[]`-lookup (`m[&7]`) are
+    // index expressions too; the slice pattern and slice type in
+    // `not_an_index` must not fire: every hit lies before that
+    // function's body.
+    assert!(diags.iter().all(|d| d.line < 25), "{diags:#?}");
+}
+
+#[test]
+fn panic_method_fixture_flags_position_calls_not_keyed_ones() {
+    let diags = lint_fixture("panic_method_in_library.rs");
+    assert_eq!(
+        rules_of(&diags),
+        vec!["panic-method-in-library"; 8],
+        "{diags:#?}"
+    );
+    let msgs: String = diags.iter().map(|d| d.message.as_str()).collect();
+    for needle in [
+        "remove",
+        "swap_remove",
+        "split_at",
+        "swap",
+        "split_off",
+        "drain",
+        "copy_within",
+        "copy_from_slice",
+    ] {
+        assert!(msgs.contains(needle), "missing `{needle}` in {msgs}");
+    }
+    // The keyed map calls (`remove(&k)`, `split_off(&k)`) and full-range
+    // drains are exempt: every hit lies before those functions.
+    assert!(diags.iter().all(|d| d.line < 36), "{diags:#?}");
 }
 
 #[test]
@@ -144,6 +172,7 @@ fn cli_exits_nonzero_on_each_rule_fixture() {
     for fixture in [
         "panic_in_library.rs",
         "index_in_library.rs",
+        "panic_method_in_library.rs",
         "nan_unsafe_ordering.rs",
         "truncating_as_cast.rs",
         "unguarded_spawn.rs",

@@ -65,6 +65,7 @@ fn weighted_ls(x_rows: &[Vec<f64>], y: &[f64], w: &[f64]) -> Result<Vec<f64>, Ml
     let mut row = vec![0.0; p];
     for ((xr, &yi), &wi) in x_rows.iter().zip(y).zip(w) {
         row[0] = 1.0;
+        // kea-lint: allow(panic-method-in-library) — check_rectangular at entry guarantees every row has p-1 features
         row[1..].copy_from_slice(xr);
         for i in 0..p {
             let wxi = wi * row[i];

@@ -179,8 +179,10 @@ impl Matrix {
             }
             if pivot_row != col {
                 for c in 0..n {
+                    // kea-lint: allow(panic-method-in-library) — col, pivot_row, c all < n by loop bounds, so both flat indices are < n*n
                     a.swap(col * n + c, pivot_row * n + c);
                 }
+                // kea-lint: allow(panic-method-in-library) — col and pivot_row are < n = x.len() by loop bounds
                 x.swap(col, pivot_row);
             }
             // Eliminate below.

@@ -42,6 +42,7 @@ pub fn train_test_split<R: Rng + ?Sized>(
     }
     let mut idx: Vec<usize> = (0..n).collect();
     idx.shuffle(rng);
+    // kea-lint: allow(panic-method-in-library) — n_test ∈ (0, n) validated above, so the split point is within 0..n = idx.len()
     let test = idx.split_off(n - n_test);
     Ok(Split { train: idx, test })
 }

@@ -264,11 +264,15 @@ impl<'a> Engine<'a> {
         if pos == u32::MAX {
             return;
         }
-        // pos != MAX implies the set is non-empty; degrade to a no-op if
-        // the invariant is ever broken rather than aborting the sim.
+        // pos != MAX implies pos indexes the live set; degrade to a no-op
+        // if the invariant is ever broken rather than aborting the sim.
+        if pos as usize >= self.free_set.len() {
+            return;
+        }
         let Some(&last) = self.free_set.last() else {
             return;
         };
+        // kea-lint: allow(panic-method-in-library) — pos < free_set.len() checked just above
         self.free_set.swap_remove(pos as usize);
         if last != m as u32 {
             self.free_pos[last as usize] = pos;

@@ -7,23 +7,34 @@
 //! along with the fleet series (Figure 1) and per-group utilization
 //! (Figure 2) views the Performance Monitor serves.
 //!
-//! All four roll-ups are **fused single-pass kernels** over the sealed
-//! columnar layout of [`TelemetryStore`]: they accumulate counts, sums,
-//! and distinct-machine membership in flat arrays indexed by dense ids
-//! (no `BTreeMap` entry lookup per record), and the per-group kernels
-//! parallelize across contiguous group partitions with
-//! [`std::thread::scope`] — the same worker shape as
-//! `WhatIfEngine::fit_at`. The pre-columnar implementations survive in
-//! [`reference`] as the executable specification and benchmark baseline.
+//! All four roll-ups are **fused single-pass kernels** over the store's
+//! run + delta pair: each group is a contiguous slice of the sealed run
+//! merged on the fly with a contiguous slice of the delta mini-index, so
+//! streaming appends never force a rebuild before aggregation. Counts,
+//! sums, and distinct-machine membership accumulate in flat arrays
+//! indexed by *merged* dense machine ids (each side's dense ids remapped
+//! through a shared table — no `BTreeMap` entry lookup per record).
+//!
+//! The per-group kernels parallelize by **work stealing**: scoped worker
+//! threads pull group indexes off a shared atomic cursor, so one giant
+//! group occupies one worker while the rest drain the remaining groups —
+//! the skew case a contiguous count-based partition serializes. Results
+//! land in per-group slots, so output order is identical to a serial loop
+//! for any worker count and any interleaving. The pre-columnar
+//! implementations survive in [`reference`] as the executable
+//! specification and benchmark baseline.
 
 // kea-lint: allow-file(index-in-library) — dense aggregation kernels: rows
 // come from the store's own CSR offset tables and every bucket index is a
-// dense id interned by the same index (bounds pinned by store tests).
+// dense id interned/remapped by the same index (bounds pinned by store
+// tests).
 
 use crate::metric::Metric;
-use crate::record::{GroupKey, MachineId};
-use crate::store::TelemetryStore;
+use crate::record::{GroupKey, MachineHourRecord, MachineId};
+use crate::store::{merge_dedup, remap_into, ColumnIndex, TelemetryStore};
 use kea_stats::Summary;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// One daily aggregate for one machine: per-metric means over the hours
 /// observed that day.
@@ -66,169 +77,293 @@ pub struct GroupUtilization {
     pub mean_running_containers: f64,
 }
 
-/// Splits `0..n_groups` into at most `n_workers` contiguous partitions of
-/// near-equal size (group count, not row count, is the unit of work —
-/// the right grain for many similar-sized groups).
-fn group_partitions(n_groups: usize, n_workers: usize) -> Vec<std::ops::Range<usize>> {
+/// Runs `work(scratch, group_index)` over every group in `0..n_groups`,
+/// work-stealing across scoped threads: each worker owns one `scratch`
+/// (built by `make_scratch`, reused across the groups it claims) and
+/// pulls the next unclaimed group off a shared atomic cursor. One
+/// pathologically large group therefore pins exactly one worker while
+/// the others drain the rest — a contiguous count-based split would
+/// serialize everything sharing its partition. Per-group results land in
+/// per-group slots and are concatenated in ascending group order, so the
+/// output is identical to a serial loop for any worker count and any
+/// steal interleaving.
+pub(crate) fn run_group_partitions<T: Send, S>(
+    n_groups: usize,
+    make_scratch: impl Fn() -> S + Sync,
+    work: impl Fn(&mut S, usize) -> Vec<T> + Sync,
+) -> Vec<T> {
     if n_groups == 0 {
         return Vec::new();
     }
-    let n_workers = n_workers.clamp(1, n_groups);
-    let per_worker = n_groups.div_ceil(n_workers);
-    (0..n_groups)
-        .step_by(per_worker)
-        .map(|start| start..(start + per_worker).min(n_groups))
+    let n_workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(n_groups);
+    if n_workers <= 1 {
+        let mut scratch = make_scratch();
+        return (0..n_groups)
+            .flat_map(|gi| work(&mut scratch, gi))
+            .collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<Vec<T>>> = Vec::new();
+    slots.resize_with(n_groups, || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut scratch = make_scratch();
+                    let mut claimed: Vec<(usize, Vec<T>)> = Vec::new();
+                    loop {
+                        let gi = cursor.fetch_add(1, Ordering::Relaxed);
+                        if gi >= n_groups {
+                            break;
+                        }
+                        claimed.push((gi, work(&mut scratch, gi)));
+                    }
+                    claimed
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(claimed) => {
+                    for (gi, result) in claimed {
+                        slots[gi] = Some(result);
+                    }
+                }
+                // Surface worker panics (e.g. assertion failures in
+                // kernels under test) instead of swallowing them.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    slots.into_iter().flatten().flatten().collect()
+}
+
+/// One group's presence across the run + delta pair: its rows in each
+/// side's sorted order (empty range when absent from that side).
+struct MergedGroup {
+    group: GroupKey,
+    run_rows: Range<usize>,
+    delta_rows: Range<usize>,
+}
+
+/// The merged group list of a run + delta pair, ascending by group key.
+fn merged_groups(run: &ColumnIndex, delta: &ColumnIndex) -> Vec<MergedGroup> {
+    merge_dedup(&run.groups, &delta.groups)
+        .into_iter()
+        .map(|group| MergedGroup {
+            group,
+            run_rows: run.group_range(group),
+            delta_rows: delta.group_range(group),
+        })
         .collect()
 }
 
-/// Runs `work` over each contiguous group partition, in parallel on
-/// scoped threads when more than one partition exists. Partition results
-/// land in order, so concatenating them preserves global group order and
-/// the output is identical to a serial loop for any worker count.
-fn run_group_partitions<T: Send>(
-    n_groups: usize,
-    work: impl Fn(std::ops::Range<usize>) -> Vec<T> + Sync,
-) -> Vec<T> {
-    let n_workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    let partitions = group_partitions(n_groups, n_workers);
-    if partitions.len() <= 1 {
-        return partitions.into_iter().flat_map(&work).collect();
+/// The merged dense machine-id space of a run + delta pair: the combined
+/// distinct-machine list plus one remap table per side translating that
+/// side's dense ids into merged ids.
+struct MergedMachines {
+    ids: Vec<MachineId>,
+    run_map: Vec<u32>,
+    delta_map: Vec<u32>,
+}
+
+fn merged_machines(run: &ColumnIndex, delta: &ColumnIndex) -> MergedMachines {
+    let ids = merge_dedup(&run.machines, &delta.machines);
+    let run_map = remap_into(&run.machines, &ids);
+    let delta_map = remap_into(&delta.machines, &ids);
+    MergedMachines {
+        ids,
+        run_map,
+        delta_map,
     }
-    let mut slots: Vec<Option<Vec<T>>> = Vec::new();
-    slots.resize_with(partitions.len(), || None);
-    std::thread::scope(|scope| {
-        for (partition, slot) in partitions.into_iter().zip(&mut slots) {
-            let work = &work;
-            scope.spawn(move || {
-                *slot = Some(work(partition));
-            });
+}
+
+/// Two-cursor merge over one group's run rows and delta rows, ordered by
+/// `(hour, machine)` (both sides are already hour-major within a group).
+/// Yields each record with its *merged* dense machine id.
+fn for_each_merged_row(
+    run: &ColumnIndex,
+    delta: &ColumnIndex,
+    machines: &MergedMachines,
+    g: &MergedGroup,
+    mut visit: impl FnMut(&MachineHourRecord, usize),
+) {
+    let (mut i, mut j) = (g.run_rows.start, g.delta_rows.start);
+    while i < g.run_rows.end || j < g.delta_rows.end {
+        let take_run = j >= g.delta_rows.end
+            || (i < g.run_rows.end
+                && (run.sorted[i].hour, run.sorted[i].machine)
+                    <= (delta.sorted[j].hour, delta.sorted[j].machine));
+        if take_run {
+            let dense = machines.run_map[run.machine_dense[i] as usize] as usize;
+            visit(&run.sorted[i], dense);
+            i += 1;
+        } else {
+            let dense = machines.delta_map[delta.machine_dense[j] as usize] as usize;
+            visit(&delta.sorted[j], dense);
+            j += 1;
         }
-    });
-    // Every slot is written exactly once by its worker; flatten in
-    // partition order.
-    slots.into_iter().flatten().flatten().collect()
+    }
+}
+
+/// Per-worker scratch of the daily roll-up kernel: a count and a
+/// metric-row sum per merged dense machine id, plus the ids touched this
+/// day (so a day boundary resets O(touched), not O(n_machines)).
+struct DailyScratch {
+    counts: Vec<u32>,
+    sums: Vec<[f64; Metric::ALL.len()]>,
+    touched: Vec<u32>,
 }
 
 /// Rolls the store up into per-machine, per-day aggregates (the training
 /// rows of §5.2.1), sorted by `(group, machine, day)`.
 ///
-/// Kernel shape: within a group the sorted rows are hour-major, so days
-/// arrive as contiguous runs; each day's rows accumulate into flat
-/// `(count, sums)` buckets indexed by dense machine id, and only touched
-/// buckets are drained and reset at the day boundary. Groups are
-/// processed in parallel partitions.
+/// Kernel shape: within a group both the run slice and the delta slice
+/// are hour-major, so the two-cursor merge delivers days as contiguous
+/// runs; each day's rows accumulate into flat `(count, sums)` buckets
+/// indexed by merged dense machine id, and only touched buckets are
+/// drained and reset at the day boundary. Groups are claimed by
+/// work-stealing workers.
 pub fn daily_group_aggregates(store: &TelemetryStore) -> Vec<DailyAggregate> {
-    let index = store.index();
-    let n_machines = index.machines.len();
-    let out = run_group_partitions(index.groups.len(), |partition| {
-        // Per-worker scratch, sized once for the whole fleet: a u32
-        // count and a metric-row sum per dense machine id, plus the list
-        // of ids touched this day (so a day boundary resets O(touched),
-        // not O(n_machines)).
-        let mut counts = vec![0u32; n_machines];
-        let mut sums = vec![[0.0f64; Metric::ALL.len()]; n_machines];
-        let mut touched: Vec<u32> = Vec::new();
-        let mut out: Vec<DailyAggregate> = Vec::new();
-        for gi in partition {
-            let group = index.groups[gi];
-            let rows = index.group_offsets[gi]..index.group_offsets[gi + 1];
-            let group_start = out.len();
-            let mut current_day = index.sorted[rows.start].hour / 24;
-            for row in rows {
-                let r = &index.sorted[row];
+    let run = store.run_index();
+    let delta = store.delta_or_empty();
+    let machines = merged_machines(run, delta);
+    let groups = merged_groups(run, delta);
+    let n_machines = machines.ids.len();
+    run_group_partitions(
+        groups.len(),
+        || DailyScratch {
+            counts: vec![0u32; n_machines],
+            sums: vec![[0.0f64; Metric::ALL.len()]; n_machines],
+            touched: Vec::new(),
+        },
+        |scratch, gi| {
+            let g = &groups[gi];
+            let mut out: Vec<DailyAggregate> = Vec::new();
+            let mut current_day = u64::MAX; // no day open yet
+            for_each_merged_row(run, delta, &machines, g, |r, dense| {
                 let day = r.hour / 24;
                 if day != current_day {
-                    drain_day(group, current_day, index, &mut counts, &mut sums, &mut touched, &mut out);
+                    if current_day != u64::MAX {
+                        drain_day(g.group, current_day, &machines.ids, scratch, &mut out);
+                    }
                     current_day = day;
                 }
-                let dense = index.machine_dense[row] as usize;
-                if counts[dense] == 0 {
-                    touched.push(dense as u32);
+                if scratch.counts[dense] == 0 {
+                    scratch.touched.push(dense as u32);
                 }
-                counts[dense] += 1;
+                scratch.counts[dense] += 1;
                 let row_values = Metric::row_of(&r.metrics);
-                for (acc, v) in sums[dense].iter_mut().zip(row_values) {
+                for (acc, v) in scratch.sums[dense].iter_mut().zip(row_values) {
                     *acc += v;
                 }
+            });
+            if current_day != u64::MAX {
+                drain_day(g.group, current_day, &machines.ids, scratch, &mut out);
             }
-            drain_day(group, current_day, index, &mut counts, &mut sums, &mut touched, &mut out);
             // Day-major production order → the documented (machine, day)
             // order within the group.
-            out[group_start..].sort_unstable_by_key(|a| (a.machine, a.day));
-        }
-        out
-    });
-    out
+            out.sort_unstable_by_key(|a| (a.machine, a.day));
+            out
+        },
+    )
 }
 
 /// Drains every touched daily bucket into `out` and resets the scratch.
 fn drain_day(
     group: GroupKey,
     day: u64,
-    index: &crate::store::ColumnIndex,
-    counts: &mut [u32],
-    sums: &mut [[f64; Metric::ALL.len()]],
-    touched: &mut Vec<u32>,
+    machine_ids: &[MachineId],
+    scratch: &mut DailyScratch,
     out: &mut Vec<DailyAggregate>,
 ) {
-    for &dense in touched.iter() {
+    for &dense in scratch.touched.iter() {
         let dense = dense as usize;
-        let count = counts[dense];
-        let mut means = sums[dense];
+        let count = scratch.counts[dense];
+        let mut means = scratch.sums[dense];
         for v in &mut means {
             *v /= count as f64;
         }
         out.push(DailyAggregate {
-            machine: index.machines[dense],
+            machine: machine_ids[dense],
             group,
             day,
             hours_observed: count,
             means,
         });
-        counts[dense] = 0;
-        sums[dense] = [0.0; Metric::ALL.len()];
+        scratch.counts[dense] = 0;
+        scratch.sums[dense] = [0.0; Metric::ALL.len()];
     }
-    touched.clear();
+    scratch.touched.clear();
 }
 
 /// Distribution summary of one metric over all machine-hours of one group
-/// — a single pass over the group's contiguous metric column.
+/// — a single pass over the group's contiguous metric column when the
+/// store is sealed; with a live delta the run and delta column slices
+/// are concatenated first ([`Summary::of`] sorts a copy either way).
 ///
 /// Returns `None` when the group has no records.
 pub fn group_summary(store: &TelemetryStore, group: GroupKey, metric: Metric) -> Option<Summary> {
-    Summary::of(store.index().group_column(group, metric)).ok()
+    let run = store.run_index();
+    match store.delta_index() {
+        None => Summary::of(run.group_column(group, metric)).ok(),
+        Some(delta) => {
+            let run_slice = run.group_column(group, metric);
+            let delta_slice = delta.group_column(group, metric);
+            let mut values = Vec::with_capacity(run_slice.len() + delta_slice.len());
+            values.extend_from_slice(run_slice);
+            values.extend_from_slice(delta_slice);
+            Summary::of(&values).ok()
+        }
+    }
 }
 
 /// Fleet-wide mean of `metric` per hour — the Figure 1 series, with one
 /// `(hour, mean)` point for every hour of the store's span (0.0 for hours
 /// no machine reported). Empty when the store is empty.
 ///
-/// Kernel shape: the hour CSR index yields each hour's rows directly;
-/// the mean is a gather-sum over the metric column — no per-record map
-/// lookups and no predicate scans.
+/// Kernel shape: each side's hour CSR index yields that hour's rows
+/// directly; one distinct-hour cursor per side walks the combined span,
+/// and the mean is a gather-sum over the metric columns — no per-record
+/// map lookups and no predicate scans.
 pub fn hourly_fleet_series(store: &TelemetryStore, metric: Metric) -> Vec<(u64, f64)> {
-    let index = store.index();
-    let Some((&start, &end_inclusive)) = index.hours.first().zip(index.hours.last()) else {
-        return Vec::new();
+    let run = store.run_index();
+    let delta = store.delta_or_empty();
+    let span = |idx: &ColumnIndex| idx.hours.first().copied().zip(idx.hours.last().copied());
+    let (start, end_inclusive) = match (span(run), span(delta)) {
+        (Some((a, b)), Some((c, d))) => (a.min(c), b.max(d)),
+        (Some((a, b)), None) | (None, Some((a, b))) => (a, b),
+        (None, None) => return Vec::new(),
     };
-    let column = &index.columns[metric.index()];
+    let run_column = &run.columns[metric.index()];
+    let delta_column = &delta.columns[metric.index()];
     let mut out = Vec::with_capacity((end_inclusive - start + 1) as usize);
-    let mut hp = 0usize; // cursor into the distinct-hour index
+    let (mut rp, mut dp) = (0usize, 0usize); // distinct-hour cursors
     for hour in start..=end_inclusive {
-        if index.hours.get(hp) == Some(&hour) {
-            let positions = index.hour_offsets[hp]..index.hour_offsets[hp + 1];
-            let n = positions.len();
-            let sum: f64 = index.hour_order[positions]
+        let mut sum = 0.0f64;
+        let mut n = 0usize;
+        if run.hours.get(rp) == Some(&hour) {
+            let positions = run.hour_offsets[rp]..run.hour_offsets[rp + 1];
+            n += positions.len();
+            sum += run.hour_order[positions]
                 .iter()
-                .map(|&row| column[row])
-                .sum();
-            out.push((hour, sum / n as f64));
-            hp += 1;
-        } else {
-            out.push((hour, 0.0));
+                .map(|&row| run_column[row])
+                .sum::<f64>();
+            rp += 1;
         }
+        if delta.hours.get(dp) == Some(&hour) {
+            let positions = delta.hour_offsets[dp]..delta.hour_offsets[dp + 1];
+            n += positions.len();
+            sum += delta.hour_order[positions]
+                .iter()
+                .map(|&row| delta_column[row])
+                .sum::<f64>();
+            dp += 1;
+        }
+        out.push((hour, if n == 0 { 0.0 } else { sum / n as f64 }));
     }
     out
 }
@@ -238,43 +373,65 @@ pub fn hourly_fleet_series(store: &TelemetryStore, metric: Metric) -> Vec<(u64, 
 /// is empty.
 ///
 /// Kernel shape: per group, the CPU and container means are contiguous
-/// column-slice sums, and the distinct-machine count is a seen-bitmap
-/// over dense machine ids (reset via the touched list). Groups run in
-/// parallel partitions.
+/// column-slice sums over both sides, and the distinct-machine count is a
+/// seen-bitmap over merged dense machine ids (reset via the touched
+/// list). Groups are claimed by work-stealing workers.
 pub fn group_utilization(store: &TelemetryStore) -> Vec<GroupUtilization> {
-    let index = store.index();
-    let n_machines = index.machines.len();
-    let cpu = &index.columns[Metric::CpuUtilization.index()];
-    let containers = &index.columns[Metric::AverageRunningContainers.index()];
-    run_group_partitions(index.groups.len(), |partition| {
-        let mut seen = vec![false; n_machines];
-        let mut touched: Vec<u32> = Vec::new();
-        let mut out = Vec::with_capacity(partition.len());
-        for gi in partition {
-            let rows = index.group_offsets[gi]..index.group_offsets[gi + 1];
-            let n = rows.len();
-            for row in rows.clone() {
-                let dense = index.machine_dense[row] as usize;
+    let run = store.run_index();
+    let delta = store.delta_or_empty();
+    let machines = merged_machines(run, delta);
+    let groups = merged_groups(run, delta);
+    let n_machines = machines.ids.len();
+    let run_cpu = &run.columns[Metric::CpuUtilization.index()];
+    let run_containers = &run.columns[Metric::AverageRunningContainers.index()];
+    let delta_cpu = &delta.columns[Metric::CpuUtilization.index()];
+    let delta_containers = &delta.columns[Metric::AverageRunningContainers.index()];
+    run_group_partitions(
+        groups.len(),
+        || (vec![false; n_machines], Vec::<u32>::new()),
+        |(seen, touched), gi| {
+            let g = &groups[gi];
+            let n = g.run_rows.len() + g.delta_rows.len();
+            // With an empty delta the merged machine space IS the run's,
+            // so the remap is the identity — skip the indirection on the
+            // hot sealed path.
+            let identity = delta.machines.is_empty();
+            for row in g.run_rows.clone() {
+                let raw = run.machine_dense[row] as usize;
+                let dense = if identity {
+                    raw
+                } else {
+                    machines.run_map[raw] as usize
+                };
                 if !seen[dense] {
                     seen[dense] = true;
                     touched.push(dense as u32);
                 }
             }
-            let cpu_sum: f64 = cpu[rows.clone()].iter().sum();
-            let containers_sum: f64 = containers[rows].iter().sum();
-            out.push(GroupUtilization {
-                group: index.groups[gi],
+            for row in g.delta_rows.clone() {
+                let dense = machines.delta_map[delta.machine_dense[row] as usize] as usize;
+                if !seen[dense] {
+                    seen[dense] = true;
+                    touched.push(dense as u32);
+                }
+            }
+            let cpu_sum: f64 = run_cpu[g.run_rows.clone()].iter().sum::<f64>()
+                + delta_cpu[g.delta_rows.clone()].iter().sum::<f64>();
+            let containers_sum: f64 = run_containers[g.run_rows.clone()].iter().sum::<f64>()
+                + delta_containers[g.delta_rows.clone()].iter().sum::<f64>();
+            let result = GroupUtilization {
+                group: g.group,
                 machines: touched.len(),
                 mean_cpu_utilization: cpu_sum / n as f64,
                 mean_running_containers: containers_sum / n as f64,
-            });
-            for &dense in &touched {
+            };
+            for &dense in touched.iter() {
                 seen[dense as usize] = false;
             }
             touched.clear();
-        }
-        out
-    })
+            vec![result]
+        },
+    )
 }
 
 /// One point of a scatter view (Figure 8): an `(x, y)` metric pair for one
@@ -294,8 +451,8 @@ pub struct ScatterPoint {
 /// Extracts the scatter view of `(x_metric, y_metric)` for one group —
 /// "the scatter view depicts the data in a disaggregated way with each
 /// point corresponding to one observation for a machine during one hour"
-/// (§4.1). Points come out in `(hour, machine)` order (the group's
-/// contiguous slice order).
+/// (§4.1). Points come out in `(hour, machine)` order (the merged
+/// by-group view order).
 pub fn scatter(
     store: &TelemetryStore,
     group: GroupKey,
@@ -303,8 +460,7 @@ pub fn scatter(
     y_metric: Metric,
 ) -> Vec<ScatterPoint> {
     store
-        .group_records(group)
-        .iter()
+        .by_group(group)
         .map(|r| ScatterPoint {
             machine: r.machine,
             hour: r.hour,
@@ -318,8 +474,9 @@ pub fn scatter(
 /// store`](crate::store::reference::TelemetryStore), preserved as the
 /// executable specification: per-record `BTreeMap` entry lookups for the
 /// bucketed views and full predicate scans for the filtered ones. The
-/// agreement suite pins these against the columnar kernels to 1e-9; the
-/// `telemetry_scan` bench reports the speedup.
+/// agreement suite pins these against the run+delta kernels to 1e-9 at
+/// every intermediate state of interleaved mutate/query sequences; the
+/// `telemetry_scan` and `telemetry_stream` benches report the speedup.
 pub mod reference {
     use super::{DailyAggregate, GroupUtilization};
     use crate::metric::Metric;
@@ -498,6 +655,42 @@ mod tests {
     }
 
     #[test]
+    fn daily_aggregates_span_run_and_delta() {
+        // A machine's day split across the sealed run and the delta must
+        // roll up into ONE daily row covering both sides.
+        let mut store = TelemetryStore::new();
+        let group = GroupKey::new(SkuId(0), ScId(0));
+        for hour in 0..12u64 {
+            store.push(MachineHourRecord {
+                machine: MachineId(1),
+                group,
+                hour,
+                metrics: MetricValues {
+                    tasks_finished: 10.0,
+                    ..Default::default()
+                },
+            });
+        }
+        store.seal();
+        for hour in 12..24u64 {
+            store.push(MachineHourRecord {
+                machine: MachineId(1),
+                group,
+                hour,
+                metrics: MetricValues {
+                    tasks_finished: 30.0,
+                    ..Default::default()
+                },
+            });
+        }
+        assert!(!store.is_sealed(), "day must straddle run and delta");
+        let daily = daily_group_aggregates(&store);
+        assert_eq!(daily.len(), 1);
+        assert_eq!(daily[0].hours_observed, 24);
+        assert!((daily[0].mean(Metric::NumberOfTasks) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn group_summary_reports_distribution() {
         let store = store_with_two_days();
         let group = GroupKey::new(SkuId(1), ScId(0));
@@ -548,6 +741,53 @@ mod tests {
     }
 
     #[test]
+    fn hourly_series_merges_run_and_delta_hours() {
+        // Run covers hours {2, 5}; delta covers {4, 5, 8}. The merged
+        // series spans 2..=8 with hour 5 averaging across both sides.
+        let mut store = TelemetryStore::new();
+        let group = GroupKey::new(SkuId(0), ScId(0));
+        let push = |store: &mut TelemetryStore, hour: u64, cpu: f64| {
+            store.push(MachineHourRecord {
+                machine: MachineId(hour as u32), // distinct machines
+                group,
+                hour,
+                metrics: MetricValues {
+                    cpu_utilization: cpu,
+                    ..Default::default()
+                },
+            });
+        };
+        push(&mut store, 2, 10.0);
+        push(&mut store, 5, 20.0);
+        store.seal();
+        push(&mut store, 4, 40.0);
+        push(&mut store, 8, 80.0);
+        store.push(MachineHourRecord {
+            machine: MachineId(99),
+            group,
+            hour: 5,
+            metrics: MetricValues {
+                cpu_utilization: 60.0,
+                ..Default::default()
+            },
+        });
+        assert!(!store.is_sealed());
+        let series = hourly_fleet_series(&store, Metric::CpuUtilization);
+        assert_eq!(
+            series,
+            vec![
+                (2, 10.0),
+                (3, 0.0),
+                (4, 40.0),
+                (5, 40.0), // (20 + 60) / 2 across run and delta
+                (6, 0.0),
+                (7, 0.0),
+                (8, 80.0),
+            ]
+        );
+    }
+
+    #[test]
     fn group_utilization_counts_distinct_machines() {
         let mut store = TelemetryStore::new();
         for m in 0..4u32 {
@@ -575,6 +815,39 @@ mod tests {
     }
 
     #[test]
+    fn group_utilization_dedups_machines_across_run_and_delta() {
+        // The same machine observed in the run AND the delta must count
+        // once; a delta-only machine extends the count.
+        let mut store = TelemetryStore::new();
+        let group = GroupKey::new(SkuId(0), ScId(0));
+        store.push(MachineHourRecord {
+            machine: MachineId(1),
+            group,
+            hour: 0,
+            metrics: MetricValues {
+                cpu_utilization: 10.0,
+                ..Default::default()
+            },
+        });
+        store.seal();
+        for (m, cpu) in [(1u32, 30.0), (2, 50.0)] {
+            store.push(MachineHourRecord {
+                machine: MachineId(m),
+                group,
+                hour: 1,
+                metrics: MetricValues {
+                    cpu_utilization: cpu,
+                    ..Default::default()
+                },
+            });
+        }
+        let groups = group_utilization(&store);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].machines, 2, "machine 1 must not double-count");
+        assert!((groups[0].mean_cpu_utilization - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn empty_store_empty_outputs() {
         let store = TelemetryStore::new();
         assert!(daily_group_aggregates(&store).is_empty());
@@ -588,14 +861,113 @@ mod tests {
     }
 
     #[test]
-    fn partitions_cover_groups_exactly_once() {
-        for n_groups in [0usize, 1, 2, 5, 16, 17] {
-            for n_workers in [1usize, 2, 4, 32] {
-                let parts = group_partitions(n_groups, n_workers);
-                let covered: Vec<usize> = parts.iter().cloned().flatten().collect();
-                assert_eq!(covered, (0..n_groups).collect::<Vec<_>>());
-                assert!(parts.len() <= n_workers.max(1));
+    fn work_stealing_output_matches_serial_on_skewed_groups() {
+        // Pathological skew: one group with ~6k rows, seven groups with a
+        // handful each. A contiguous count-based split would serialize
+        // the giant group's partition; work stealing must still produce
+        // output identical to the serial loop (per-group slots, ascending
+        // group order).
+        let mut store = TelemetryStore::new();
+        let giant = GroupKey::new(SkuId(0), ScId(0));
+        for m in 0..40u32 {
+            for h in 0..150u64 {
+                store.push(MachineHourRecord {
+                    machine: MachineId(m),
+                    group: giant,
+                    hour: h,
+                    metrics: MetricValues {
+                        cpu_utilization: (m + h as u32) as f64,
+                        tasks_finished: h as f64,
+                        avg_running_containers: m as f64 % 7.0,
+                        ..Default::default()
+                    },
+                });
             }
+        }
+        for sku in 1..8u16 {
+            for h in 0..3u64 {
+                store.push(MachineHourRecord {
+                    machine: MachineId(1000 + sku as u32),
+                    group: GroupKey::new(SkuId(sku), ScId(0)),
+                    hour: h,
+                    metrics: MetricValues {
+                        cpu_utilization: sku as f64,
+                        ..Default::default()
+                    },
+                });
+            }
+        }
+        // Serial ground truth via the single-worker path.
+        let run = store.run_index();
+        let delta = store.delta_or_empty();
+        let machines = merged_machines(run, delta);
+        let groups = merged_groups(run, delta);
+        let n_machines = machines.ids.len();
+        let serial: Vec<DailyAggregate> = {
+            let mut scratch = DailyScratch {
+                counts: vec![0; n_machines],
+                sums: vec![[0.0; Metric::ALL.len()]; n_machines],
+                touched: Vec::new(),
+            };
+            let mut out = Vec::new();
+            for g in &groups {
+                let start = out.len();
+                let mut current_day = u64::MAX;
+                for_each_merged_row(run, delta, &machines, g, |r, dense| {
+                    let day = r.hour / 24;
+                    if day != current_day {
+                        if current_day != u64::MAX {
+                            drain_day(g.group, current_day, &machines.ids, &mut scratch, &mut out);
+                        }
+                        current_day = day;
+                    }
+                    if scratch.counts[dense] == 0 {
+                        scratch.touched.push(dense as u32);
+                    }
+                    scratch.counts[dense] += 1;
+                    for (acc, v) in scratch.sums[dense]
+                        .iter_mut()
+                        .zip(Metric::row_of(&r.metrics))
+                    {
+                        *acc += v;
+                    }
+                });
+                if current_day != u64::MAX {
+                    drain_day(g.group, current_day, &machines.ids, &mut scratch, &mut out);
+                }
+                out[start..].sort_unstable_by_key(|a| (a.machine, a.day));
+            }
+            out
+        };
+        // Repeat the parallel run a few times to vary steal interleaving.
+        for _ in 0..5 {
+            let parallel = daily_group_aggregates(&store);
+            assert_eq!(parallel, serial, "work-stealing output must be schedule-independent");
+        }
+        let util = group_utilization(&store);
+        assert_eq!(util.len(), 8);
+        let keys: Vec<GroupKey> = util.iter().map(|u| u.group).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "utilization output stays in group order under skew");
+        assert_eq!(util[0].machines, 40);
+    }
+
+    #[test]
+    fn work_stealing_covers_every_group_exactly_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        for n_groups in [0usize, 1, 2, 5, 16, 17, 64] {
+            let calls = AtomicUsize::new(0);
+            let out = run_group_partitions(
+                n_groups,
+                || (),
+                |_, gi| {
+                    calls.fetch_add(1, Ordering::Relaxed);
+                    vec![gi]
+                },
+            );
+            assert_eq!(out, (0..n_groups).collect::<Vec<_>>());
+            assert_eq!(calls.load(Ordering::Relaxed), n_groups);
         }
     }
 }

@@ -13,19 +13,23 @@
 //! * [`record`] — one observation per machine per hour, the granularity of
 //!   the paper's scatter view (Figure 8: "each point corresponding to one
 //!   observation for a machine during one hour").
-//! * [`store`] — an in-memory append-only store that seals into a
-//!   columnar, indexed layout (sorted `(group, hour, machine)` rows,
-//!   interned dense ids, offset-range indexes, struct-of-arrays metric
-//!   columns) so every filtered view is a binary search plus a contiguous
-//!   range instead of a full predicate scan. The pre-columnar flat store
+//! * [`store`] — an in-memory append-only store shaped like a two-level
+//!   LSM tree: an immutable **sealed run** (columnar, indexed layout —
+//!   sorted `(group, hour, machine)` rows, interned dense ids,
+//!   offset-range indexes, struct-of-arrays metric columns) plus a small
+//!   **delta buffer** that absorbs streaming appends. Every filtered
+//!   view merges the two sorted sides, and the delta compacts into the
+//!   run past a size threshold (or on explicit `seal()`) with a linear
+//!   `O(n + d)` two-run merge — a live monitor never pays an
+//!   `O(n log n)` rebuild per batch. The pre-columnar flat store
 //!   survives as [`store::reference`].
 //! * [`csv`] — flat-file persistence with schema checking and typed
 //!   rejection of non-finite metric values.
 //! * [`aggregate`] — fused single-pass aggregation kernels over the
-//!   sealed columns (hourly→daily roll-ups, per-group summaries, fleet
-//!   series, group utilization), parallel across group partitions, plus
-//!   the scatter-view extraction that feeds model fitting. Pre-columnar
-//!   roll-ups survive as [`aggregate::reference`].
+//!   run + delta pair (hourly→daily roll-ups, per-group summaries, fleet
+//!   series, group utilization), work-stealing parallel across groups,
+//!   plus the scatter-view extraction that feeds model fitting.
+//!   Pre-columnar roll-ups survive as [`aggregate::reference`].
 //!
 //! The key design decision mirrors the paper's Level-V abstraction: all
 //! analysis happens at the `(software configuration, SKU)` machine-group

@@ -255,6 +255,155 @@ proptest! {
     }
 }
 
+// ---- interleaved mutate/query sequences --------------------------------
+
+/// One step of an interleaved mutation sequence. `Merge` carries the
+/// records for a sub-store that is built (and possibly sealed) on the
+/// side and then merged in; `Seal` forces a compaction of the delta.
+#[derive(Debug, Clone)]
+enum Op {
+    PushBatch(Vec<MachineHourRecord>),
+    Merge(Vec<MachineHourRecord>, bool),
+    Seal,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => prop::collection::vec(arb_record(), 1..40).prop_map(Op::PushBatch),
+        3 => (prop::collection::vec(arb_record(), 1..40), any::<bool>())
+            .prop_map(|(rs, sealed)| Op::Merge(rs, sealed)),
+        1 => Just(Op::Seal),
+    ]
+}
+
+/// Full structural + numeric comparison, usable after every intermediate
+/// mutation — not just at the end of a sequence. Panics on divergence,
+/// which the surrounding `proptest!` loop reports with the failing inputs.
+fn assert_agrees(reference: &RefStore, columnar: &TelemetryStore) {
+    prop_assert_eq!(reference.len(), columnar.len());
+    prop_assert_eq!(reference.groups(), columnar.groups());
+    prop_assert_eq!(reference.machines(), columnar.machines());
+    prop_assert_eq!(reference.hour_span(), columnar.hour_span());
+    for g in reference.groups() {
+        prop_assert_eq!(sorted_keys(reference.by_group(g)), sorted_keys(columnar.by_group(g)));
+    }
+    for m in reference.machines() {
+        prop_assert_eq!(sorted_keys(reference.by_machine(m)), sorted_keys(columnar.by_machine(m)));
+    }
+    let (lo, hi) = reference.hour_span().unwrap_or((0, 0));
+    prop_assert_eq!(
+        sorted_keys(reference.by_hours(lo, hi)),
+        sorted_keys(columnar.by_hours(lo, hi))
+    );
+    let evens: BTreeSet<MachineId> = reference
+        .machines()
+        .into_iter()
+        .filter(|m| m.0 % 2 == 0)
+        .collect();
+    prop_assert_eq!(
+        sorted_keys(reference.by_machines_and_hours(&evens, lo, lo + 49)),
+        sorted_keys(columnar.by_machines_and_hours(&evens, lo, lo + 49))
+    );
+
+    let ref_daily = ref_agg::daily_group_aggregates(reference);
+    let col_daily = daily_group_aggregates(columnar);
+    prop_assert_eq!(ref_daily.len(), col_daily.len());
+    for (r, c) in ref_daily.iter().zip(&col_daily) {
+        prop_assert_eq!((r.group, r.machine, r.day), (c.group, c.machine, c.day));
+        prop_assert_eq!(r.hours_observed, c.hours_observed);
+        for m in METRICS {
+            prop_assert!(
+                close(r.mean(m), c.mean(m)),
+                "daily mean of {} drifted: {} vs {}", m, r.mean(m), c.mean(m)
+            );
+        }
+    }
+    let r_series = ref_agg::hourly_fleet_series(reference, Metric::CpuUtilization);
+    let c_series = hourly_fleet_series(columnar, Metric::CpuUtilization);
+    prop_assert_eq!(r_series.len(), c_series.len());
+    for ((rh, rv), (ch, cv)) in r_series.iter().zip(&c_series) {
+        prop_assert_eq!(rh, ch);
+        prop_assert!(close(*rv, *cv), "fleet series at hour {} drifted", rh);
+    }
+    let r_util = ref_agg::group_utilization(reference);
+    let c_util = group_utilization(columnar);
+    prop_assert_eq!(r_util.len(), c_util.len());
+    for (r, c) in r_util.iter().zip(&c_util) {
+        prop_assert_eq!((r.group, r.machines), (c.group, c.machines));
+        prop_assert!(close(r.mean_cpu_utilization, c.mean_cpu_utilization));
+        prop_assert!(close(r.mean_running_containers, c.mean_running_containers));
+    }
+    for g in reference.groups() {
+        match (
+            ref_agg::group_summary(reference, g, Metric::NumberOfTasks),
+            group_summary(columnar, g, Metric::NumberOfTasks),
+        ) {
+            (Some(r), Some(c)) => {
+                prop_assert_eq!(r.count, c.count);
+                prop_assert!(close(r.mean, c.mean));
+                prop_assert!(close(r.median, c.median));
+            }
+            (None, None) => {}
+            (r, c) => prop_assert!(false, "summary presence drifted: {:?} vs {:?}", r, c),
+        }
+    }
+}
+
+proptest! {
+    /// The run+delta store must agree with the reference at *every
+    /// intermediate state* of an interleaved push → query → merge →
+    /// query → seal → query sequence, not just after the final seal.
+    /// The narrow machine/hour domain guarantees duplicate
+    /// `(machine, hour)` rows land in the delta while twins of the same
+    /// keys sit in the sealed run.
+    #[test]
+    fn interleaved_mutations_agree_with_reference(
+        ops in prop::collection::vec(arb_op(), 1..8),
+        seed in 0u64..1 << 32,
+    ) {
+        let mut reference = RefStore::new();
+        let mut columnar = TelemetryStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        // `ops` stays borrowed so the harness can print it if a case fails.
+        for op in ops.iter().cloned() {
+            match op {
+                Op::PushBatch(records) => {
+                    let mut shuffled = records.clone();
+                    shuffled.shuffle(&mut rng);
+                    for r in &records {
+                        reference.push(*r);
+                    }
+                    for r in shuffled {
+                        columnar.push(r);
+                    }
+                }
+                Op::Merge(records, seal_other) => {
+                    let mut ref_other = RefStore::new();
+                    ref_other.extend(records.iter().copied());
+                    let mut col_other = TelemetryStore::new();
+                    let mut shuffled = records.clone();
+                    shuffled.shuffle(&mut rng);
+                    col_other.extend(shuffled);
+                    if seal_other {
+                        col_other.seal();
+                    }
+                    reference.merge(ref_other);
+                    columnar.merge(col_other);
+                }
+                Op::Seal => {
+                    columnar.seal();
+                    prop_assert!(columnar.is_sealed());
+                    prop_assert_eq!(columnar.delta_len(), 0);
+                }
+            }
+            assert_agrees(&reference, &columnar);
+        }
+        // Close with a seal: compaction must not disturb anything.
+        columnar.seal();
+        assert_agrees(&reference, &columnar);
+    }
+}
+
 #[test]
 fn empty_store_agrees_with_reference() {
     let reference = RefStore::new();

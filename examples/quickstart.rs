@@ -17,7 +17,7 @@ fn main() {
     //    telemetry that already exists" — no experiments.
     let cluster = ClusterSpec::small();
     println!("observing {} machines for 48 hours...", cluster.n_machines());
-    let observed = run(&SimConfig::baseline(cluster.clone(), 48, 42));
+    let mut observed = run(&SimConfig::baseline(cluster.clone(), 48, 42));
     println!(
         "  collected {} machine-hour records, {} completed tasks",
         observed.telemetry.len(),
@@ -26,9 +26,9 @@ fn main() {
 
     // 2. Model: the Performance Monitor prepares group-level views and
     //    the What-if Engine calibrates per-group Huber regressions.
-    //    Sealing builds the columnar index (sorted runs, dense ids,
-    //    metric columns) up front; it would otherwise happen lazily on
-    //    the first monitor query.
+    //    Sealing compacts any pending delta into the sealed columnar run
+    //    (sorted rows, dense ids, metric columns) up front; queries
+    //    would otherwise merge run + delta on the fly.
     observed.telemetry.seal();
     let monitor = PerformanceMonitor::new(&observed.telemetry);
     let engine = WhatIfEngine::fit_at(&monitor, FitMethod::Huber, Granularity::Hourly, 24)

@@ -20,9 +20,15 @@
 //! JSON — the whole file is rewritten after each benchmark, so a
 //! partially-completed run still leaves valid JSON behind. CI uses this
 //! to upload `BENCH_simplex.json` as a perf-trajectory artifact.
+//!
+//! Baselines: when `KEA_BENCH_BASELINE` names a previously-committed
+//! `BENCH_*.json` file (the format this harness writes), each benchmark
+//! that also appears in the baseline gets a `change:` line comparing
+//! medians, with `REGRESSION` appended past +25% so CI can grep for it
+//! without failing the build.
 
 use std::hint::black_box as std_black_box;
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Benchmarks completed so far in this process, for `KEA_BENCH_JSON`.
@@ -83,6 +89,84 @@ fn persist(name: &str, min_s: f64, median_s: f64, max_s: f64) {
     if let Err(e) = std::fs::write(&path, json) {
         eprintln!("criterion stand-in: could not write {path}: {e}");
     }
+}
+
+/// Median seconds-per-iteration for each bench name in the baseline file
+/// named by `KEA_BENCH_BASELINE`, loaded once per process. Missing or
+/// malformed baselines degrade to "no baseline" — never an error.
+fn baseline() -> &'static [(String, f64)] {
+    static BASELINE: OnceLock<Vec<(String, f64)>> = OnceLock::new();
+    BASELINE.get_or_init(|| {
+        let Ok(path) = std::env::var("KEA_BENCH_BASELINE") else {
+            return Vec::new();
+        };
+        if path.is_empty() {
+            return Vec::new();
+        }
+        match std::fs::read_to_string(&path) {
+            Ok(body) => parse_baseline(&body),
+            Err(e) => {
+                eprintln!("criterion stand-in: could not read baseline {path}: {e}");
+                Vec::new()
+            }
+        }
+    })
+}
+
+/// Extracts `(name, median)` pairs from the JSON this harness writes.
+/// The writer emits one record per line, so a line-oriented scan is
+/// exact for our own files and safely skips anything else.
+fn parse_baseline(body: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in body.lines() {
+        let Some(name_at) = line.find("\"name\": \"") else {
+            continue;
+        };
+        let rest = &line[name_at + 9..];
+        let mut name = String::new();
+        let mut chars = rest.chars();
+        while let Some(c) = chars.next() {
+            match c {
+                '"' => break,
+                '\\' => match chars.next() {
+                    Some('n') => name.push('\n'),
+                    Some(e) => name.push(e),
+                    None => break,
+                },
+                c => name.push(c),
+            }
+        }
+        let Some(median_at) = line.find("\"median\": ") else {
+            continue;
+        };
+        let tail = &line[median_at + 10..];
+        let num: String = tail
+            .chars()
+            .take_while(|c| !matches!(c, ',' | '}' | ' '))
+            .collect();
+        if let Ok(median) = num.parse::<f64>() {
+            if median.is_finite() && median > 0.0 {
+                out.push((name, median));
+            }
+        }
+    }
+    out
+}
+
+/// Renders the per-bench delta line against a baseline median, flagging
+/// regressions past +25% in a greppable way.
+fn delta_line(median_s: f64, base_s: f64) -> String {
+    let pct = (median_s - base_s) / base_s * 100.0;
+    let flag = if pct > 25.0 {
+        "  REGRESSION (>25% over baseline)"
+    } else {
+        ""
+    };
+    format!(
+        "{:<40} change: [{pct:+.1}%] baseline: {}{flag}",
+        "", // aligned under the bench name column
+        format_duration(Duration::from_secs_f64(base_s))
+    )
 }
 
 /// Re-export of `std::hint::black_box`; criterion exposes its own copy.
@@ -197,6 +281,9 @@ fn run_one<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
         format_duration(median),
         format_duration(max)
     );
+    if let Some((_, base_s)) = baseline().iter().find(|(n, _)| n == name) {
+        println!("{}", delta_line(per_iteration[per_iteration.len() / 2], *base_s));
+    }
     persist(
         name,
         per_iteration[0],
@@ -338,6 +425,30 @@ mod tests {
         assert_eq!(escape_json("plain/name_64"), "plain/name_64");
         assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(escape_json("tab\tchar"), "tab char");
+    }
+
+    #[test]
+    fn baseline_parser_round_trips_the_writer_format() {
+        let body = concat!(
+            "{\n  \"unit\": \"seconds_per_iteration\",\n  \"benches\": [\n",
+            "    {\"name\": \"scan/by_group\", \"min\": 1e-6, \"median\": 2.5e-6, \"max\": 4e-6},\n",
+            "    {\"name\": \"odd\\\"quote\", \"min\": 1e-3, \"median\": 2e-3, \"max\": 3e-3},\n",
+            "    {\"name\": \"bad_median\", \"min\": 1e-3, \"median\": oops, \"max\": 3e-3}\n",
+            "  ]\n}\n"
+        );
+        let parsed = parse_baseline(body);
+        assert_eq!(parsed.len(), 2, "{parsed:?}");
+        assert_eq!(parsed[0].0, "scan/by_group");
+        assert!((parsed[0].1 - 2.5e-6).abs() < 1e-15);
+        assert_eq!(parsed[1].0, "odd\"quote");
+    }
+
+    #[test]
+    fn delta_line_flags_only_real_regressions() {
+        assert!(delta_line(1.30e-3, 1.0e-3).contains("REGRESSION"));
+        assert!(delta_line(1.30e-3, 1.0e-3).contains("+30.0%"));
+        assert!(!delta_line(1.10e-3, 1.0e-3).contains("REGRESSION"));
+        assert!(delta_line(0.8e-3, 1.0e-3).contains("-20.0%"));
     }
 
     #[test]

@@ -149,6 +149,56 @@ pub mod strategy {
         };
     }
 
+    /// Weighted choice between strategies that all produce the same value
+    /// type, the engine behind [`prop_oneof!`](crate::prop_oneof).
+    pub struct Union<T> {
+        arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+        total: u64,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union from `(weight, strategy)` arms. Weights are
+        /// relative; at least one arm must have a positive weight.
+        pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
+            let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total > 0, "prop_oneof needs at least one positive weight");
+            Union { arms, total }
+        }
+    }
+
+    impl<T> std::fmt::Debug for Union<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Union")
+                .field("arms", &self.arms.len())
+                .field("total_weight", &self.total)
+                .finish()
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.below(self.total);
+            let mut chosen = None;
+            for (w, s) in &self.arms {
+                if pick < *w as u64 {
+                    chosen = Some(s);
+                    break;
+                }
+                pick -= *w as u64;
+            }
+            // pick < total, so the scan always lands on an arm; the
+            // fallback covers the unreachable weight-accounting slip.
+            let arm = chosen.unwrap_or_else(|| {
+                let Some((_, last)) = self.arms.last() else {
+                    unreachable!("Union::new rejects empty arm lists")
+                };
+                last
+            });
+            arm.generate(rng)
+        }
+    }
+
     impl_strategy_tuple!(A/a);
     impl_strategy_tuple!(A/a, B/b);
     impl_strategy_tuple!(A/a, B/b, C/c);
@@ -291,7 +341,7 @@ pub mod prelude {
     pub use crate::arbitrary::any;
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::Config as ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 
     /// Namespace mirror of the real crate's `prop` re-export.
     pub mod prop {
@@ -344,6 +394,23 @@ macro_rules! __proptest_items {
             }
         }
         $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Weighted (or unweighted) choice between strategies producing the same
+/// value type: `prop_oneof![3 => a, 1 => b]` draws from `a` three times as
+/// often as from `b`; `prop_oneof![a, b]` weights every arm equally.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, ::std::boxed::Box::new($strat) as _)),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, ::std::boxed::Box::new($strat) as _)),+
+        ])
     };
 }
 
@@ -400,6 +467,24 @@ mod tests {
             prop_assert!(!v.is_empty() && v.len() < 20);
             prop_assert!(v.iter().all(|x| x % 2 == 0 && *x < 100));
             let _ = b;
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn oneof_draws_every_arm_and_respects_weights(
+            picks in prop::collection::vec(
+                prop_oneof![
+                    8 => (0u32..1).prop_map(|_| "heavy"),
+                    1 => (0u32..1).prop_map(|_| "light"),
+                ],
+                400..401,
+            ),
+        ) {
+            let heavy = picks.iter().filter(|p| **p == "heavy").count();
+            let light = picks.len() - heavy;
+            prop_assert!(heavy > 0 && light > 0, "both arms must be reachable");
+            prop_assert!(heavy > light, "8:1 weighting must favor the heavy arm");
         }
     }
 
