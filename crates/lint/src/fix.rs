@@ -1,0 +1,365 @@
+//! `--fix`: mechanical, idempotent rewrites for the fixable subset.
+//!
+//! Three fix classes, all derived from the *post-suppression* findings
+//! (an allowed construct is a human judgment `--fix` must not undo):
+//!
+//! 1. **NaN-safe ordering** — `a.partial_cmp(b).unwrap()` (or
+//!    `.expect(…)`) becomes `a.total_cmp(b)`, and `x == f64::NAN`
+//!    becomes `x.is_nan()` (`!=` gains a `!`). Behavior-identical for
+//!    finite inputs, panic-free for NaN.
+//! 2. **Stale directives** — an `allow(...)` that suppresses nothing is
+//!    deleted (only when *every* rule it names is stale; partially
+//!    stale directives are reported but left for a human).
+//! 3. **Allow scaffolds** (opt-in via `--scaffold-allows`) — every
+//!    remaining finding gains a `// kea-lint: allow(<rule>) —
+//!    FIXME(kea-lint): justify or fix` line above it, turning a
+//!    burn-down into a reviewable checklist. Scaffolds are *drafts*:
+//!    CI accepts them, review must not.
+//!
+//! The idempotency guarantee: running `--fix` on its own output plans
+//! zero edits. Each rewrite removes the pattern that triggered it, a
+//! deleted directive cannot go stale again, and a scaffold suppresses
+//! the finding that asked for it. `tests/lint.rs` pins this.
+//!
+//! Rewrites are line-local: a chain split across lines is reported but
+//! not rewritten (the fix must never produce non-compiling code from
+//! compiling code by guessing at continuation lines).
+
+use crate::diag::Diagnostic;
+use crate::suppress::BAD_SUPPRESSION;
+
+/// One planned edit, 1-based line addressed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Edit {
+    /// 1-based line the edit applies to.
+    pub line: u32,
+    /// What happens there.
+    pub kind: EditKind,
+}
+
+/// The edit's shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EditKind {
+    /// Replace the whole line with `new` (shown against `old`).
+    Replace {
+        /// The line before the edit.
+        old: String,
+        /// The line after the edit.
+        new: String,
+    },
+    /// Delete the line outright.
+    Delete {
+        /// The line being removed.
+        old: String,
+    },
+    /// Insert `text` as a new line above this line.
+    InsertAbove {
+        /// The inserted line.
+        text: String,
+    },
+}
+
+impl Edit {
+    /// `file:line: <-old / +new>` — the dry-run display form.
+    pub fn human(&self, file: &str) -> String {
+        match &self.kind {
+            EditKind::Replace { old, new } => {
+                format!("{file}:{}:\n  - {}\n  + {}", self.line, old.trim_end(), new.trim_end())
+            }
+            EditKind::Delete { old } => {
+                format!("{file}:{}:\n  - {}", self.line, old.trim_end())
+            }
+            EditKind::InsertAbove { text } => {
+                format!("{file}:{}:\n  + {}", self.line, text.trim_end())
+            }
+        }
+    }
+}
+
+/// Plan every applicable fix for one file. `scaffold` additionally
+/// plans reasoned-allow scaffolds for the findings no rewrite covers.
+pub fn plan(file: &str, src: &str, scaffold: bool) -> Vec<Edit> {
+    let (diags, sup) = crate::analyze(file, src);
+    let lines: Vec<&str> = src.lines().collect();
+    let mut edits: Vec<Edit> = Vec::new();
+    // Lines already rewritten this pass: a second rewrite on the same
+    // line would see stale columns, and a scaffold would double-treat.
+    let mut rewritten: Vec<u32> = Vec::new();
+    let mut fixed: Vec<(u32, u32)> = Vec::new(); // (line, col) of fixed diags
+
+    // 1. Mechanical rewrites, right-to-left within each line.
+    let mut rewrites: Vec<&Diagnostic> = diags
+        .iter()
+        .filter(|d| d.rule == "nan-unsafe-ordering")
+        .collect();
+    rewrites.sort_by(|a, b| (a.line, b.col).cmp(&(b.line, a.col)));
+    for d in rewrites {
+        let Some(orig) = lines.get(d.line as usize - 1) else {
+            continue;
+        };
+        // Work on the latest planned content for this line.
+        let current = edits
+            .iter()
+            .rev()
+            .find_map(|e| match (&e.kind, e.line == d.line) {
+                (EditKind::Replace { new, .. }, true) => Some(new.clone()),
+                _ => None,
+            })
+            .unwrap_or_else(|| (*orig).to_string());
+        let new = if d.message.contains("is_nan") {
+            rewrite_nan_equality(&current, d.col)
+        } else {
+            rewrite_partial_cmp(&current, d.col)
+        };
+        let Some(new) = new else {
+            continue;
+        };
+        edits.retain(|e| !(e.line == d.line && matches!(e.kind, EditKind::Replace { .. })));
+        edits.push(Edit {
+            line: d.line,
+            kind: EditKind::Replace {
+                old: (*orig).to_string(),
+                new,
+            },
+        });
+        rewritten.push(d.line);
+        fixed.push((d.line, d.col));
+    }
+
+    // 2. Fully stale directives are deleted.
+    for line in sup.fully_stale_lines() {
+        let Some(orig) = lines.get(line as usize - 1) else {
+            continue;
+        };
+        match remove_directive(orig) {
+            Some(rest) if rest.trim().is_empty() => edits.push(Edit {
+                line,
+                kind: EditKind::Delete {
+                    old: (*orig).to_string(),
+                },
+            }),
+            Some(rest) => edits.push(Edit {
+                line,
+                kind: EditKind::Replace {
+                    old: (*orig).to_string(),
+                    new: rest,
+                },
+            }),
+            None => {}
+        }
+    }
+
+    // 3. Opt-in allow scaffolds for everything left.
+    if scaffold {
+        let mut by_line: Vec<(u32, Vec<String>)> = Vec::new();
+        for d in &diags {
+            if d.rule == BAD_SUPPRESSION {
+                continue; // cannot be allowed, by design
+            }
+            if fixed.contains(&(d.line, d.col)) || rewritten.contains(&d.line) {
+                continue;
+            }
+            match by_line.iter_mut().find(|(l, _)| *l == d.line) {
+                Some((_, rules)) => {
+                    if !rules.contains(&d.rule) {
+                        rules.push(d.rule.clone());
+                    }
+                }
+                None => by_line.push((d.line, vec![d.rule.clone()])),
+            }
+        }
+        for (line, mut rules) in by_line {
+            rules.sort();
+            let indent: String = lines
+                .get(line as usize - 1)
+                .map(|l| l.chars().take_while(|c| c.is_whitespace()).collect())
+                .unwrap_or_default();
+            edits.push(Edit {
+                line,
+                kind: EditKind::InsertAbove {
+                    text: format!(
+                        "{indent}// kea-lint: allow({}) — FIXME(kea-lint): justify or fix",
+                        rules.join(", ")
+                    ),
+                },
+            });
+        }
+    }
+
+    edits.sort_by_key(|e| {
+        (
+            std::cmp::Reverse(e.line),
+            match e.kind {
+                EditKind::Replace { .. } => 0u8,
+                EditKind::Delete { .. } => 1,
+                EditKind::InsertAbove { .. } => 2,
+            },
+        )
+    });
+    edits
+}
+
+/// Apply planned edits (already sorted by descending line) to `src`.
+pub fn apply(src: &str, edits: &[Edit]) -> String {
+    let mut lines: Vec<String> = src.lines().map(str::to_string).collect();
+    for e in edits {
+        let i = e.line as usize - 1;
+        match &e.kind {
+            EditKind::Replace { new, .. } => {
+                if i < lines.len() {
+                    lines[i] = new.clone();
+                }
+            }
+            EditKind::Delete { .. } => {
+                if i < lines.len() {
+                    lines.remove(i);
+                }
+            }
+            EditKind::InsertAbove { text } => {
+                if i <= lines.len() {
+                    lines.insert(i, text.clone());
+                }
+            }
+        }
+    }
+    let mut out = lines.join("\n");
+    if src.ends_with('\n') {
+        out.push('\n');
+    }
+    out
+}
+
+/// Plan and apply in one step; returns the new source and the edits.
+pub fn fix_source(file: &str, src: &str, scaffold: bool) -> (String, Vec<Edit>) {
+    let edits = plan(file, src, scaffold);
+    if edits.is_empty() {
+        return (src.to_string(), edits);
+    }
+    (apply(src, &edits), edits)
+}
+
+/// Scan from the `(` at `open` to its matching `)` within one line,
+/// skipping string literals. Returns the index *after* the close.
+fn paren_span(line: &str, open: usize) -> Option<usize> {
+    let bytes = line.as_bytes();
+    if bytes.get(open) != Some(&b'(') {
+        return None;
+    }
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => {
+                i += 1;
+                while i < bytes.len() && bytes[i] != b'"' {
+                    if bytes[i] == b'\\' {
+                        i += 1;
+                    }
+                    i += 1;
+                }
+            }
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i + 1);
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// `….partial_cmp(args).unwrap()` → `….total_cmp(args)`, line-local.
+/// `col` is the 1-based column of the `partial_cmp` token.
+fn rewrite_partial_cmp(line: &str, col: u32) -> Option<String> {
+    let at = col as usize - 1;
+    if !line.get(at..)?.starts_with("partial_cmp") {
+        return None;
+    }
+    let args_open = at + "partial_cmp".len();
+    let args_end = paren_span(line, args_open)?;
+    // The escape hatch: `.unwrap()` or `.expect(…)` directly after.
+    let rest = &line[args_end..];
+    let tail_len = if let Some(r) = rest.strip_prefix(".unwrap") {
+        let open = rest.len() - r.len();
+        paren_span(line, args_end + open)? - args_end
+    } else if let Some(r) = rest.strip_prefix(".expect") {
+        let open = rest.len() - r.len();
+        paren_span(line, args_end + open)? - args_end
+    } else {
+        return None;
+    };
+    let mut out = String::with_capacity(line.len());
+    out.push_str(&line[..at]);
+    out.push_str("total_cmp");
+    out.push_str(&line[args_open..args_end]);
+    out.push_str(&line[args_end + tail_len..]);
+    Some(out)
+}
+
+/// `x == f64::NAN` → `x.is_nan()`; `x != f64::NAN` → `!x.is_nan()`.
+/// `col` is the 1-based column of the comparison operator.
+fn rewrite_nan_equality(line: &str, col: u32) -> Option<String> {
+    let at = col as usize - 1;
+    let op = line.get(at..at + 2)?;
+    let negated = match op {
+        "==" => false,
+        "!=" => true,
+        _ => return None,
+    };
+    // RHS: `f64::NAN` / `f32::NAN` / bare `NAN` after optional spaces.
+    let mut r = at + 2;
+    let bytes = line.as_bytes();
+    while r < bytes.len() && bytes[r] == b' ' {
+        r += 1;
+    }
+    let rhs_end = ["f64::NAN", "f32::NAN", "NAN"]
+        .iter()
+        .find(|p| line[r..].starts_with(**p))
+        .map(|p| r + p.len())?;
+    // LHS: a dotted identifier path ending just before the operator.
+    let mut l = at;
+    while l > 0 && bytes[l - 1] == b' ' {
+        l -= 1;
+    }
+    let lhs_end = l;
+    while l > 0 {
+        let c = bytes[l - 1];
+        if c.is_ascii_alphanumeric() || c == b'_' || c == b'.' {
+            l -= 1;
+        } else {
+            break;
+        }
+    }
+    let lhs = &line[l..lhs_end];
+    if lhs.is_empty()
+        || lhs.contains("NAN")
+        || !lhs
+            .chars()
+            .next()
+            .map(|c| c.is_ascii_alphabetic() || c == '_')
+            .unwrap_or(false)
+    {
+        return None;
+    }
+    let mut out = String::with_capacity(line.len());
+    out.push_str(&line[..l]);
+    if negated {
+        out.push('!');
+    }
+    out.push_str(lhs);
+    out.push_str(".is_nan()");
+    out.push_str(&line[rhs_end..]);
+    Some(out)
+}
+
+/// Strip the `// kea-lint: …` directive comment from a line, returning
+/// what remains (code before the comment, trailing space trimmed).
+fn remove_directive(line: &str) -> Option<String> {
+    let at = line.find("kea-lint:")?;
+    let slashes = line[..at].rfind("//")?;
+    Some(line[..slashes].trim_end().to_string())
+}

@@ -9,41 +9,67 @@
 //!
 //! | rule | catches |
 //! |------|---------|
-//! | `panic-in-library`    | `.unwrap()`, `.expect(…)`, `panic!`, `unreachable!`, `todo!`, `unimplemented!` |
-//! | `index-in-library`    | `xs[i]`-style indexing (out-of-bounds panics) |
-//! | `nan-unsafe-ordering` | `partial_cmp(..).unwrap()`, exact float equality, `== NAN` |
-//! | `truncating-as-cast`  | float→int `as` casts, `.len() as u32`-style narrowing |
-//! | `unguarded-spawn`     | `thread::spawn` with a discarded `JoinHandle` |
-//! | `bad-suppression`     | malformed/unreasoned `kea-lint:` directives |
+//! | `panic-in-library`       | `.unwrap()`, `.expect(…)`, `panic!`, `unreachable!`, `todo!`, `unimplemented!` |
+//! | `index-in-library`       | `xs[i]`-style indexing (out-of-bounds panics) |
+//! | `panic-method-in-library`| positional panicking methods (`remove(i)`, `split_at`, `Vec::insert`) |
+//! | `nan-unsafe-ordering`    | `partial_cmp(..).unwrap()`, exact float equality, `== NAN` |
+//! | `truncating-as-cast`     | float→int `as` casts, `.len() as u32`-style narrowing |
+//! | `unguarded-spawn`        | `thread::spawn` with a discarded `JoinHandle` |
+//! | `unvalidated-denominator`| division by a caller-supplied parameter no path validated |
+//! | `checked-unwrap`         | `is_some()`/`is_ok()` check still `.unwrap()`-ing inside the block |
+//! | `nan-accumulation`       | loop-carried float accumulation of an unchecked quotient |
+//! | `relaxed-atomic-gate`    | `Relaxed` load gating control flow (no happens-before edge) |
+//! | `scoped-mut-capture`     | `scope.spawn` closure mutating captured state unsynchronized |
+//! | `oncelock-get-then-set`  | `OnceLock` `get()` … `set(…)` check-then-act race |
+//! | `bad-suppression`        | malformed, unreasoned, or stale `kea-lint:` directives |
 //!
-//! Scanning is token-level (hand-rolled lexer, no `syn` — the offline
-//! build environment rules out registry deps), so the rules are
-//! documented heuristics, not type-checked facts; the suppression
+//! Scanning is token-level plus the lightweight [`syntax`] layer —
+//! function boundaries, coarse nominal binding types, closure bodies,
+//! receiver paths — recovered from the same hand-rolled lexer (no `syn`;
+//! the offline build environment rules out registry deps). The rules
+//! are documented heuristics, not type-checked facts; the suppression
 //! directives in [`suppress`] exist precisely to record the cases a
-//! human has judged safe.
+//! human has judged safe, and [`fix`] mechanically applies the rewrites
+//! that need no judgment at all.
 
 #![forbid(unsafe_code)]
 
+pub mod conc;
 pub mod diag;
+pub mod fix;
+pub mod flow;
 pub mod lexer;
 pub mod rules;
 pub mod suppress;
+pub mod syntax;
 pub mod walk;
 
 use diag::Diagnostic;
 use std::path::Path;
 
+/// Full analysis of one file: final diagnostics plus the post-filter
+/// suppression state (which knows which directives went stale). The
+/// `--fix` planner needs both; [`lint_source`] keeps the simple shape.
+pub(crate) fn analyze(file: &str, src: &str) -> (Vec<Diagnostic>, suppress::Suppressions) {
+    let lexed = lexer::lex(src);
+    let spans = rules::test_line_spans(&lexed.toks);
+    let mut sup = suppress::parse(file, &lexed.line_comments, rules::ALL_RULES);
+    let mut diags = rules::run_all(file, &lexed.toks, &spans);
+    diag::sort(&mut diags);
+    // Nested fns are scanned both standalone and as part of their
+    // enclosing body; identical findings collapse to one.
+    diags.dedup();
+    sup.filter(&mut diags);
+    diags.extend(sup.bad.iter().cloned());
+    diags.extend(sup.stale(file));
+    diag::sort(&mut diags);
+    (diags, sup)
+}
+
 /// Lint one file's source as library code. `file` is the label used in
 /// diagnostics (conventionally workspace-relative).
 pub fn lint_source(file: &str, src: &str) -> Vec<Diagnostic> {
-    let lexed = lexer::lex(src);
-    let spans = rules::test_line_spans(&lexed.toks);
-    let sup = suppress::parse(file, &lexed.line_comments, rules::ALL_RULES);
-    let mut diags = rules::run_all(file, &lexed.toks, &spans);
-    diags.retain(|d| !sup.allows(&d.rule, d.line));
-    diags.extend(sup.bad);
-    diag::sort(&mut diags);
-    diags
+    analyze(file, src).0
 }
 
 /// Lint every library-crate source file under the workspace at `root`.

@@ -7,6 +7,7 @@
 
 use crate::diag::Diagnostic;
 use crate::lexer::{Tok, TokKind};
+use crate::syntax::{self, Syntax, VarType};
 use std::collections::HashSet;
 
 /// Rule id: `unwrap`/`expect`/`panic!`-family in library code.
@@ -35,8 +36,49 @@ pub const ALL_RULES: &[&str] = &[
     NAN_UNSAFE_ORDERING,
     TRUNCATING_AS_CAST,
     UNGUARDED_SPAWN,
+    crate::flow::UNVALIDATED_DENOMINATOR,
+    crate::flow::CHECKED_UNWRAP,
+    crate::flow::NAN_ACCUMULATION,
+    crate::conc::RELAXED_ATOMIC_GATE,
+    crate::conc::SCOPED_MUT_CAPTURE,
+    crate::conc::ONCELOCK_GET_THEN_SET,
     crate::suppress::BAD_SUPPRESSION,
 ];
+
+/// One-line description per rule id — the catalog SARIF exports and
+/// `--help` prints.
+pub fn describe(rule: &str) -> &'static str {
+    match rule {
+        PANIC_IN_LIBRARY => "unwrap/expect/panic!-family call in library code",
+        INDEX_IN_LIBRARY => "slice/array/map `[...]` indexing in library code",
+        PANIC_METHOD_IN_LIBRARY => {
+            "panicking position-taking method (remove, split_at, Vec::insert, ...)"
+        }
+        NAN_UNSAFE_ORDERING => "ordering or comparison that panics or misbehaves on NaN",
+        TRUNCATING_AS_CAST => "float->int `as` cast that silently truncates/saturates",
+        UNGUARDED_SPAWN => "thread::spawn with a discarded JoinHandle",
+        crate::flow::UNVALIDATED_DENOMINATOR => {
+            "division by a caller-supplied parameter no path validated"
+        }
+        crate::flow::CHECKED_UNWRAP => {
+            "is_some()/is_ok() check followed by unwrap() inside the guarded block"
+        }
+        crate::flow::NAN_ACCUMULATION => {
+            "loop-carried float accumulation of a quotient with an unchecked denominator"
+        }
+        crate::conc::RELAXED_ATOMIC_GATE => {
+            "Relaxed atomic load gating control flow (no happens-before edge)"
+        }
+        crate::conc::SCOPED_MUT_CAPTURE => {
+            "closure passed to spawn mutating captured state without a sync wrapper"
+        }
+        crate::conc::ONCELOCK_GET_THEN_SET => {
+            "OnceLock get() then set() check-then-act race"
+        }
+        crate::suppress::BAD_SUPPRESSION => "malformed, unreasoned, or stale kea-lint directive",
+        _ => "unknown rule",
+    }
+}
 
 /// Keywords that may directly precede `[` without it being an index
 /// expression (`let [a, b] = …`, `for [x, y] in …`, `&mut [T]`, …).
@@ -159,12 +201,32 @@ fn item_end_line(toks: &[Tok], mut from: usize) -> u32 {
     toks.last().map(|t| t.line).unwrap_or(1)
 }
 
-fn in_spans(spans: &[(u32, u32)], line: u32) -> bool {
+/// Is `line` inside any of the test-exempt `spans`?
+pub(crate) fn in_spans(spans: &[(u32, u32)], line: u32) -> bool {
     spans.iter().any(|&(a, b)| line >= a && line <= b)
 }
 
+/// Index of the `}` matching the `{` at `open`, if any.
+pub(crate) fn matching_brace(toks: &[Tok], open: usize) -> Option<usize> {
+    if open >= toks.len() || !toks[open].is_sym("{") {
+        return None;
+    }
+    let mut depth = 0i32;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.is_sym("{") {
+            depth += 1;
+        } else if t.is_sym("}") {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
 /// Index of the token after the `)` matching the `(` at `open`.
-fn skip_parens(toks: &[Tok], open: usize) -> usize {
+pub(crate) fn skip_parens(toks: &[Tok], open: usize) -> usize {
     let mut depth = 0i32;
     let mut i = open;
     while i < toks.len() {
@@ -203,15 +265,19 @@ fn open_paren_of(toks: &[Tok], close: usize) -> Option<usize> {
 /// Run every rule over one file's tokens. `file` is the path used in
 /// diagnostics; `spans` are the test-exempt line ranges.
 pub fn run_all(file: &str, toks: &[Tok], spans: &[(u32, u32)]) -> Vec<Diagnostic> {
+    let syn = syntax::analyze(toks);
     let mut diags = Vec::new();
     // Token indices of `unwrap`/`expect` already reported through
-    // `nan-unsafe-ordering` (avoid double-reporting one call chain).
+    // `nan-unsafe-ordering` / `checked-unwrap` (avoid double-reporting
+    // one call chain).
     let mut consumed = HashSet::new();
     nan_unsafe_ordering(file, toks, spans, &mut diags, &mut consumed);
+    crate::flow::run(file, toks, spans, &syn, &mut diags, &mut consumed);
+    crate::conc::run(file, toks, spans, &syn, &mut diags);
     panic_in_library(file, toks, spans, &mut diags, &consumed);
     index_in_library(file, toks, spans, &mut diags);
-    panic_method_in_library(file, toks, spans, &mut diags);
-    truncating_as_cast(file, toks, spans, &mut diags);
+    panic_method_in_library(file, toks, spans, &syn, &mut diags);
+    truncating_as_cast(file, toks, spans, &syn, &mut diags);
     unguarded_spawn(file, toks, spans, &mut diags);
     diags
 }
@@ -321,6 +387,7 @@ fn panic_method_in_library(
     file: &str,
     toks: &[Tok],
     spans: &[(u32, u32)],
+    syn: &Syntax,
     diags: &mut Vec<Diagnostic>,
 ) {
     for i in 1..toks.len() {
@@ -355,10 +422,14 @@ fn panic_method_in_library(
                 Some(_) => true,
                 None => false,
             }
+        } else if name == "insert" {
+            // `.insert(i, v)` panics on `Vec`/`VecDeque` when
+            // `i > len`; the keyed map form does not. The receiver's
+            // propagated local type disambiguates; an unknown receiver
+            // stays exempt (the map form dominates in this codebase).
+            !first_arg.map(|a| a.is_sym("&")).unwrap_or(true)
+                && receiver_type(toks, syn, i - 1) == VarType::VecLike
         } else {
-            // Residual gap, documented: `.insert(i, v)` panics on Vec
-            // when `i > len`, but the map form is far more common and
-            // indistinguishable without type information.
             false
         };
         if flagged {
@@ -458,7 +529,29 @@ fn float_literal_is_zero(text: &str) -> bool {
     cleaned.parse::<f64>().map(|v| v == 0.0).unwrap_or(false)
 }
 
-fn truncating_as_cast(file: &str, toks: &[Tok], spans: &[(u32, u32)], diags: &mut Vec<Diagnostic>) {
+/// Propagated local type of the receiver chain ending at the `.` token
+/// at `dot`, resolved in the innermost enclosing function.
+fn receiver_type(toks: &[Tok], syn: &Syntax, dot: usize) -> VarType {
+    let Some((root_at, root)) = syntax::receiver_root(toks, dot) else {
+        return VarType::Unknown;
+    };
+    // A dotted chain (`self.buf.insert`) types the *root*, which says
+    // nothing about the field — stay unknown for chains.
+    if root_at + 1 != dot {
+        return VarType::Unknown;
+    }
+    syn.enclosing_fn(root_at)
+        .map(|f| f.type_of(&root, root_at))
+        .unwrap_or(VarType::Unknown)
+}
+
+fn truncating_as_cast(
+    file: &str,
+    toks: &[Tok],
+    spans: &[(u32, u32)],
+    syn: &Syntax,
+    diags: &mut Vec<Diagnostic>,
+) {
     for i in 1..toks.len().saturating_sub(1) {
         if !toks[i].is_ident("as") {
             continue;
@@ -491,8 +584,14 @@ fn truncating_as_cast(file: &str, toks: &[Tok], spans: &[(u32, u32)], diags: &mu
             if let Some(open) = open_paren_of(toks, i - 1) {
                 if open >= 2 && toks[open - 2].is_sym(".") {
                     let method = &toks[open - 1];
+                    // A user-defined `.round()` on a receiver whose
+                    // propagated type is known non-float is not a float
+                    // cast — the old token-level pass couldn't tell.
+                    let recv = receiver_type(toks, syn, open - 2);
+                    let float_recv = matches!(recv, VarType::Float | VarType::Unknown);
                     if method.kind == TokKind::Ident
                         && FLOAT_METHODS.contains(&method.text.as_str())
+                        && float_recv
                     {
                         diags.push(Diagnostic::new(
                             TRUNCATING_AS_CAST,

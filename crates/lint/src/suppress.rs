@@ -11,39 +11,119 @@
 //! * The reason separator is an em dash (`—`), `--`, `-`, or `:`.
 //! * A malformed directive (unknown rule, missing reason, bad syntax)
 //!   is itself reported as `bad-suppression` and cannot be silenced.
+//! * A **stale** directive — one that suppresses zero diagnostics — is
+//!   also a `bad-suppression`: dead allows hide real regressions behind
+//!   a wall of noise and must be deleted (`--fix` removes them).
 
 use crate::diag::Diagnostic;
 
-/// Rule id for malformed suppression directives.
+/// Rule id for malformed or stale suppression directives.
 pub const BAD_SUPPRESSION: &str = "bad-suppression";
+
+/// One parsed `allow`/`allow-file` directive.
+#[derive(Debug)]
+struct Directive {
+    /// 1-based line the directive comment lives on.
+    line: u32,
+    /// Rules it names, with a per-rule "suppressed something" mark.
+    rules: Vec<(String, bool)>,
+    /// `allow-file` scope?
+    file_scoped: bool,
+}
 
 /// Parsed suppression state for one file.
 #[derive(Debug, Default)]
 pub struct Suppressions {
-    /// `(directive line, rule)` pairs from line-scoped `allow(...)`.
-    line_allows: Vec<(u32, String)>,
-    /// Rules allowed for the entire file via `allow-file(...)`.
-    file_allows: Vec<String>,
+    directives: Vec<Directive>,
     /// Diagnostics for malformed directives.
     pub bad: Vec<Diagnostic>,
 }
 
 impl Suppressions {
-    /// Does a directive cover `rule` at `line`?
+    /// Does a directive cover `rule` at `line`? (Read-only form — does
+    /// not mark usage; [`Suppressions::filter`] does.)
+    pub fn allows(&self, rule: &str, line: u32) -> bool {
+        self.directive_for(rule, line).is_some()
+    }
+
+    /// Index of `(directive, rule-slot)` covering `rule` at `line`.
     ///
     /// Line-scoped allows cover the directive's own line and the next
     /// line, so both trailing (`stmt; // kea-lint: allow(...) — r`) and
     /// leading (directive on its own line above) placements work.
-    pub fn allows(&self, rule: &str, line: u32) -> bool {
+    ///
+    /// Binding order matters for stale tracking: a trailing directive on
+    /// the diagnostic's own line binds tighter than a leading one on the
+    /// line above, which binds tighter than file scope — otherwise two
+    /// consecutive trailing allows shadow each other and the second one
+    /// is falsely reported stale.
+    fn directive_for(&self, rule: &str, line: u32) -> Option<(usize, usize)> {
         if rule == BAD_SUPPRESSION {
-            return false;
+            return None;
         }
-        if self.file_allows.iter().any(|r| r == rule) {
-            return true;
+        for pass in 0..3 {
+            for (di, d) in self.directives.iter().enumerate() {
+                let scope_hit = match pass {
+                    0 => !d.file_scoped && d.line == line,
+                    1 => !d.file_scoped && d.line + 1 == line,
+                    _ => d.file_scoped,
+                };
+                if !scope_hit {
+                    continue;
+                }
+                if let Some(ri) = d.rules.iter().position(|(r, _)| r == rule) {
+                    return Some((di, ri));
+                }
+            }
         }
-        self.line_allows
+        None
+    }
+
+    /// Drop every suppressed diagnostic from `diags`, marking the
+    /// directives that did the suppressing.
+    pub fn filter(&mut self, diags: &mut Vec<Diagnostic>) {
+        diags.retain(|d| match self.directive_for(&d.rule, d.line) {
+            Some((di, ri)) => {
+                self.directives[di].rules[ri].1 = true;
+                false
+            }
+            None => true,
+        });
+    }
+
+    /// One `bad-suppression` diagnostic per allow that suppressed
+    /// nothing. Call after [`Suppressions::filter`].
+    pub fn stale(&self, file: &str) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for d in &self.directives {
+            for (rule, used) in &d.rules {
+                if *used {
+                    continue;
+                }
+                let scope = if d.file_scoped { "allow-file" } else { "allow" };
+                out.push(Diagnostic::new(
+                    BAD_SUPPRESSION,
+                    file,
+                    d.line,
+                    1,
+                    format!(
+                        "stale suppression: `{scope}({rule})` suppresses no diagnostic — \
+                         delete it (or run `kea-lint --fix`)"
+                    ),
+                ));
+            }
+        }
+        out
+    }
+
+    /// Lines whose directive is stale for *every* rule it names — the
+    /// mechanically removable set `--fix` deletes.
+    pub fn fully_stale_lines(&self) -> Vec<u32> {
+        self.directives
             .iter()
-            .any(|(l, r)| r == rule && (*l == line || l + 1 == line))
+            .filter(|d| d.rules.iter().all(|(_, used)| !used))
+            .map(|d| d.line)
+            .collect()
     }
 }
 
@@ -59,15 +139,11 @@ pub fn parse(file: &str, comments: &[(u32, String)], known_rules: &[&str]) -> Su
         };
         let body = text[at + "kea-lint:".len()..].trim_start();
         match parse_directive(body, known_rules) {
-            Ok((rules, file_scoped)) => {
-                for r in rules {
-                    if file_scoped {
-                        sup.file_allows.push(r);
-                    } else {
-                        sup.line_allows.push((*line, r));
-                    }
-                }
-            }
+            Ok((rules, file_scoped)) => sup.directives.push(Directive {
+                line: *line,
+                rules: rules.into_iter().map(|r| (r, false)).collect(),
+                file_scoped,
+            }),
             Err(why) => sup.bad.push(Diagnostic::new(
                 BAD_SUPPRESSION,
                 file,

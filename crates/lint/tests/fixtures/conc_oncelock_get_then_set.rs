@@ -1,0 +1,25 @@
+//! Fixture for `oncelock-get-then-set`: `get()` followed by `set(…)`
+//! on the same `OnceLock` is a check-then-act race — another thread can
+//! initialize between the two calls. `get_or_init` closes it atomically.
+
+use std::sync::OnceLock;
+
+static CACHE: OnceLock<f64> = OnceLock::new();
+
+/// Positive: the classic check-then-act shape.
+pub fn warm(v: f64) -> f64 {
+    if CACHE.get().is_none() {
+        let _ = CACHE.set(v);
+    }
+    *CACHE.get().unwrap_or(&v)
+}
+
+/// Negative: `get_or_init` — losing initializers are discarded.
+pub fn warm_atomic(v: f64) -> f64 {
+    *CACHE.get_or_init(|| v)
+}
+
+/// Negative: a `set` with no preceding `get` is plain initialization.
+pub fn prime(v: f64) -> bool {
+    CACHE.set(v).is_ok()
+}

@@ -1,0 +1,40 @@
+//! Fixture for `relaxed-atomic-gate`: a `Relaxed` load publishes no
+//! happens-before edge, so using it to gate reads of other data is a
+//! visibility race. Relaxed claim tickets and statistics reads are fine.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Positive: the flag gates reads of data the writer published.
+pub fn drain_if_ready(ready: &AtomicBool, buf: &[f64]) -> f64 {
+    if ready.load(Ordering::Relaxed) {
+        return buf.iter().sum();
+    }
+    0.0
+}
+
+/// Positive: `while` spins are gates too.
+pub fn spin_until(done: &AtomicBool) {
+    while !done.load(Ordering::Relaxed) {
+        std::hint::spin_loop();
+    }
+}
+
+/// Negative: an Acquire load is the correct gate (paired with a
+/// Release store on the writer side).
+pub fn drain_acquire(ready: &AtomicBool, buf: &[f64]) -> f64 {
+    if ready.load(Ordering::Acquire) {
+        return buf.iter().sum();
+    }
+    0.0
+}
+
+/// Negative: a Relaxed claim ticket is not a gate — the returned index
+/// itself is the claim (the workspace's work-stealing cursors).
+pub fn next_ticket(cursor: &AtomicUsize) -> usize {
+    cursor.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Negative: a Relaxed statistics read outside any condition.
+pub fn snapshot(count: &AtomicUsize) -> usize {
+    count.load(Ordering::Relaxed)
+}

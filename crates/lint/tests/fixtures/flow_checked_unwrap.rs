@@ -1,0 +1,50 @@
+//! Fixture for `checked-unwrap`: an `is_some()`/`is_ok()` check whose
+//! guarded block still reaches for `.unwrap()` on the same receiver.
+
+/// Positive: checked then unwrapped — the pair drifts apart under
+/// edits; bind the value with `if let` instead.
+pub fn first_or_zero(xs: &[f64]) -> f64 {
+    let head = xs.first();
+    if head.is_some() {
+        return *head.unwrap();
+    }
+    0.0
+}
+
+pub struct Cache {
+    slot: Option<f64>,
+}
+
+impl Cache {
+    /// Positive: field paths are tracked too (`self.slot` both sides).
+    pub fn read_or_zero(&self) -> f64 {
+        if self.slot.is_some() {
+            return self.slot.unwrap();
+        }
+        0.0
+    }
+}
+
+/// Negative: the binding form the rule recommends.
+pub fn last_or_zero(xs: &[f64]) -> f64 {
+    if let Some(v) = xs.last() {
+        return *v;
+    }
+    0.0
+}
+
+/// Negative: a negated check guards the *absent* path.
+pub fn reset_if_empty(slot: &mut Option<f64>) {
+    if !slot.is_some() {
+        *slot = Some(0.0);
+    }
+}
+
+/// The guard checks `a` but the block unwraps `b`: not checked-unwrap —
+/// the plain panic-in-library rule still owns that one.
+pub fn mismatched(a: Option<f64>, b: Option<f64>) -> f64 {
+    if a.is_some() {
+        return b.unwrap();
+    }
+    0.0
+}

@@ -1,0 +1,45 @@
+//! Fixture for `nan-accumulation`: a loop-carried float accumulator
+//! fed by a quotient with an unchecked denominator — one bad term
+//! poisons every later iteration silently.
+
+/// Positive: one zero weight turns the whole sum into NaN/inf.
+pub fn weighted_sum(vals: &[f64], weights: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for (v, w) in vals.iter().zip(weights) {
+        acc += v / w;
+    }
+    acc
+}
+
+/// Negative: the loop filters non-finite terms before accumulating.
+pub fn guarded_sum(vals: &[f64], weights: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for (v, w) in vals.iter().zip(weights) {
+        let term = v / w;
+        if term.is_finite() {
+            acc += term;
+        }
+    }
+    acc
+}
+
+/// Negative: a literal denominator cannot be zero at runtime.
+pub fn halves(vals: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for v in vals {
+        acc += v / 2.0;
+    }
+    acc
+}
+
+/// Negative: the denominator was validated before the loop.
+pub fn chunk_mean(vals: &[f64], n: f64) -> f64 {
+    let mut acc = 0.0;
+    if n <= 0.0 {
+        return acc;
+    }
+    for v in vals {
+        acc += v / n;
+    }
+    acc
+}

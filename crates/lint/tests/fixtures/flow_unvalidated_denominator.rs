@@ -1,0 +1,46 @@
+//! Fixture for `unvalidated-denominator`: a division whose denominator
+//! flows straight from the caller, with no validating path in between.
+
+/// Positive: `n` goes from the signature into the division untouched —
+/// a zero or NaN argument turns the mean into NaN silently.
+pub fn mean_per(total: f64, n: f64) -> f64 {
+    total / n
+}
+
+/// Positive: compound assignment divides too.
+pub fn scale_down(acc: f64, k: f64) -> f64 {
+    let mut out = acc;
+    out /= k;
+    out
+}
+
+/// Positive: an integer denominator panics outright on zero.
+pub fn per_bucket(total: i64, buckets: i64) -> i64 {
+    total / buckets
+}
+
+/// Negative: the early-return comparison validates `n`.
+pub fn guarded_mean(total: f64, n: f64) -> f64 {
+    if n <= 0.0 {
+        return 0.0;
+    }
+    total / n
+}
+
+/// Negative: the denominator is an expression the author already
+/// shaped, not the raw parameter.
+pub fn clamped_mean(total: f64, n: f64) -> f64 {
+    total / n.max(1.0)
+}
+
+/// Negative: a local rebinding replaces the raw parameter.
+pub fn rebased_mean(total: f64, n: f64) -> f64 {
+    let n = n.max(1.0);
+    total / n
+}
+
+/// Negative: a non-parameter denominator is the other rules' business.
+pub fn halved(total: f64) -> f64 {
+    let parts = 2.0;
+    total / parts
+}

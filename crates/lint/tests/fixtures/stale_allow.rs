@@ -1,0 +1,15 @@
+//! Fixture for the stale-suppression arm of `bad-suppression`: an
+//! `allow` that suppresses zero diagnostics is dead weight hiding real
+//! regressions, and is itself reported.
+
+/// The allow below suppresses nothing — the unwrap it once covered was
+/// refactored into `unwrap_or` long ago.
+pub fn lookup(m: &std::collections::HashMap<u64, f64>, k: u64) -> f64 {
+    // kea-lint: allow(panic-in-library) — this was unwrapped once, long ago
+    m.get(&k).copied().unwrap_or(0.0)
+}
+
+/// A *used* allow right next to it stays legal.
+pub fn head(xs: &[f64]) -> f64 {
+    xs[0] // kea-lint: allow(index-in-library) — callers guarantee non-empty
+}

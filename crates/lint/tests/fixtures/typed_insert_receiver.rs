@@ -1,0 +1,28 @@
+//! Fixture for a closed type-inference gap: `Vec::insert(index, v)`
+//! panics on an out-of-range position; keyed `insert(k, v)` on a map
+//! does not. The receiver's tracked type tells them apart — map inserts
+//! were indistinguishable before.
+
+use std::collections::HashMap;
+
+/// Positive: position-taking insert on a known Vec.
+pub fn prepend(xs: &mut Vec<f64>, v: f64) {
+    xs.insert(0, v);
+}
+
+/// Negative (former false positive): keyed insert on a known map.
+pub fn record(m: &mut HashMap<String, f64>, k: String, v: f64) {
+    m.insert(k, v);
+}
+
+pub struct Opaque;
+
+impl Opaque {
+    pub fn insert(&mut self, _k: u64, _v: f64) {}
+}
+
+/// Negative: an unprovable receiver stays exempt — the rule only fires
+/// on receivers it can prove are Vec-like.
+pub fn stash(slot: &mut Opaque, k: u64, v: f64) {
+    slot.insert(k, v);
+}

@@ -1,0 +1,34 @@
+//! Fixture for a closed type-inference gap: `.round() as usize` is only
+//! a float→int cast when the receiver is (or may be) a float. A
+//! user-defined `round` on a known non-float type was a false positive
+//! before the syntax layer tracked receiver types.
+
+pub struct Quarter(pub u32);
+
+impl Quarter {
+    /// A user-defined `round` on an integer-backed type.
+    pub fn round(&self) -> u32 {
+        self.0
+    }
+}
+
+/// Negative (former false positive): `q` is known non-float, so its
+/// `.round()` result widening into `usize` is not a truncating cast.
+pub fn quarter_index(q: &Quarter) -> usize {
+    let idx = q.round() as usize;
+    idx
+}
+
+/// Positive: a real float receiver still trips the rule.
+pub fn float_index(x: f64) -> usize {
+    let idx = x.round() as usize;
+    idx
+}
+
+/// Positive: an untyped receiver stays flagged — the rule only stands
+/// down when it can *prove* the receiver is not a float.
+pub fn opaque_index<T: Into<f64>>(x: T) -> usize {
+    let v = x.into();
+    let idx = v.round() as usize;
+    idx
+}

@@ -102,6 +102,108 @@ fn spawn_fixture_flags_discarded_handles_only() {
     assert!(diags.iter().all(|d| d.line < 15), "{diags:#?}");
 }
 
+// ---- the dataflow pack -------------------------------------------------
+
+#[test]
+fn denominator_fixture_flags_raw_params_only() {
+    let diags = lint_fixture("flow_unvalidated_denominator.rs");
+    assert_eq!(
+        rules_of(&diags),
+        vec!["unvalidated-denominator"; 3],
+        "{diags:#?}"
+    );
+    // Guarded, clamped, rebound, and non-parameter denominators are
+    // exempt: every hit lies in the first three functions.
+    assert!(diags.iter().all(|d| d.line < 21), "{diags:#?}");
+    // Float and integer denominators get different consequences.
+    let msgs: String = diags.iter().map(|d| d.message.as_str()).collect();
+    assert!(msgs.contains("NaN/inf"), "{msgs}");
+    assert!(msgs.contains("zero divisor panics"), "{msgs}");
+}
+
+#[test]
+fn checked_unwrap_fixture_tracks_receiver_paths() {
+    let diags = lint_fixture("flow_checked_unwrap.rs");
+    let checked: Vec<_> = diags.iter().filter(|d| d.rule == "checked-unwrap").collect();
+    assert_eq!(checked.len(), 2, "{diags:#?}");
+    // Field paths are tracked, and the suggested fix names the binding.
+    assert!(checked.iter().any(|d| d.message.contains("self.slot")));
+    assert!(checked.iter().all(|d| d.message.contains("if let")));
+    // A mismatched receiver is NOT checked-unwrap — it stays with the
+    // plain panic rule, and is not double-reported.
+    let panics: Vec<_> = diags.iter().filter(|d| d.rule == "panic-in-library").collect();
+    assert_eq!(panics.len(), 1, "{diags:#?}");
+    assert_eq!(diags.len(), 3, "{diags:#?}");
+}
+
+#[test]
+fn nan_accumulation_fixture_flags_unchecked_quotients_only() {
+    let diags = lint_fixture("flow_nan_accumulation.rs");
+    assert_eq!(rules_of(&diags), vec!["nan-accumulation"], "{diags:#?}");
+    // Finiteness-guarded, literal, and pre-validated denominators are
+    // exempt: the only hit is in the first loop.
+    assert!(diags[0].line < 11, "{diags:#?}");
+}
+
+// ---- the concurrency pack ----------------------------------------------
+
+#[test]
+fn relaxed_gate_fixture_flags_gates_not_tickets() {
+    let diags = lint_fixture("conc_relaxed_gate.rs");
+    assert_eq!(rules_of(&diags), vec!["relaxed-atomic-gate"; 2], "{diags:#?}");
+    // Acquire gates, fetch_add claim tickets, and straight-line Relaxed
+    // reads are exempt: both hits lie in the first two functions.
+    assert!(diags.iter().all(|d| d.line < 21), "{diags:#?}");
+}
+
+#[test]
+fn scoped_capture_fixture_flags_shared_mutation_only() {
+    let diags = lint_fixture("conc_scoped_mut_capture.rs");
+    assert_eq!(rules_of(&diags), vec!["scoped-mut-capture"; 2], "{diags:#?}");
+    // Both the method-call (`out.push`) and compound-assignment
+    // (`total +=`) shapes are named in the messages.
+    let msgs: String = diags.iter().map(|d| d.message.as_str()).collect();
+    assert!(msgs.contains("`out`"), "{msgs}");
+    assert!(msgs.contains("`total`"), "{msgs}");
+    // Closure-local scratch and Mutex-wrapped capture are exempt.
+    assert!(diags.iter().all(|d| d.line < 35), "{diags:#?}");
+}
+
+#[test]
+fn oncelock_fixture_flags_check_then_act_only() {
+    let diags = lint_fixture("conc_oncelock_get_then_set.rs");
+    assert_eq!(rules_of(&diags), vec!["oncelock-get-then-set"], "{diags:#?}");
+    assert!(diags[0].message.contains("get_or_init"), "{diags:#?}");
+    // `get_or_init` and bare `set` are exempt.
+    assert!(diags[0].line < 16, "{diags:#?}");
+}
+
+// ---- the closed type-inference gaps ------------------------------------
+
+#[test]
+fn round_cast_exempts_known_nonfloat_receivers() {
+    let diags = lint_fixture("typed_round_receiver.rs");
+    assert_eq!(rules_of(&diags), vec!["truncating-as-cast"; 2], "{diags:#?}");
+    // The user-defined `round` on the integer-backed receiver (the
+    // former false positive) is exempt; the float and the unprovable
+    // receivers both stay flagged.
+    assert!(diags.iter().all(|d| d.line > 21), "{diags:#?}");
+}
+
+#[test]
+fn vec_insert_flags_positional_not_keyed() {
+    let diags = lint_fixture("typed_insert_receiver.rs");
+    assert_eq!(
+        rules_of(&diags),
+        vec!["panic-method-in-library"],
+        "{diags:#?}"
+    );
+    assert!(diags[0].message.contains("insert"), "{diags:#?}");
+    // The keyed map insert (the former false positive) and the opaque
+    // receiver are both exempt.
+    assert!(diags[0].line < 12, "{diags:#?}");
+}
+
 // ---- exemptions and suppressions --------------------------------------
 
 #[test]
@@ -128,9 +230,100 @@ fn malformed_suppressions_are_reported_and_do_not_silence() {
 }
 
 #[test]
+fn stale_suppressions_are_reported() {
+    let diags = lint_fixture("stale_allow.rs");
+    assert_eq!(rules_of(&diags), vec!["bad-suppression"], "{diags:#?}");
+    assert!(diags[0].message.contains("stale suppression"), "{diags:#?}");
+    assert!(diags[0].message.contains("panic-in-library"), "{diags:#?}");
+    // The *used* allow right next to it is not reported.
+    assert_eq!(diags.len(), 1, "{diags:#?}");
+}
+
+#[test]
 fn clean_fixture_is_clean() {
     let diags = lint_fixture("clean.rs");
     assert!(diags.is_empty(), "{diags:#?}");
+}
+
+// ---- the --fix engine --------------------------------------------------
+
+#[test]
+fn fix_rewrites_nan_ordering_and_removes_stale_allows() {
+    let src = "\
+pub fn rank(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+pub fn denorm(x: f64) -> bool {
+    x == f64::NAN
+}
+
+pub fn fine(x: f64) -> bool {
+    // kea-lint: allow(index-in-library) — this indexed once, long ago
+    x != f64::NAN
+}
+";
+    let (fixed, edits) = kea_lint::fix::fix_source("fix_me.rs", src, false);
+    assert_eq!(edits.len(), 4, "{edits:#?}");
+    assert!(fixed.contains("a.total_cmp(b));"), "{fixed}");
+    assert!(!fixed.contains("partial_cmp"), "{fixed}");
+    assert!(fixed.contains("    x.is_nan()\n"), "{fixed}");
+    assert!(fixed.contains("    !x.is_nan()\n"), "{fixed}");
+    assert!(!fixed.contains("allow(index-in-library)"), "{fixed}");
+    // The fixed source is clean under the rules the fixes target.
+    let diags = kea_lint::lint_source("fix_me.rs", &fixed);
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn fix_is_idempotent() {
+    let src = "\
+pub fn rank(xs: &mut [f64]) { // kea-lint: allow(unguarded-spawn) — stale
+    xs.sort_by(|a, b| a.partial_cmp(b).expect(\"ordered\"));
+    let _probe = xs[0] == f64::NAN;
+}
+";
+    let (once, first) = kea_lint::fix::fix_source("fix_me.rs", src, false);
+    assert!(!first.is_empty(), "{first:#?}");
+    let (twice, second) = kea_lint::fix::fix_source("fix_me.rs", &once, false);
+    assert!(second.is_empty(), "second pass planned {second:#?}");
+    assert_eq!(twice, once);
+}
+
+#[test]
+fn fix_scaffolds_reasoned_allows_on_request() {
+    let src = "\
+pub fn head(xs: &[f64]) -> f64 {
+    xs[0]
+}
+";
+    let (fixed, edits) = kea_lint::fix::fix_source("fix_me.rs", src, true);
+    assert_eq!(edits.len(), 1, "{edits:#?}");
+    assert!(
+        fixed.contains("// kea-lint: allow(index-in-library) — FIXME(kea-lint): justify or fix"),
+        "{fixed}"
+    );
+    // The scaffold carries the diagnostic line's indentation and
+    // suppresses the finding, so a second pass plans nothing.
+    assert!(fixed.contains("    // kea-lint"), "{fixed}");
+    let (_, second) = kea_lint::fix::fix_source("fix_me.rs", &fixed, true);
+    assert!(second.is_empty(), "{second:#?}");
+    // Suppressed — but only behind the FIXME marker a reviewer must see.
+    let diags = kea_lint::lint_source("fix_me.rs", &fixed);
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn fix_leaves_multiline_chains_alone() {
+    let src = "\
+pub fn rank(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b)
+        .unwrap());
+}
+";
+    let (fixed, edits) = kea_lint::fix::fix_source("fix_me.rs", src, false);
+    assert!(edits.is_empty(), "{edits:#?}");
+    assert_eq!(fixed, src);
 }
 
 // ---- output formats ----------------------------------------------------
@@ -177,6 +370,13 @@ fn cli_exits_nonzero_on_each_rule_fixture() {
         "truncating_as_cast.rs",
         "unguarded_spawn.rs",
         "suppressed_bad.rs",
+        "flow_unvalidated_denominator.rs",
+        "flow_checked_unwrap.rs",
+        "flow_nan_accumulation.rs",
+        "conc_relaxed_gate.rs",
+        "conc_scoped_mut_capture.rs",
+        "conc_oncelock_get_then_set.rs",
+        "stale_allow.rs",
     ] {
         let path = fixture_path(fixture);
         let out = run_cli(&[path.to_str().expect("utf-8 path")]);
@@ -213,6 +413,74 @@ fn cli_json_flag_switches_format() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("\"version\": 1"), "{stdout}");
     assert!(stdout.contains("\"count\": 0"), "{stdout}");
+}
+
+#[test]
+fn cli_sarif_output_has_the_2_1_0_shape() {
+    let path = fixture_path("unguarded_spawn.rs");
+    let out = run_cli(&["--format", "sarif", path.to_str().expect("utf-8 path")]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let sarif = String::from_utf8_lossy(&out.stdout);
+    // Top-level shape.
+    assert!(sarif.contains("\"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\""));
+    assert!(sarif.contains("\"version\": \"2.1.0\""), "{sarif}");
+    assert!(sarif.contains("\"runs\": ["), "{sarif}");
+    assert!(sarif.contains("\"name\": \"kea-lint\""), "{sarif}");
+    // The full rule catalog ships under tool.driver.rules.
+    for rule in kea_lint::rules::ALL_RULES {
+        assert!(sarif.contains(&format!("\"id\": \"{rule}\"")), "{rule} missing");
+    }
+    // Results carry ruleId + physicalLocation regions.
+    assert!(sarif.contains("\"ruleId\": \"unguarded-spawn\""), "{sarif}");
+    assert!(sarif.contains("\"physicalLocation\""), "{sarif}");
+    assert!(sarif.contains("\"startLine\": "), "{sarif}");
+    assert!(sarif.contains("\"startColumn\": "), "{sarif}");
+    assert!(sarif.contains("\"uri\": "), "{sarif}");
+}
+
+#[test]
+fn cli_json_reports_lint_wall_clock() {
+    let path = fixture_path("clean.rs");
+    let out = run_cli(&["--format", "json", path.to_str().expect("utf-8 path")]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"elapsed_ms\": "), "{stdout}");
+}
+
+#[test]
+fn cli_fix_dry_run_previews_without_writing() {
+    let src = std::fs::read_to_string(fixture_path("stale_allow.rs")).expect("fixture");
+    let scratch = std::env::temp_dir().join("kea_lint_fix_dry_run_scratch.rs");
+    std::fs::write(&scratch, &src).expect("scratch write");
+    let out = run_cli(&["--fix-dry-run", scratch.to_str().expect("utf-8 path")]);
+    assert_eq!(out.status.code(), Some(1), "pending edits exit 1: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("would apply 1 edit"), "{stdout}");
+    let untouched = std::fs::read_to_string(&scratch).expect("scratch read");
+    assert_eq!(untouched, src, "dry run must not write");
+    let _ = std::fs::remove_file(&scratch);
+}
+
+#[test]
+fn cli_fix_applies_and_burns_down_clean() {
+    let src = std::fs::read_to_string(fixture_path("stale_allow.rs")).expect("fixture");
+    let scratch = std::env::temp_dir().join("kea_lint_fix_apply_scratch.rs");
+    std::fs::write(&scratch, &src).expect("scratch write");
+    let out = run_cli(&["--fix", scratch.to_str().expect("utf-8 path")]);
+    // The stale allow is removed and the file then lints clean.
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("applied 1 edit"), "{stdout}");
+    let fixed = std::fs::read_to_string(&scratch).expect("scratch read");
+    assert!(!fixed.contains("allow(panic-in-library)"), "{fixed}");
+    assert!(fixed.contains("allow(index-in-library)"), "used allow survives");
+    let _ = std::fs::remove_file(&scratch);
+}
+
+#[test]
+fn cli_rejects_contradictory_fix_flags() {
+    assert_eq!(run_cli(&["--fix", "--fix-dry-run", "x.rs"]).status.code(), Some(2));
+    assert_eq!(run_cli(&["--scaffold-allows", "x.rs"]).status.code(), Some(2));
 }
 
 // ---- the self-check ----------------------------------------------------
