@@ -101,7 +101,13 @@ fn cluster_by_name(name: &str) -> Result<ClusterSpec, String> {
     }
 }
 
+/// Loads telemetry from either a CSV file or a durable store directory
+/// (WAL + segments); a directory path selects crash recovery via
+/// `TelemetryStore::open`, anything else is parsed as CSV.
 fn load_telemetry(path: &str) -> Result<TelemetryStore, String> {
+    if std::path::Path::new(path).is_dir() {
+        return TelemetryStore::open(path).map_err(|e| format!("recover {path}: {e}"));
+    }
     let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
     read_csv(BufReader::new(file)).map_err(|e| format!("read {path}: {e}"))
 }
@@ -152,7 +158,10 @@ fn print_help() {
          \x20 queues      queue-length tuning (§5.3 extension)\n\
          \x20 value       convert a capacity gain into $/year (§5.3)\n\
          \n\
-         common flags: --cluster tiny|small|medium|full, --seed N, --hours N"
+         common flags: --cluster tiny|small|medium|full, --seed N, --hours N\n\
+         \n\
+         --telemetry accepts a CSV file or a durable store directory\n\
+         (WAL + segment files, recovered via TelemetryStore::open)"
     );
 }
 

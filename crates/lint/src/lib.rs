@@ -13,7 +13,7 @@
 //! | `index-in-library`       | `xs[i]`-style indexing (out-of-bounds panics) |
 //! | `panic-method-in-library`| positional panicking methods (`remove(i)`, `split_at`, `Vec::insert`) |
 //! | `nan-unsafe-ordering`    | `partial_cmp(..).unwrap()`, exact float equality, `== NAN` |
-//! | `truncating-as-cast`     | float→int `as` casts, `.len() as u32`-style narrowing |
+//! | `truncating-as-cast`     | float→int `as` casts, `.len() as u32` / `? as u32`-style narrowing |
 //! | `unguarded-spawn`        | `thread::spawn` with a discarded `JoinHandle` |
 //! | `unvalidated-denominator`| division by a caller-supplied parameter no path validated |
 //! | `checked-unwrap`         | `is_some()`/`is_ok()` check still `.unwrap()`-ing inside the block |

@@ -55,7 +55,7 @@ pub fn describe(rule: &str) -> &'static str {
             "panicking position-taking method (remove, split_at, Vec::insert, ...)"
         }
         NAN_UNSAFE_ORDERING => "ordering or comparison that panics or misbehaves on NaN",
-        TRUNCATING_AS_CAST => "float->int `as` cast that silently truncates/saturates",
+        TRUNCATING_AS_CAST => "float->int or narrowing `as` cast that silently truncates/saturates",
         UNGUARDED_SPAWN => "thread::spawn with a discarded JoinHandle",
         crate::flow::UNVALIDATED_DENOMINATOR => {
             "division by a caller-supplied parameter no path validated"
@@ -575,6 +575,26 @@ fn truncating_as_cast(
                     "float literal cast to `{}` truncates; use `.round()`/`.floor()` explicitly \
                      and bounds-check, or add `// kea-lint: allow({TRUNCATING_AS_CAST}) — <reason>`",
                     target.text
+                ),
+            ));
+            continue;
+        }
+        // `value.parse::<u64>()? as u32`: the result of a fallible
+        // conversion immediately narrowed with `as` — the classic
+        // checked-parse-then-unchecked-truncate bug (a machine id of 2³²
+        // parsed fine and wrapped to 0 in the telemetry CSV reader).
+        // Widening (`? as u64`) stays legal: only narrow targets fire.
+        if prev.is_sym("?") && NARROW_INT_TYPES.contains(&target.text.as_str()) {
+            diags.push(Diagnostic::new(
+                TRUNCATING_AS_CAST,
+                file,
+                toks[i].line,
+                toks[i].col,
+                format!(
+                    "fallible result narrowed with `as {}` wraps silently; use \
+                     `{}::try_from(..)` (or bounds-check) so out-of-range values become \
+                     errors, or add `// kea-lint: allow({TRUNCATING_AS_CAST}) — <reason>`",
+                    target.text, target.text
                 ),
             ));
             continue;

@@ -1,5 +1,6 @@
-//! Fixture: `truncating-as-cast` fires on float→int casts and narrowing
-//! `.len()` casts, and stays quiet on int→int widening.
+//! Fixture: `truncating-as-cast` fires on float→int casts, narrowing
+//! `.len()` casts, and `?`-result narrowing, and stays quiet on int→int
+//! widening.
 
 pub fn float_literal_cast() -> usize {
     1.5 as usize
@@ -17,10 +18,18 @@ pub fn narrow_len_cast(xs: &[u8]) -> u32 {
     xs.len() as u32
 }
 
+pub fn try_result_narrowed(s: &str) -> Result<u32, std::num::ParseIntError> {
+    Ok(s.parse::<u64>()? as u32)
+}
+
 pub fn wide_len_cast_is_fine(xs: &[u8]) -> u64 {
     xs.len() as u64
 }
 
 pub fn int_widening_is_fine(x: u8) -> u64 {
     x as u64
+}
+
+pub fn try_result_widened_is_fine(s: &str) -> Result<u64, std::num::ParseIntError> {
+    Ok(s.parse::<u32>()? as u64)
 }

@@ -89,9 +89,15 @@ fn nan_fixture_flags_partial_cmp_and_float_equality() {
 #[test]
 fn cast_fixture_flags_truncation_not_widening() {
     let diags = lint_fixture("truncating_as_cast.rs");
-    assert_eq!(rules_of(&diags), vec!["truncating-as-cast"; 4], "{diags:#?}");
-    // `.len() as u64` and `u8 as u64` (widening) are fine.
-    assert!(diags.iter().all(|d| d.line < 21), "{diags:#?}");
+    assert_eq!(rules_of(&diags), vec!["truncating-as-cast"; 5], "{diags:#?}");
+    // `.len() as u64`, `u8 as u64`, and `? as u64` (all widening) are fine.
+    assert!(diags.iter().all(|d| d.line < 24), "{diags:#?}");
+    // The `?`-narrowing case (the telemetry CSV machine-id bug shape)
+    // names the checked alternative.
+    assert!(
+        diags.iter().any(|d| d.line == 22 && d.message.contains("try_from")),
+        "{diags:#?}"
+    );
 }
 
 #[test]

@@ -56,6 +56,21 @@ pub enum CsvError {
         /// What went wrong.
         reason: String,
     },
+    /// An identifier field parsed as an integer but exceeds the range of
+    /// its typed destination (`machine` is a `u32`, `sku` a `u16`, `sc` a
+    /// `u8`). Previously these were narrowed with `as`, so a machine id
+    /// ≥ 2³² silently aliased to a different machine; now the conversion
+    /// is checked and the offending site is named.
+    ValueOutOfRange {
+        /// Line number in the file.
+        line: usize,
+        /// Header name of the offending column.
+        column: &'static str,
+        /// The value found in the file.
+        found: u64,
+        /// Largest value the destination type can hold.
+        max: u64,
+    },
     /// A metric field parsed as a float but was NaN or infinite. Typed
     /// separately from [`CsvError::BadRow`] so ingestion pipelines can
     /// distinguish "malformed file" from "well-formed file carrying
@@ -78,6 +93,15 @@ impl fmt::Display for CsvError {
                 write!(f, "telemetry CSV header mismatch; found: {found}")
             }
             CsvError::BadRow { line, reason } => write!(f, "bad row at line {line}: {reason}"),
+            CsvError::ValueOutOfRange {
+                line,
+                column,
+                found,
+                max,
+            } => write!(
+                f,
+                "value out of range at line {line}, column {column}: {found} exceeds {max}"
+            ),
             CsvError::NonFinite { line, column } => {
                 write!(f, "non-finite value at line {line}, column {column}")
             }
@@ -91,6 +115,26 @@ impl From<std::io::Error> for CsvError {
     fn from(e: std::io::Error) -> Self {
         CsvError::Io(e)
     }
+}
+
+/// Checked narrowing for the typed identifier columns (`machine` u32,
+/// `sku` u16, `sc` u8). `parse::<u64>` already rejects values past
+/// `u64::MAX` with a [`CsvError::BadRow`]; this closes the remaining gap
+/// between u64 and the destination width, which an `as` cast used to
+/// wrap silently — a machine id of 2³² aliased to machine 0. `max` is
+/// the destination's ceiling, carried separately only for the message.
+fn narrow<T: TryFrom<u64>>(
+    value: u64,
+    max: u64,
+    line: usize,
+    column: &'static str,
+) -> Result<T, CsvError> {
+    T::try_from(value).map_err(|_| CsvError::ValueOutOfRange {
+        line,
+        column,
+        found: value,
+        max,
+    })
 }
 
 /// Writes the store as CSV (header + one row per record, insertion order).
@@ -130,8 +174,10 @@ pub fn write_csv<W: Write>(store: &TelemetryStore, mut out: W) -> Result<(), Csv
 /// Reads a store back from CSV produced by [`write_csv`].
 ///
 /// # Errors
-/// Rejects a wrong header ([`CsvError::SchemaMismatch`]) and malformed
-/// rows ([`CsvError::BadRow`] with the line number); propagates I/O
+/// Rejects a wrong header ([`CsvError::SchemaMismatch`]), malformed rows
+/// ([`CsvError::BadRow`] with the line number), and identifier values
+/// that do not fit their typed destination
+/// ([`CsvError::ValueOutOfRange`] with line and column); propagates I/O
 /// errors.
 pub fn read_csv<R: BufRead>(input: R) -> Result<TelemetryStore, CsvError> {
     let mut lines = input.lines();
@@ -174,8 +220,13 @@ pub fn read_csv<R: BufRead>(input: R) -> Result<TelemetryStore, CsvError> {
             Ok(v)
         };
         store.push(MachineHourRecord {
-            machine: MachineId(int(0)? as u32),
-            group: GroupKey::new(SkuId(int(1)? as u16), ScId(int(2)? as u8)),
+            machine: MachineId(narrow(int(0)?, u64::from(u32::MAX), line_no, "machine")?),
+            group: GroupKey::new(
+                SkuId(narrow(int(1)?, u64::from(u16::MAX), line_no, "sku")?),
+                ScId(narrow(int(2)?, u64::from(u8::MAX), line_no, "sc")?),
+            ),
+            // `hour` is a u64 end to end: `parse::<u64>` itself rejects
+            // overflow with a BadRow, so no narrowing is involved.
             hour: int(3)?,
             metrics: MetricValues {
                 total_data_read_gb: num(4)?,
@@ -304,6 +355,67 @@ mod tests {
         }
     }
 
+    /// Regression (previously: `machine: MachineId(int(0)? as u32)` —
+    /// a machine id of exactly 2³² wrapped to machine 0 and silently
+    /// aliased its telemetry onto a different machine). The conversion
+    /// is now checked and names the line and column.
+    #[test]
+    fn rejects_machine_id_past_u32() {
+        let row = format!("{CSV_HEADER}\n{},0,0,0{}\n", 1u64 << 32, ",1.0".repeat(14));
+        match read_csv(row.as_bytes()) {
+            Err(CsvError::ValueOutOfRange {
+                line,
+                column,
+                found,
+                max,
+            }) => {
+                assert_eq!(line, 2);
+                assert_eq!(column, "machine");
+                assert_eq!(found, 1u64 << 32);
+                assert_eq!(max, u64::from(u32::MAX));
+            }
+            other => panic!("expected ValueOutOfRange, got {other:?}"),
+        }
+        // The same id minus one is the last valid machine and must load.
+        let row = format!("{CSV_HEADER}\n{},0,0,0{}\n", u32::MAX, ",1.0".repeat(14));
+        let store = read_csv(row.as_bytes()).unwrap();
+        assert_eq!(store.iter().next().map(|r| r.machine), Some(MachineId(u32::MAX)));
+    }
+
+    /// Regression twin for the group fields (previously `as u16` /
+    /// `as u8`): a SKU of 2¹⁶ aliased to SKU 0 and an SC of 2⁸ to SC 0,
+    /// silently merging unrelated machine groups.
+    #[test]
+    fn rejects_group_fields_past_width() {
+        let row = format!("{CSV_HEADER}\n0,{},0,0{}\n", 1u64 << 16, ",1.0".repeat(14));
+        match read_csv(row.as_bytes()) {
+            Err(CsvError::ValueOutOfRange { line, column, .. }) => {
+                assert_eq!(line, 2);
+                assert_eq!(column, "sku");
+            }
+            other => panic!("expected ValueOutOfRange, got {other:?}"),
+        }
+        let row = format!("{CSV_HEADER}\n0,0,{},0{}\n", 1u64 << 8, ",1.0".repeat(14));
+        match read_csv(row.as_bytes()) {
+            Err(CsvError::ValueOutOfRange { line, column, .. }) => {
+                assert_eq!(line, 2);
+                assert_eq!(column, "sc");
+            }
+            other => panic!("expected ValueOutOfRange, got {other:?}"),
+        }
+    }
+
+    /// `hour` needs no narrowing (u64 end to end): overflow past
+    /// `u64::MAX` is rejected by `parse` itself as a BadRow.
+    #[test]
+    fn rejects_hour_past_u64_as_bad_row() {
+        let row = format!("{CSV_HEADER}\n0,0,0,18446744073709551616{}\n", ",1.0".repeat(14));
+        match read_csv(row.as_bytes()) {
+            Err(CsvError::BadRow { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected BadRow, got {other:?}"),
+        }
+    }
+
     #[test]
     fn skips_blank_lines() {
         let mut buf = Vec::new();
@@ -340,6 +452,15 @@ mod tests {
         };
         assert!(e.to_string().contains("line 3"));
         assert!(e.to_string().contains("power_draw_w"));
+        let e = CsvError::ValueOutOfRange {
+            line: 4,
+            column: "machine",
+            found: 1 << 32,
+            max: u64::from(u32::MAX),
+        };
+        assert!(e.to_string().contains("line 4"));
+        assert!(e.to_string().contains("machine"));
+        assert!(e.to_string().contains("4294967296"));
     }
 
     #[test]

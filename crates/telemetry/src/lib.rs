@@ -25,6 +25,13 @@
 //!   survives as [`store::reference`].
 //! * [`csv`] — flat-file persistence with schema checking and typed
 //!   rejection of non-finite metric values.
+//! * [`persist`] — durable storage mirroring the LSM shape on disk: a
+//!   checksummed write-ahead log for the delta tail, immutable segment
+//!   files spilling sealed runs, and an atomically-flipped manifest
+//!   naming the live file set. [`TelemetryStore::open`] recovers a
+//!   directory (torn WAL tails truncated, corrupt files quarantined,
+//!   never a panic); [`TelemetryStore::sync`] makes appended records
+//!   durable with one fsync per batch.
 //! * [`aggregate`] — fused single-pass aggregation kernels over the
 //!   run + delta pair (hourly→daily roll-ups, per-group summaries, fleet
 //!   series, group utilization), work-stealing parallel across groups,
@@ -41,6 +48,7 @@
 pub mod aggregate;
 pub mod csv;
 pub mod metric;
+pub mod persist;
 pub mod record;
 pub mod store;
 
@@ -49,6 +57,7 @@ pub use aggregate::{
     DailyAggregate, GroupUtilization, ScatterPoint,
 };
 pub use csv::{read_csv, write_csv, CsvError};
+pub use persist::PersistError;
 pub use metric::{Metric, MetricCategory};
 pub use record::{GroupKey, MachineHourRecord, MachineId, MetricValues, ScId, SkuId};
 pub use store::TelemetryStore;

@@ -1,0 +1,176 @@
+//! Fixed-width binary encoding of [`MachineHourRecord`] shared by the
+//! WAL and segment formats.
+//!
+//! A record is 127 little-endian bytes: `machine: u32`, `sku: u16`,
+//! `sc: u8`, `hour: u64`, then the 14 metric columns as `f64` in
+//! [`MetricValues`] field-declaration order (the same order as
+//! [`crate::Metric::ALL`]). The layout is versioned by the containing
+//! file's magic, not per record, so decoding never guesses widths.
+
+use crate::record::{GroupKey, MachineHourRecord, MachineId, MetricValues, ScId, SkuId};
+
+/// Encoded size of one record in bytes.
+pub const RECORD_BYTES: usize = 127;
+
+/// Appends the 127-byte encoding of `r` to `out`.
+pub fn encode_record(r: &MachineHourRecord, out: &mut Vec<u8>) {
+    out.extend_from_slice(&r.machine.0.to_le_bytes());
+    out.extend_from_slice(&r.group.sku.0.to_le_bytes());
+    out.push(r.group.sc.0);
+    out.extend_from_slice(&r.hour.to_le_bytes());
+    let m = &r.metrics;
+    for v in [
+        m.total_data_read_gb,
+        m.tasks_finished,
+        m.task_exec_time_s,
+        m.cpu_time_s,
+        m.cpu_utilization,
+        m.avg_running_containers,
+        m.avg_task_latency_s,
+        m.queued_containers,
+        m.queue_latency_p99_ms,
+        m.power_draw_w,
+        m.ssd_used_gb,
+        m.ram_used_gb,
+        m.cores_used,
+        m.network_used_gbps,
+    ] {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Reads a `u16` at `at`; `None` if out of bounds.
+fn u16_at(b: &[u8], at: usize) -> Option<u16> {
+    let bytes: [u8; 2] = b.get(at..at + 2)?.try_into().ok()?;
+    Some(u16::from_le_bytes(bytes))
+}
+
+/// Reads a `u32` at `at`; `None` if out of bounds.
+pub fn u32_at(b: &[u8], at: usize) -> Option<u32> {
+    let bytes: [u8; 4] = b.get(at..at + 4)?.try_into().ok()?;
+    Some(u32::from_le_bytes(bytes))
+}
+
+/// Reads a `u64` at `at`; `None` if out of bounds.
+pub fn u64_at(b: &[u8], at: usize) -> Option<u64> {
+    let bytes: [u8; 8] = b.get(at..at + 8)?.try_into().ok()?;
+    Some(u64::from_le_bytes(bytes))
+}
+
+/// Reads an `f64` at `at`; `None` if out of bounds.
+fn f64_at(b: &[u8], at: usize) -> Option<f64> {
+    Some(f64::from_bits(u64_at(b, at)?))
+}
+
+/// Decodes one record from exactly [`RECORD_BYTES`] bytes at the start
+/// of `b`. Returns `None` if `b` is too short; trailing bytes are the
+/// caller's business.
+pub fn decode_record(b: &[u8]) -> Option<MachineHourRecord> {
+    if b.len() < RECORD_BYTES {
+        return None;
+    }
+    let machine = MachineId(u32_at(b, 0)?);
+    let group = GroupKey::new(SkuId(u16_at(b, 4)?), ScId(*b.get(6)?));
+    let hour = u64_at(b, 7)?;
+    let mut at = 15;
+    let mut field = || {
+        let v = f64_at(b, at);
+        at += 8;
+        v
+    };
+    let metrics = MetricValues {
+        total_data_read_gb: field()?,
+        tasks_finished: field()?,
+        task_exec_time_s: field()?,
+        cpu_time_s: field()?,
+        cpu_utilization: field()?,
+        avg_running_containers: field()?,
+        avg_task_latency_s: field()?,
+        queued_containers: field()?,
+        queue_latency_p99_ms: field()?,
+        power_draw_w: field()?,
+        ssd_used_gb: field()?,
+        ram_used_gb: field()?,
+        cores_used: field()?,
+        network_used_gbps: field()?,
+    };
+    Some(MachineHourRecord { machine, group, hour, metrics })
+}
+
+/// Decodes `count` consecutive records from `b`, which must be exactly
+/// `count * RECORD_BYTES` long.
+pub fn decode_records(b: &[u8], count: usize) -> Option<Vec<MachineHourRecord>> {
+    if b.len() != count.checked_mul(RECORD_BYTES)? {
+        return None;
+    }
+    let mut out = Vec::with_capacity(count);
+    for chunk in b.chunks_exact(RECORD_BYTES) {
+        out.push(decode_record(chunk)?);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(seed: u64) -> MachineHourRecord {
+        let f = |k: u64| (seed.wrapping_mul(k) % 1000) as f64 / 8.0;
+        MachineHourRecord {
+            machine: MachineId((seed % 5000) as u32),
+            group: GroupKey::new(SkuId((seed % 300) as u16), ScId((seed % 7) as u8)),
+            hour: seed.wrapping_mul(3600),
+            metrics: MetricValues {
+                total_data_read_gb: f(3),
+                tasks_finished: f(5),
+                task_exec_time_s: f(7),
+                cpu_time_s: f(11),
+                cpu_utilization: f(13),
+                avg_running_containers: f(17),
+                avg_task_latency_s: f(19),
+                queued_containers: f(23),
+                queue_latency_p99_ms: f(29),
+                power_draw_w: f(31),
+                ssd_used_gb: f(37),
+                ram_used_gb: f(41),
+                cores_used: f(43),
+                network_used_gbps: f(47),
+            },
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_field() {
+        for seed in [0u64, 1, 42, 86_016, u64::MAX] {
+            let r = sample(seed);
+            let mut buf = Vec::new();
+            encode_record(&r, &mut buf);
+            assert_eq!(buf.len(), RECORD_BYTES);
+            let back = decode_record(&buf).expect("decodes");
+            assert_eq!(back, r);
+        }
+    }
+
+    #[test]
+    fn short_buffer_is_none_not_panic() {
+        let r = sample(9);
+        let mut buf = Vec::new();
+        encode_record(&r, &mut buf);
+        for cut in [0, 1, 6, 14, 126] {
+            assert!(decode_record(buf.get(..cut).unwrap_or(&[])).is_none());
+        }
+    }
+
+    #[test]
+    fn batch_roundtrip_and_length_check() {
+        let rs: Vec<_> = (0..17).map(|i| sample(i * 97 + 1)).collect();
+        let mut buf = Vec::new();
+        for r in &rs {
+            encode_record(r, &mut buf);
+        }
+        assert_eq!(decode_records(&buf, rs.len()).as_deref(), Some(rs.as_slice()));
+        assert!(decode_records(&buf, rs.len() + 1).is_none());
+        buf.pop();
+        assert!(decode_records(&buf, rs.len()).is_none());
+    }
+}

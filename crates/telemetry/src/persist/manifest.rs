@@ -1,0 +1,201 @@
+//! The manifest: the single source of truth for which files are live.
+//!
+//! A store directory's `MANIFEST` names the live segment set (in merge
+//! order, oldest first) and the live WAL. It is tiny and human-readable:
+//!
+//! ```text
+//! kea-telemetry-manifest v1
+//! segment seg-000001.kseg rows 86016
+//! wal wal-000002.wal
+//! ```
+//!
+//! Every update writes `MANIFEST.tmp`, fsyncs it, renames over
+//! `MANIFEST`, and fsyncs the directory — so the manifest flips
+//! atomically between two valid states and a crash at any byte leaves
+//! either the old or the new file set live. Files not named by the
+//! manifest are orphans from an interrupted rotation and are swept on
+//! open (quarantined files excepted).
+
+use std::path::{Path, PathBuf};
+
+use super::{fsync_dir, io_err, PersistError};
+
+/// File name of the manifest inside a store directory.
+pub const MANIFEST_NAME: &str = "MANIFEST";
+
+/// First line of every v1 manifest.
+const MANIFEST_HEADER: &str = "kea-telemetry-manifest v1";
+
+/// One live segment: file name plus the row count the loader must find.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentEntry {
+    /// Segment file name (no directory components).
+    pub name: String,
+    /// Rows recorded at write time; cross-checked against the header.
+    pub rows: u64,
+}
+
+/// Parsed manifest contents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Live segments in merge order (oldest first).
+    pub segments: Vec<SegmentEntry>,
+    /// Live WAL file name.
+    pub wal: String,
+}
+
+/// A file name is acceptable only if it is a bare name — no path
+/// separators, no `..` — so a doctored manifest cannot reach outside
+/// the store directory.
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && !name.contains('/')
+        && !name.contains('\\')
+        && name != "."
+        && name != ".."
+}
+
+impl Manifest {
+    /// Serializes to the on-disk text form.
+    fn render(&self) -> String {
+        let mut out = String::from(MANIFEST_HEADER);
+        out.push('\n');
+        for s in &self.segments {
+            out.push_str(&format!("segment {} rows {}\n", s.name, s.rows));
+        }
+        out.push_str(&format!("wal {}\n", self.wal));
+        out
+    }
+
+    /// Parses the on-disk text form; any malformed line is corruption.
+    fn parse(text: &str, path: &Path) -> Result<Manifest, PersistError> {
+        let corrupt = |reason: String| PersistError::Corrupt { path: path.to_path_buf(), reason };
+        let mut lines = text.lines();
+        if lines.next() != Some(MANIFEST_HEADER) {
+            return Err(corrupt("missing manifest header line".to_string()));
+        }
+        let mut segments = Vec::new();
+        let mut wal = None;
+        for (no, line) in lines.enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split(' ').collect();
+            match fields.as_slice() {
+                ["segment", name, "rows", rows] => {
+                    if !valid_name(name) {
+                        return Err(corrupt(format!("bad segment name on line {}", no + 2)));
+                    }
+                    let rows: u64 = rows
+                        .parse()
+                        .map_err(|_| corrupt(format!("bad row count on line {}", no + 2)))?;
+                    segments.push(SegmentEntry { name: name.to_string(), rows });
+                }
+                ["wal", name] => {
+                    if !valid_name(name) {
+                        return Err(corrupt(format!("bad wal name on line {}", no + 2)));
+                    }
+                    if wal.replace(name.to_string()).is_some() {
+                        return Err(corrupt("manifest names two WALs".to_string()));
+                    }
+                }
+                _ => {
+                    return Err(corrupt(format!("unrecognized manifest line {}", no + 2)));
+                }
+            }
+        }
+        let wal = wal.ok_or_else(|| corrupt("manifest names no WAL".to_string()))?;
+        Ok(Manifest { segments, wal })
+    }
+}
+
+/// Reads and parses `dir/MANIFEST`. A missing file is the dedicated
+/// [`PersistError::MissingManifest`] so callers can distinguish "fresh
+/// directory" from "directory with a deleted manifest".
+pub fn read_manifest(dir: &Path) -> Result<Manifest, PersistError> {
+    let path = dir.join(MANIFEST_NAME);
+    let bytes = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Err(PersistError::MissingManifest { dir: dir.to_path_buf() })
+        }
+        Err(e) => return Err(io_err("read manifest", &path)(e)),
+    };
+    let text = String::from_utf8(bytes).map_err(|_| PersistError::Corrupt {
+        path: path.clone(),
+        reason: "manifest is not valid UTF-8".to_string(),
+    })?;
+    Manifest::parse(&text, &path)
+}
+
+/// Atomically installs `manifest` as `dir/MANIFEST`: write temp, fsync,
+/// rename, fsync directory.
+pub fn write_manifest(dir: &Path, manifest: &Manifest) -> Result<(), PersistError> {
+    let tmp: PathBuf = dir.join(format!("{MANIFEST_NAME}.tmp"));
+    let path = dir.join(MANIFEST_NAME);
+    std::fs::write(&tmp, manifest.render()).map_err(io_err("write manifest temp", &tmp))?;
+    let f = std::fs::File::open(&tmp).map_err(io_err("reopen manifest temp", &tmp))?;
+    f.sync_all().map_err(io_err("fsync manifest temp", &tmp))?;
+    drop(f);
+    std::fs::rename(&tmp, &path).map_err(io_err("rename manifest", &path))?;
+    fsync_dir(dir)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("kea-manifest-test-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn roundtrip() {
+        let dir = tmpdir("roundtrip");
+        let m = Manifest {
+            segments: vec![
+                SegmentEntry { name: "seg-000001.kseg".into(), rows: 86_016 },
+                SegmentEntry { name: "seg-000002.kseg".into(), rows: 12 },
+            ],
+            wal: "wal-000003.wal".into(),
+        };
+        write_manifest(&dir, &m).unwrap();
+        assert_eq!(read_manifest(&dir).unwrap(), m);
+        assert!(!dir.join("MANIFEST.tmp").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_manifest_is_typed() {
+        let dir = tmpdir("missing");
+        assert!(matches!(
+            read_manifest(&dir).unwrap_err(),
+            PersistError::MissingManifest { .. }
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn malformed_lines_are_corrupt() {
+        let dir = tmpdir("malformed");
+        let cases = [
+            "",
+            "wrong header\nwal a.wal\n",
+            "kea-telemetry-manifest v1\n",                       // no wal
+            "kea-telemetry-manifest v1\nwal a\nwal b\n",        // two wals
+            "kea-telemetry-manifest v1\nsegment x rows z\nwal a\n",
+            "kea-telemetry-manifest v1\nsegment ../x rows 3\nwal a\n",
+            "kea-telemetry-manifest v1\nwal ../../etc/passwd\n",
+            "kea-telemetry-manifest v1\nmystery line\nwal a\n",
+        ];
+        for (i, text) in cases.iter().enumerate() {
+            std::fs::write(dir.join(MANIFEST_NAME), text).unwrap();
+            let err = read_manifest(&dir).unwrap_err();
+            assert!(matches!(err, PersistError::Corrupt { .. }), "case {i}: {err}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,342 @@
+//! Durable storage for [`TelemetryStore`]: WAL + segment spill + manifest.
+//!
+//! The on-disk layout mirrors the in-memory LSM shape. The sealed run
+//! lives in immutable *segment* files ([`segment`]); the insertion-order
+//! delta tail lives in a *write-ahead log* ([`wal`]); a tiny *manifest*
+//! ([`manifest`]) names the live file set and is the only file ever
+//! updated in place (atomically, via temp-file + rename).
+//!
+//! ## Durability contract
+//!
+//! `push`/`extend`/`seal` stay purely in-memory and infallible — exactly
+//! as on a non-durable store. All I/O happens in
+//! [`TelemetryStore::sync`]: records appended since the last sync are
+//! framed into the WAL and fsynced (one fsync per batch); if the store
+//! compacted since the last sync, the new run is spilled as a fresh
+//! segment, a fresh WAL is started holding only the surviving delta
+//! tail, and the manifest is flipped to the new file set. Records are
+//! guaranteed on stable storage only after `sync` returns `Ok`.
+//!
+//! ## Recovery sequence
+//!
+//! [`TelemetryStore::open`] reads the manifest, loads and merges the
+//! segments it names (each checksum-verified and structurally
+//! validated; corruption quarantines the file and fails typed, never
+//! panics), replays the WAL into the delta tail (truncating a torn
+//! tail from a mid-write crash), and sweeps orphan files left by an
+//! interrupted rotation. Every crash point therefore lands in one of
+//! two states: the old file set or the new one, both complete.
+//!
+//! [`TelemetryStore`]: crate::TelemetryStore
+//! [`TelemetryStore::sync`]: crate::TelemetryStore::sync
+//! [`TelemetryStore::open`]: crate::TelemetryStore::open
+
+pub(crate) mod codec;
+pub(crate) mod crc;
+pub(crate) mod manifest;
+pub(crate) mod segment;
+pub(crate) mod wal;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use crate::record::MachineHourRecord;
+use crate::store::ColumnIndex;
+use manifest::{Manifest, SegmentEntry, MANIFEST_NAME};
+
+/// Errors from the persistence layer. Recovery never panics: every
+/// failure mode — I/O, torn writes, checksum mismatches, doctored
+/// manifests — surfaces as one of these.
+#[derive(Debug)]
+pub enum PersistError {
+    /// An operating-system I/O failure, tagged with the operation and
+    /// the path it touched.
+    Io {
+        /// What the store was doing (e.g. `"fsync wal"`).
+        op: &'static str,
+        /// The file or directory involved.
+        path: PathBuf,
+        /// The underlying OS error.
+        source: std::io::Error,
+    },
+    /// A file failed validation: bad magic, checksum mismatch, torn
+    /// structure, or index invariants that do not hold. Corrupt
+    /// segments are quarantined (renamed to `*.quarantine`) before
+    /// this is returned.
+    Corrupt {
+        /// The offending file.
+        path: PathBuf,
+        /// Human-readable diagnosis (includes the quarantine path when
+        /// the file was moved aside).
+        reason: String,
+    },
+    /// The directory exists and is non-trivial but has no `MANIFEST` —
+    /// distinguishable from a fresh (empty) directory, which is
+    /// initialized silently.
+    MissingManifest {
+        /// The store directory.
+        dir: PathBuf,
+    },
+    /// [`crate::TelemetryStore::sync`] was called on an in-memory
+    /// store that was never opened from a directory.
+    NotDurable,
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io { op, path, source } => {
+                write!(f, "{op} failed for {}: {source}", path.display())
+            }
+            PersistError::Corrupt { path, reason } => {
+                write!(f, "{} is corrupt: {reason}", path.display())
+            }
+            PersistError::MissingManifest { dir } => write!(
+                f,
+                "{} contains store files but no MANIFEST; refusing to guess the live set",
+                dir.display()
+            ),
+            PersistError::NotDurable => {
+                write!(f, "sync() on an in-memory store; use TelemetryStore::open(dir) for durability")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Adapter for `map_err`: tags an `io::Error` with operation + path.
+pub(crate) fn io_err(op: &'static str, path: &Path) -> impl FnOnce(std::io::Error) -> PersistError {
+    let path = path.to_path_buf();
+    move |source| PersistError::Io { op, path, source }
+}
+
+/// Fsyncs a directory so renames/creations inside it are durable.
+pub(crate) fn fsync_dir(dir: &Path) -> Result<(), PersistError> {
+    let d = std::fs::File::open(dir).map_err(io_err("open dir for fsync", dir))?;
+    d.sync_all().map_err(io_err("fsync dir", dir))
+}
+
+/// The attachment of a [`crate::TelemetryStore`] to its directory: open
+/// WAL handle, live file set, and high-water marks tracking what is
+/// already durable.
+#[derive(Debug)]
+pub(crate) struct Backing {
+    /// Store directory.
+    dir: PathBuf,
+    /// Open WAL, positioned at its end.
+    wal: wal::Wal,
+    /// Live file set as last committed to the manifest.
+    live: Manifest,
+    /// Records covered by segments — the store's `run_len` at the last
+    /// rotation. A `run_len` above this means a compaction happened
+    /// since and the next sync must rotate.
+    seg_covered: usize,
+    /// Absolute record count already framed into the live WAL
+    /// (`seg_covered` + WAL records).
+    wal_appended: usize,
+    /// Next generation number for naming new segment/WAL files.
+    next_gen: u64,
+}
+
+/// Result of opening a store directory: the backing plus the recovered
+/// in-memory state.
+#[derive(Debug)]
+pub(crate) struct Recovered {
+    /// The attached backing, ready for appends.
+    pub backing: Backing,
+    /// The sealed run merged from all live segments.
+    pub run: ColumnIndex,
+    /// The delta tail replayed from the WAL, in append order.
+    pub delta: Vec<MachineHourRecord>,
+}
+
+/// Parses the generation number out of `seg-NNNNNN.kseg` /
+/// `wal-NNNNNN.wal` names; `None` for anything else.
+fn gen_of(name: &str) -> Option<u64> {
+    let digits = name
+        .strip_prefix("seg-")
+        .and_then(|r| r.strip_suffix(".kseg"))
+        .or_else(|| name.strip_prefix("wal-").and_then(|r| r.strip_suffix(".wal")))?;
+    digits.parse().ok()
+}
+
+/// True for names the store owns and may sweep when orphaned.
+fn sweepable(name: &str) -> bool {
+    gen_of(name).is_some() || name.ends_with(".tmp")
+}
+
+/// Opens (or initializes) a store directory and recovers its contents.
+pub(crate) fn recover(dir: &Path) -> Result<Recovered, PersistError> {
+    std::fs::create_dir_all(dir).map_err(io_err("create store dir", dir))?;
+
+    let live = match manifest::read_manifest(dir) {
+        Ok(m) => m,
+        Err(PersistError::MissingManifest { .. }) => {
+            // Fresh directory — but refuse to silently reinitialize on
+            // top of real store files whose manifest went missing.
+            let mut entries = std::fs::read_dir(dir).map_err(io_err("list store dir", dir))?;
+            let has_store_files = entries.try_fold(false, |acc, e| {
+                let e = e.map_err(io_err("list store dir", dir))?;
+                let name = e.file_name();
+                let owned = name.to_str().is_some_and(|n| gen_of(n).is_some());
+                Ok::<bool, PersistError>(acc || owned)
+            })?;
+            if has_store_files {
+                return Err(PersistError::MissingManifest { dir: dir.to_path_buf() });
+            }
+            let wal_name = format!("wal-{:06}.wal", 1);
+            wal::Wal::create(&dir.join(&wal_name), &[])?;
+            fsync_dir(dir)?;
+            let m = Manifest { segments: Vec::new(), wal: wal_name };
+            manifest::write_manifest(dir, &m)?;
+            m
+        }
+        Err(e) => return Err(e),
+    };
+
+    // Load and merge the live segments, oldest first.
+    let mut run: Option<ColumnIndex> = None;
+    for seg in &live.segments {
+        let loaded = segment::load_segment(dir, &seg.name, seg.rows)?;
+        run = Some(match run {
+            None => loaded,
+            Some(acc) => ColumnIndex::merge(&acc, &loaded),
+        });
+    }
+    let run = run.unwrap_or_else(|| ColumnIndex::build(&[]));
+    let seg_covered = run.sorted.len();
+
+    // Replay the WAL; a torn tail is truncated inside `Wal::open`.
+    let replay = wal::Wal::open(&dir.join(&live.wal))?;
+    let delta = replay.records;
+    let wal_appended = seg_covered + delta.len();
+
+    // Sweep orphans from interrupted rotations: generation-named files
+    // and temp files the manifest does not own. Quarantined files and
+    // foreign names are left alone.
+    let keep = |name: &str| {
+        name == MANIFEST_NAME
+            || name == live.wal
+            || live.segments.iter().any(|s| s.name == name)
+    };
+    let entries = std::fs::read_dir(dir).map_err(io_err("list store dir", dir))?;
+    for e in entries {
+        let e = e.map_err(io_err("list store dir", dir))?;
+        if let Some(name) = e.file_name().to_str() {
+            if sweepable(name) && !keep(name) {
+                let _ = std::fs::remove_file(e.path());
+            }
+        }
+    }
+
+    let next_gen = 1 + live
+        .segments
+        .iter()
+        .filter_map(|s| gen_of(&s.name))
+        .chain(gen_of(&live.wal))
+        .max()
+        .unwrap_or(0);
+
+    let backing = Backing {
+        dir: dir.to_path_buf(),
+        wal: replay.wal,
+        live,
+        seg_covered,
+        wal_appended,
+        next_gen,
+    };
+    Ok(Recovered { backing, run, delta })
+}
+
+impl Backing {
+    /// Directory this backing writes into.
+    pub(crate) fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Makes the store durable up to `records.len()`. `run_len` and
+    /// `run` describe the store's current sealed run; `records` is the
+    /// full insertion-order record vector.
+    pub(crate) fn sync(
+        &mut self,
+        records: &[MachineHourRecord],
+        run_len: usize,
+        run: &ColumnIndex,
+    ) -> Result<(), PersistError> {
+        if run_len != self.seg_covered {
+            self.rotate(records, run_len, run)
+        } else {
+            self.append_tail(records)
+        }
+    }
+
+    /// Fast path: frame everything past the WAL high-water mark and
+    /// fsync once.
+    fn append_tail(&mut self, records: &[MachineHourRecord]) -> Result<(), PersistError> {
+        let new = records.get(self.wal_appended..).unwrap_or_default();
+        if new.is_empty() {
+            return Ok(());
+        }
+        self.wal.append(new)?;
+        self.wal.sync()?;
+        self.wal_appended = records.len();
+        Ok(())
+    }
+
+    /// Rotation: the in-memory run moved (compaction or seal), so spill
+    /// it as a segment, start a fresh WAL holding only the current
+    /// delta tail, flip the manifest, and drop the superseded files.
+    ///
+    /// Ordering is crash-safe at every point: the old manifest (and the
+    /// files it names) stays live until the new manifest's rename
+    /// lands, and the sweep of superseded files only happens after.
+    fn rotate(
+        &mut self,
+        records: &[MachineHourRecord],
+        run_len: usize,
+        run: &ColumnIndex,
+    ) -> Result<(), PersistError> {
+        let delta = records.get(run_len..).unwrap_or_default();
+
+        let mut segments = Vec::new();
+        if run_len > 0 {
+            let seg_name = format!("seg-{:06}.kseg", self.next_gen);
+            self.next_gen += 1;
+            segment::write_segment(&self.dir, &seg_name, run)?;
+            segments.push(SegmentEntry { name: seg_name, rows: run_len as u64 });
+        }
+
+        let wal_name = format!("wal-{:06}.wal", self.next_gen);
+        self.next_gen += 1;
+        let new_wal = wal::Wal::create(&self.dir.join(&wal_name), delta)?;
+        fsync_dir(&self.dir)?;
+
+        let new_live = Manifest { segments, wal: wal_name };
+        manifest::write_manifest(&self.dir, &new_live)?;
+
+        // The old file set is now superseded; best-effort removal (a
+        // crash here just leaves orphans for the next open's sweep).
+        for s in &self.live.segments {
+            if !new_live.segments.iter().any(|n| n.name == s.name) {
+                let _ = std::fs::remove_file(self.dir.join(&s.name));
+            }
+        }
+        if self.live.wal != new_live.wal {
+            let _ = std::fs::remove_file(self.dir.join(&self.live.wal));
+        }
+
+        self.wal = new_wal;
+        self.live = new_live;
+        self.seg_covered = run_len;
+        self.wal_appended = records.len();
+        Ok(())
+    }
+}

@@ -1,0 +1,318 @@
+//! Segment files: sealed [`ColumnIndex`] runs spilled to disk.
+//!
+//! A segment persists only the four core tables — the sorted records,
+//! the interned machine list, and the two secondary-order permutations —
+//! because everything else in the index (CSR offsets, dense ids, metric
+//! columns) is an O(n) derivation. Writing is therefore a near-straight
+//! dump; loading re-derives and *validates*, so a segment that passes
+//! checksums but encodes a structurally inconsistent index is still
+//! rejected.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! magic      8B   "KEASEG1\n"
+//! version    u32  1
+//! rows       u64  n
+//! machines   u64  m
+//! sections   4 × [len: u64][crc32: u32]   records, machines,
+//!                                         hour_order, machine_order
+//! header_crc u32  over everything above
+//! body            the four sections, concatenated in table order
+//! ```
+//!
+//! Permutation entries are `u32` (a run never exceeds `u32::MAX` rows —
+//! enforced at write time), so a segment is ~135 bytes/row.
+//!
+//! On checksum or validation failure the loader renames the file to
+//! `<name>.quarantine` (best-effort) so the bad bytes survive for
+//! forensics and never get mistaken for a live segment again, then
+//! returns [`PersistError::Corrupt`].
+
+use std::path::{Path, PathBuf};
+
+use super::codec::{self, RECORD_BYTES};
+use super::crc::crc32;
+use super::{fsync_dir, io_err, PersistError};
+use crate::record::MachineId;
+use crate::store::ColumnIndex;
+
+/// Magic bytes opening every segment file.
+pub const SEG_MAGIC: &[u8; 8] = b"KEASEG1\n";
+
+/// On-disk format version this build reads and writes.
+const SEG_VERSION: u32 = 1;
+
+/// Fixed header size: magic + version + rows + machines + 4 section
+/// descriptors + header CRC.
+const HEADER_BYTES: usize = 8 + 4 + 8 + 8 + 4 * 12 + 4;
+
+/// Writes `index` as segment `name` inside `dir`: temp file, fsync,
+/// rename into place, fsync the directory. The segment is fully valid
+/// or invisible — a crash mid-write leaves only a `.tmp` orphan.
+pub fn write_segment(dir: &Path, name: &str, index: &ColumnIndex) -> Result<(), PersistError> {
+    let n = index.sorted.len();
+    let m = index.machines.len();
+    if u32::try_from(n).is_err() {
+        return Err(PersistError::Corrupt {
+            path: dir.join(name),
+            reason: "run exceeds u32::MAX rows; cannot encode permutations".to_string(),
+        });
+    }
+
+    let mut records = Vec::with_capacity(n * RECORD_BYTES);
+    for r in &index.sorted {
+        codec::encode_record(r, &mut records);
+    }
+    let mut machines = Vec::with_capacity(m * 4);
+    for mid in &index.machines {
+        machines.extend_from_slice(&mid.0.to_le_bytes());
+    }
+    let encode_order = |order: &[usize]| {
+        let mut out = Vec::with_capacity(order.len() * 4);
+        for &row in order {
+            // Fits: n ≤ u32::MAX was checked above and row < n.
+            out.extend_from_slice(&(row as u32).to_le_bytes());
+        }
+        out
+    };
+    let hour_order = encode_order(&index.hour_order);
+    let machine_order = encode_order(&index.machine_order);
+    let sections = [&records, &machines, &hour_order, &machine_order];
+
+    let mut header = Vec::with_capacity(HEADER_BYTES);
+    header.extend_from_slice(SEG_MAGIC);
+    header.extend_from_slice(&SEG_VERSION.to_le_bytes());
+    header.extend_from_slice(&(n as u64).to_le_bytes());
+    header.extend_from_slice(&(m as u64).to_le_bytes());
+    for s in sections {
+        header.extend_from_slice(&(s.len() as u64).to_le_bytes());
+        header.extend_from_slice(&crc32(s).to_le_bytes());
+    }
+    header.extend_from_slice(&crc32(&header).to_le_bytes());
+
+    let mut bytes = header;
+    for s in sections {
+        bytes.extend_from_slice(s);
+    }
+
+    let tmp = dir.join(format!("{name}.tmp"));
+    let path = dir.join(name);
+    std::fs::write(&tmp, &bytes).map_err(io_err("write segment temp", &tmp))?;
+    let f = std::fs::File::open(&tmp).map_err(io_err("reopen segment temp", &tmp))?;
+    f.sync_all().map_err(io_err("fsync segment temp", &tmp))?;
+    drop(f);
+    std::fs::rename(&tmp, &path).map_err(io_err("rename segment", &path))?;
+    fsync_dir(dir)
+}
+
+/// Loads segment `name` from `dir`, verifying every checksum and the
+/// structural invariants, and expecting exactly `expect_rows` rows (the
+/// count recorded in the manifest). Corruption quarantines the file and
+/// returns a typed error; it never panics.
+pub fn load_segment(dir: &Path, name: &str, expect_rows: u64) -> Result<ColumnIndex, PersistError> {
+    let path = dir.join(name);
+    let bytes = std::fs::read(&path).map_err(io_err("read segment", &path))?;
+    match parse_segment(&bytes, expect_rows) {
+        Ok(index) => Ok(index),
+        Err(reason) => Err(quarantine(dir, name, &path, reason)),
+    }
+}
+
+/// Parses and validates a whole segment image. `Err` carries the
+/// human-readable reason; the caller turns it into a quarantine.
+fn parse_segment(bytes: &[u8], expect_rows: u64) -> Result<ColumnIndex, String> {
+    if bytes.get(..SEG_MAGIC.len()) != Some(SEG_MAGIC.as_slice()) {
+        return Err("missing or unrecognized segment magic".to_string());
+    }
+    let version = codec::u32_at(bytes, 8).ok_or("truncated header")?;
+    if version != SEG_VERSION {
+        return Err(format!("unsupported segment version {version} (this build reads {SEG_VERSION})"));
+    }
+    let header = bytes.get(..HEADER_BYTES - 4).ok_or("truncated header")?;
+    let header_crc = codec::u32_at(bytes, HEADER_BYTES - 4).ok_or("truncated header")?;
+    if crc32(header) != header_crc {
+        return Err("header checksum mismatch".to_string());
+    }
+    let n64 = codec::u64_at(bytes, 12).ok_or("truncated header")?;
+    let m64 = codec::u64_at(bytes, 20).ok_or("truncated header")?;
+    if n64 != expect_rows {
+        return Err(format!("manifest says {expect_rows} rows, header says {n64}"));
+    }
+    let n = usize::try_from(n64).map_err(|_| "row count overflows usize")?;
+    let m = usize::try_from(m64).map_err(|_| "machine count overflows usize")?;
+
+    // Section descriptors, then slice out and checksum each section.
+    let mut lens = [0usize; 4];
+    let mut crcs = [0u32; 4];
+    for (i, (len, crc)) in lens.iter_mut().zip(crcs.iter_mut()).enumerate() {
+        let at = 28 + i * 12;
+        *len = usize::try_from(codec::u64_at(bytes, at).ok_or("truncated header")?)
+            .map_err(|_| "section length overflows usize")?;
+        *crc = codec::u32_at(bytes, at + 8).ok_or("truncated header")?;
+    }
+    let total: usize = lens
+        .iter()
+        .try_fold(HEADER_BYTES, |acc, &l| acc.checked_add(l))
+        .ok_or("section lengths overflow")?;
+    if bytes.len() != total {
+        return Err(format!("file is {} bytes, sections describe {total}", bytes.len()));
+    }
+    let expect_lens = [
+        n.checked_mul(RECORD_BYTES).ok_or("row count overflows")?,
+        m.checked_mul(4).ok_or("machine count overflows")?,
+        n.checked_mul(4).ok_or("row count overflows")?,
+        n.checked_mul(4).ok_or("row count overflows")?,
+    ];
+    if lens != expect_lens {
+        return Err("section lengths disagree with row/machine counts".to_string());
+    }
+    let mut sections = [&[] as &[u8]; 4];
+    let mut at = HEADER_BYTES;
+    for ((sec, &len), (i, &crc)) in
+        sections.iter_mut().zip(&lens).zip(crcs.iter().enumerate())
+    {
+        let s = bytes.get(at..at + len).ok_or("truncated section")?;
+        if crc32(s) != crc {
+            return Err(format!("section {i} checksum mismatch"));
+        }
+        *sec = s;
+        at += len;
+    }
+    let [records_b, machines_b, hour_b, machine_b] = sections;
+
+    let sorted = codec::decode_records(records_b, n).ok_or("record section malformed")?;
+    let machines: Vec<MachineId> = machines_b
+        .chunks_exact(4)
+        .filter_map(|c| codec::u32_at(c, 0).map(MachineId))
+        .collect();
+    if machines.len() != m {
+        return Err("machine section malformed".to_string());
+    }
+    let decode_order = |b: &[u8]| -> Vec<usize> {
+        b.chunks_exact(4)
+            .filter_map(|c| codec::u32_at(c, 0).map(|v| v as usize))
+            .collect()
+    };
+    let hour_order = decode_order(hour_b);
+    let machine_order = decode_order(machine_b);
+
+    ColumnIndex::from_persisted(sorted, machines, hour_order, machine_order)
+        .ok_or_else(|| "index invariants violated (unsorted rows or bad permutation)".to_string())
+}
+
+/// Renames a corrupt file to `<name>.quarantine` (best-effort; the
+/// original path is reported either way) and builds the typed error.
+fn quarantine(dir: &Path, name: &str, path: &Path, reason: String) -> PersistError {
+    let qpath: PathBuf = dir.join(format!("{name}.quarantine"));
+    let moved = std::fs::rename(path, &qpath).is_ok();
+    let _ = fsync_dir(dir);
+    PersistError::Corrupt {
+        path: path.to_path_buf(),
+        reason: if moved {
+            format!("{reason}; file quarantined as {}", qpath.display())
+        } else {
+            reason
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{GroupKey, MachineHourRecord, MetricValues, ScId, SkuId};
+
+    fn records(n: u64) -> Vec<MachineHourRecord> {
+        (0..n)
+            .map(|i| MachineHourRecord {
+                machine: MachineId((i % 7) as u32),
+                group: GroupKey::new(SkuId((i % 3) as u16), ScId((i % 2) as u8)),
+                hour: i / 7,
+                metrics: MetricValues {
+                    tasks_finished: i as f64,
+                    cpu_time_s: (i as f64) * 0.25,
+                    ..MetricValues::default()
+                },
+            })
+            .collect()
+    }
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("kea-seg-test-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn write_then_load_is_identical() {
+        let dir = tmpdir("roundtrip");
+        let index = ColumnIndex::build(&records(500));
+        write_segment(&dir, "seg-000001.kseg", &index).unwrap();
+        let back = load_segment(&dir, "seg-000001.kseg", 500).unwrap();
+        assert_eq!(back.sorted, index.sorted);
+        assert_eq!(back.machines, index.machines);
+        assert_eq!(back.hour_order, index.hour_order);
+        assert_eq!(back.machine_order, index.machine_order);
+        assert_eq!(back.columns, index.columns);
+        assert_eq!(back.group_offsets, index.group_offsets);
+        assert_eq!(back.hour_offsets, index.hour_offsets);
+        assert_eq!(back.machine_offsets, index.machine_offsets);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_run_roundtrips() {
+        let dir = tmpdir("empty");
+        let index = ColumnIndex::build(&[]);
+        write_segment(&dir, "seg-000001.kseg", &index).unwrap();
+        let back = load_segment(&dir, "seg-000001.kseg", 0).unwrap();
+        assert!(back.sorted.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn byte_flip_quarantines_not_panics() {
+        let dir = tmpdir("flip");
+        let index = ColumnIndex::build(&records(300));
+        write_segment(&dir, "seg-000001.kseg", &index).unwrap();
+        let path = dir.join("seg-000001.kseg");
+        let len = std::fs::metadata(&path).unwrap().len() as usize;
+        // Flip one byte in several positions: header, each section.
+        for (i, at) in [4usize, 40, HEADER_BYTES + 3, len - 5].into_iter().enumerate() {
+            let name = format!("seg-{i}.kseg");
+            let mut bytes = std::fs::read(&path).unwrap();
+            bytes[at] ^= 0x40;
+            std::fs::write(dir.join(&name), &bytes).unwrap();
+            let err = load_segment(&dir, &name, 300).unwrap_err();
+            assert!(matches!(err, PersistError::Corrupt { .. }), "at byte {at}: {err}");
+            assert!(dir.join(format!("{name}.quarantine")).exists(), "at byte {at}");
+            assert!(!dir.join(&name).exists());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn row_count_mismatch_with_manifest_is_corrupt() {
+        let dir = tmpdir("rows");
+        let index = ColumnIndex::build(&records(64));
+        write_segment(&dir, "seg-000001.kseg", &index).unwrap();
+        let err = load_segment(&dir, "seg-000001.kseg", 65).unwrap_err();
+        assert!(matches!(err, PersistError::Corrupt { .. }));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_file_is_corrupt_not_panic() {
+        let dir = tmpdir("trunc");
+        let index = ColumnIndex::build(&records(200));
+        write_segment(&dir, "seg-000001.kseg", &index).unwrap();
+        let bytes = std::fs::read(dir.join("seg-000001.kseg")).unwrap();
+        for cut in [0usize, 7, HEADER_BYTES - 2, HEADER_BYTES + 100, bytes.len() - 1] {
+            std::fs::write(dir.join("cut.kseg"), &bytes[..cut]).unwrap();
+            let err = load_segment(&dir, "cut.kseg", 200).unwrap_err();
+            assert!(matches!(err, PersistError::Corrupt { .. }), "cut at {cut}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -41,6 +41,7 @@
 //! benches measure speedups over.
 
 use crate::metric::Metric;
+use crate::persist;
 use crate::record::{GroupKey, MachineHourRecord, MachineId};
 use std::collections::BTreeSet;
 use std::ops::Range;
@@ -53,7 +54,7 @@ const MIN_COMPACT_DELTA: usize = 1024;
 
 /// Append-only store of machine-hour records with a sealed columnar run
 /// plus a small delta buffer for streaming appends.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct TelemetryStore {
     /// Insertion-order record log ([`iter`](TelemetryStore::iter) and CSV
     /// round-trips preserve this order exactly). `records[..run_len]` is
@@ -67,6 +68,10 @@ pub struct TelemetryStore {
     /// Lazily built mini-index over the delta tail, invalidated by every
     /// mutation.
     delta: OnceLock<ColumnIndex>,
+    /// Attachment to an on-disk store directory, present only for stores
+    /// created by [`TelemetryStore::open`]. In-memory stores (the
+    /// default) carry `None` and reject [`TelemetryStore::sync`].
+    backing: Option<persist::Backing>,
 }
 
 impl Default for TelemetryStore {
@@ -76,6 +81,23 @@ impl Default for TelemetryStore {
             run_len: 0,
             run: ColumnIndex::build(&[]),
             delta: OnceLock::new(),
+            backing: None,
+        }
+    }
+}
+
+impl Clone for TelemetryStore {
+    /// Clones the in-memory state only. A clone of a durable store is
+    /// *detached*: it holds the same records but no file handles, so
+    /// mutating the clone never races the original's directory and
+    /// `sync()` on the clone reports [`persist::PersistError::NotDurable`].
+    fn clone(&self) -> Self {
+        TelemetryStore {
+            records: self.records.clone(),
+            run_len: self.run_len,
+            run: self.run.clone(),
+            delta: self.delta.clone(),
+            backing: None,
         }
     }
 }
@@ -126,7 +148,7 @@ pub(crate) fn empty_index() -> &'static ColumnIndex {
 
 impl ColumnIndex {
     /// Sorts and interns `records` into the columnar layout.
-    fn build(records: &[MachineHourRecord]) -> Self {
+    pub(crate) fn build(records: &[MachineHourRecord]) -> Self {
         let mut sorted = records.to_vec();
         sorted.sort_unstable_by_key(|r| (r.group, r.hour, r.machine));
         Self::from_sorted(sorted)
@@ -189,12 +211,116 @@ impl ColumnIndex {
         }
     }
 
+    /// Rebuilds an index from the four core tables a segment file
+    /// persists, re-deriving every other table and validating the
+    /// structural invariants the query paths rely on. Returns `None` on
+    /// any violation — a segment that decodes byte-exactly but encodes
+    /// an inconsistent index (hand-edited, or written by a buggy
+    /// future version) must be rejected, not queried.
+    ///
+    /// Persisting only `sorted`, `machines`, and the two permutations
+    /// keeps segments near-dump-speed to write while the O(n) rebuild
+    /// here stays far cheaper than the O(n log n) sorts that dominate
+    /// [`ColumnIndex::build`].
+    pub(crate) fn from_persisted(
+        sorted: Vec<MachineHourRecord>,
+        machines: Vec<MachineId>,
+        hour_order: Vec<usize>,
+        machine_order: Vec<usize>,
+    ) -> Option<Self> {
+        let n = sorted.len();
+        let key = |r: &MachineHourRecord| (r.group, r.hour, r.machine);
+        if !sorted.windows(2).all(|w| key(&w[0]) <= key(&w[1])) {
+            return None;
+        }
+        // The machine list must be the exact distinct set: strictly
+        // ascending, and every row's machine resolvable to a dense id.
+        if !machines.windows(2).all(|w| w[0] < w[1]) {
+            return None;
+        }
+        let mut machine_dense = Vec::with_capacity(n);
+        for r in &sorted {
+            let dense = machines.partition_point(|m| *m < r.machine);
+            if machines.get(dense) != Some(&r.machine) {
+                return None;
+            }
+            machine_dense.push(dense as u32);
+        }
+        // No phantom machines: every interned id is referenced by a row.
+        let mut machine_seen = vec![false; machines.len()];
+        for &d in &machine_dense {
+            if let Some(slot) = machine_seen.get_mut(d as usize) {
+                *slot = true;
+            }
+        }
+        if !machine_seen.iter().all(|&s| s) {
+            return None;
+        }
+
+        // Each secondary ordering must be a true permutation of row
+        // positions, sorted by its secondary key.
+        let is_permutation = |order: &[usize]| {
+            if order.len() != n {
+                return false;
+            }
+            let mut seen = vec![false; n];
+            for &row in order {
+                match seen.get_mut(row) {
+                    Some(slot) if !*slot => *slot = true,
+                    _ => return false,
+                }
+            }
+            true
+        };
+        if !is_permutation(&hour_order) || !is_permutation(&machine_order) {
+            return None;
+        }
+        if !hour_order
+            .windows(2)
+            .all(|w| (sorted[w[0]].hour, sorted[w[0]].machine) <= (sorted[w[1]].hour, sorted[w[1]].machine))
+        {
+            return None;
+        }
+        if !machine_order
+            .windows(2)
+            .all(|w| (machine_dense[w[0]], sorted[w[0]].hour) <= (machine_dense[w[1]], sorted[w[1]].hour))
+        {
+            return None;
+        }
+
+        // Past validation the derivations mirror `from_sorted`.
+        let (groups, group_offsets) = group_runs(&sorted);
+        let (hours, hour_offsets) = hour_runs(&sorted, &hour_order);
+        let machine_offsets = machine_offsets_of(&machine_dense, &machine_order, machines.len());
+        let mut columns = vec![Vec::with_capacity(n); Metric::ALL.len()];
+        for r in &sorted {
+            let row = Metric::row_of(&r.metrics);
+            for (col, v) in columns.iter_mut().zip(row) {
+                col.push(v);
+            }
+        }
+
+        Some(ColumnIndex {
+            sorted,
+            groups,
+            group_offsets,
+            machines,
+            machine_dense,
+            hours,
+            hour_order,
+            hour_offsets,
+            machine_order,
+            machine_offsets,
+            columns,
+        })
+    }
+
     /// Compacts two sealed indexes into one in `O(n + d)`: every table is
     /// produced by a linear two-way merge of the already-sorted inputs —
     /// no re-sort of the combined row set. `a` rows win ties, so merging
     /// the run (older) with the delta (newer) keeps arrival order among
     /// duplicate `(group, hour, machine)` keys.
-    fn merge(a: &ColumnIndex, b: &ColumnIndex) -> ColumnIndex {
+    pub(crate) fn merge(a: &ColumnIndex, b: &ColumnIndex) -> ColumnIndex {
         if a.sorted.is_empty() {
             return b.clone();
         }
@@ -548,6 +674,62 @@ impl TelemetryStore {
     /// Creates an empty store.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Opens a durable store rooted at directory `dir`, creating it on
+    /// first use and recovering its contents otherwise: live segments
+    /// are loaded (checksum-verified and structurally validated) and
+    /// merged into the sealed run, then the write-ahead log is replayed
+    /// into the delta tail, truncating any torn tail a crash left
+    /// behind. Corruption surfaces as a typed
+    /// [`persist::PersistError`] — recovery never panics.
+    ///
+    /// Note that recovery restores the *record multiset*, not the
+    /// original insertion order: the sealed prefix comes back in
+    /// `(group, hour, machine)` order (segments store the run
+    /// pre-sorted), while the delta tail keeps exact append order.
+    /// Every view and kernel is order-insensitive, so query results
+    /// are unchanged.
+    pub fn open(dir: impl AsRef<std::path::Path>) -> Result<Self, persist::PersistError> {
+        let recovered = persist::recover(dir.as_ref())?;
+        let mut records = recovered.run.sorted.clone();
+        let run_len = records.len();
+        records.extend_from_slice(&recovered.delta);
+        Ok(TelemetryStore {
+            records,
+            run_len,
+            run: recovered.run,
+            delta: OnceLock::new(),
+            backing: Some(recovered.backing),
+        })
+    }
+
+    /// Flushes every record appended since the last `sync` to stable
+    /// storage. On the fast path this is one WAL frame and one fsync;
+    /// when the store compacted since the last sync it instead spills
+    /// the new run as a segment file, starts a fresh WAL holding only
+    /// the delta tail, and atomically flips the manifest.
+    ///
+    /// Records are durable — guaranteed to survive a crash or kill —
+    /// only once `sync` returns `Ok`. `push`/`extend`/`seal` never
+    /// touch disk. Returns [`persist::PersistError::NotDurable`] on a
+    /// store that was not created by [`TelemetryStore::open`].
+    pub fn sync(&mut self) -> Result<(), persist::PersistError> {
+        let Some(backing) = self.backing.as_mut() else {
+            return Err(persist::PersistError::NotDurable);
+        };
+        backing.sync(&self.records, self.run_len, &self.run)
+    }
+
+    /// True when this store is attached to a directory and
+    /// [`sync`](TelemetryStore::sync) will persist.
+    pub fn is_durable(&self) -> bool {
+        self.backing.is_some()
+    }
+
+    /// The directory backing this store, if durable.
+    pub fn storage_dir(&self) -> Option<&std::path::Path> {
+        self.backing.as_ref().map(|b| b.dir())
     }
 
     /// Appends one record into the delta buffer. The sealed run is left

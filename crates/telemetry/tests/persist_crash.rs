@@ -1,0 +1,520 @@
+//! Crash-safety suite for the durable telemetry store.
+//!
+//! The durability contract under test: after reopening a directory
+//! written by a process that died at an arbitrary point, every record
+//! covered by a completed `sync()` is recovered (checksum-verified),
+//! a torn WAL tail is truncated, corrupt segments are quarantined with
+//! a typed error — and recovery *never* panics. Agreement is asserted
+//! against the flat-scan reference store on every view and kernel, the
+//! same machinery as `tests/agreement.rs`.
+//!
+//! "Process death" is simulated two ways: dropping the store without a
+//! final sync (nothing buffers in the store, so a drop *is* a kill
+//! between syncs), and truncating / byte-flipping the on-disk files at
+//! randomized offsets, which covers a kill mid-`write(2)`.
+
+use kea_telemetry::aggregate::reference as ref_agg;
+use kea_telemetry::store::reference::TelemetryStore as RefStore;
+use kea_telemetry::{
+    daily_group_aggregates, group_utilization, hourly_fleet_series, GroupKey, MachineHourRecord,
+    MachineId, Metric, MetricValues, PersistError, ScId, SkuId, TelemetryStore,
+};
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+// ---- scratch directories ----------------------------------------------
+
+/// A unique scratch directory removed on drop (kept on panic only if the
+/// drop never runs, i.e. never — proptest catches the panic first, so
+/// cleanup is reliable).
+struct Scratch {
+    dir: PathBuf,
+}
+
+impl Scratch {
+    fn new() -> Scratch {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "kea-persist-crash-{}-{n}",
+            std::process::id()
+        ));
+        // A stale dir from a previous run with the same pid is removed
+        // rather than recovered into.
+        let _ = std::fs::remove_dir_all(&dir);
+        Scratch { dir }
+    }
+
+    fn path(&self) -> &Path {
+        &self.dir
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+// ---- record generation and agreement (as in tests/agreement.rs) -------
+
+const HOURS: [u64; 12] = [0, 1, 2, 5, 23, 24, 47, 48, 49, 120, 121, 500];
+
+fn arb_record() -> impl Strategy<Value = MachineHourRecord> {
+    (0u32..6, 0u16..3, 0usize..HOURS.len(), 0.0..100.0f64, 0.0..500.0f64).prop_map(
+        |(machine, sku, hour_idx, cpu, tasks)| MachineHourRecord {
+            machine: MachineId(machine),
+            group: GroupKey::new(SkuId(sku), ScId(1 + (machine % 2) as u8)),
+            hour: HOURS[hour_idx % HOURS.len()],
+            metrics: MetricValues {
+                cpu_utilization: cpu,
+                tasks_finished: tasks,
+                total_data_read_gb: tasks * 0.5,
+                cpu_time_s: cpu * 3.0,
+                avg_running_containers: 1.0 + cpu * 0.1,
+                ..Default::default()
+            },
+        },
+    )
+}
+
+fn record_key(r: &MachineHourRecord) -> (u16, u8, u64, u32, u64, u64) {
+    (
+        r.group.sku.0,
+        r.group.sc.0,
+        r.hour,
+        r.machine.0,
+        r.metrics.tasks_finished.to_bits(),
+        r.metrics.cpu_utilization.to_bits(),
+    )
+}
+
+fn sorted_keys<'a>(
+    it: impl Iterator<Item = &'a MachineHourRecord>,
+) -> Vec<(u16, u8, u64, u32, u64, u64)> {
+    let mut keys: Vec<_> = it.map(record_key).collect();
+    keys.sort_unstable();
+    keys
+}
+
+fn close(a: f64, b: f64) -> bool {
+    if a.is_nan() && b.is_nan() {
+        return true;
+    }
+    (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
+}
+
+/// Structural + numeric agreement between the reference store and a
+/// (recovered) columnar store, across every view family and kernel.
+fn assert_agrees(reference: &RefStore, columnar: &TelemetryStore) {
+    assert_eq!(reference.len(), columnar.len());
+    assert_eq!(reference.groups(), columnar.groups());
+    assert_eq!(reference.machines(), columnar.machines());
+    assert_eq!(reference.hour_span(), columnar.hour_span());
+    for g in reference.groups() {
+        assert_eq!(sorted_keys(reference.by_group(g)), sorted_keys(columnar.by_group(g)));
+    }
+    for m in reference.machines() {
+        assert_eq!(sorted_keys(reference.by_machine(m)), sorted_keys(columnar.by_machine(m)));
+    }
+    let (lo, hi) = reference.hour_span().unwrap_or((0, 0));
+    assert_eq!(
+        sorted_keys(reference.by_hours(lo, hi)),
+        sorted_keys(columnar.by_hours(lo, hi))
+    );
+
+    let ref_daily = ref_agg::daily_group_aggregates(reference);
+    let col_daily = daily_group_aggregates(columnar);
+    assert_eq!(ref_daily.len(), col_daily.len());
+    for (r, c) in ref_daily.iter().zip(&col_daily) {
+        assert_eq!((r.group, r.machine, r.day), (c.group, c.machine, c.day));
+        assert_eq!(r.hours_observed, c.hours_observed);
+        for m in [Metric::CpuUtilization, Metric::NumberOfTasks, Metric::TotalDataRead] {
+            assert!(
+                close(r.mean(m), c.mean(m)),
+                "daily mean of {m} drifted: {} vs {}",
+                r.mean(m),
+                c.mean(m)
+            );
+        }
+    }
+    let r_series = ref_agg::hourly_fleet_series(reference, Metric::CpuUtilization);
+    let c_series = hourly_fleet_series(columnar, Metric::CpuUtilization);
+    assert_eq!(r_series.len(), c_series.len());
+    for ((rh, rv), (ch, cv)) in r_series.iter().zip(&c_series) {
+        assert_eq!(rh, ch);
+        assert!(close(*rv, *cv), "fleet series at hour {rh} drifted");
+    }
+    let r_util = ref_agg::group_utilization(reference);
+    let c_util = group_utilization(columnar);
+    assert_eq!(r_util.len(), c_util.len());
+    for (r, c) in r_util.iter().zip(&c_util) {
+        assert_eq!((r.group, r.machines), (c.group, c.machines));
+        assert!(close(r.mean_cpu_utilization, c.mean_cpu_utilization));
+    }
+}
+
+/// Reads the live WAL file name out of `dir/MANIFEST` (the documented
+/// text format: one `wal <name>` line).
+fn live_wal(dir: &Path) -> PathBuf {
+    let text = std::fs::read_to_string(dir.join("MANIFEST")).expect("manifest readable");
+    for line in text.lines() {
+        if let Some(name) = line.strip_prefix("wal ") {
+            return dir.join(name);
+        }
+    }
+    panic!("no wal line in manifest: {text:?}");
+}
+
+/// Reads the live segment file names out of `dir/MANIFEST`.
+fn live_segments(dir: &Path) -> Vec<PathBuf> {
+    let text = std::fs::read_to_string(dir.join("MANIFEST")).expect("manifest readable");
+    text.lines()
+        .filter_map(|l| l.strip_prefix("segment "))
+        .filter_map(|rest| rest.split(' ').next())
+        .map(|name| dir.join(name))
+        .collect()
+}
+
+// ---- the crash-point properties ---------------------------------------
+
+/// One mutation step against the durable store. `Sync` is the
+/// durability point; `Seal` forces a compaction so the next sync
+/// rotates WAL contents into a segment.
+#[derive(Debug, Clone)]
+enum Op {
+    PushBatch(Vec<MachineHourRecord>),
+    Seal,
+    Sync,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => proptest::collection::vec(arb_record(), 1..60).prop_map(Op::PushBatch),
+        1 => Just(Op::Seal),
+        2 => Just(Op::Sync),
+    ]
+}
+
+proptest! {
+    /// Graceful-path agreement: any interleaving of push/seal/sync,
+    /// closed with a sync, must reopen into a store that agrees with
+    /// the in-memory reference on every view and kernel — and a second
+    /// generation of appends on the *reopened* store must too.
+    #[test]
+    fn reopen_agrees_with_reference(
+        ops in proptest::collection::vec(arb_op(), 1..10),
+        tail in proptest::collection::vec(arb_record(), 0..40),
+    ) {
+        let scratch = Scratch::new();
+        let mut reference = RefStore::new();
+        let mut store = TelemetryStore::open(scratch.path()).expect("open fresh");
+        prop_assert!(store.is_durable());
+        prop_assert_eq!(store.storage_dir(), Some(scratch.path()));
+
+        for op in &ops {
+            match op {
+                Op::PushBatch(records) => {
+                    reference.extend(records.iter().copied());
+                    store.extend(records.iter().copied());
+                }
+                Op::Seal => store.seal(),
+                Op::Sync => store.sync().expect("sync"),
+            }
+        }
+        store.sync().expect("final sync");
+        drop(store);
+
+        let reopened = TelemetryStore::open(scratch.path()).expect("reopen");
+        assert_agrees(&reference, &reopened);
+
+        // Second generation: keep appending on the recovered store.
+        let mut store = reopened;
+        reference.extend(tail.iter().copied());
+        store.extend(tail.iter().copied());
+        store.seal();
+        store.sync().expect("sync after reopen");
+        drop(store);
+        let reopened = TelemetryStore::open(scratch.path()).expect("second reopen");
+        assert_agrees(&reference, &reopened);
+    }
+
+    /// Kill-point property for the WAL: truncate the live WAL at an
+    /// arbitrary byte offset (a crash mid-append) and reopen. The
+    /// recovered delta must be an append-order *prefix* of what was
+    /// written, every batch closed by a sync *before* the last one must
+    /// survive in full, and the recovered store must agree with a
+    /// reference over exactly the recovered records.
+    #[test]
+    fn wal_truncated_at_any_offset_recovers_synced_prefix(
+        batches in proptest::collection::vec(
+            proptest::collection::vec(arb_record(), 1..30), 1..6),
+        cut_frac in 0.0..1.0f64,
+    ) {
+        let scratch = Scratch::new();
+        let mut store = TelemetryStore::open(scratch.path()).expect("open fresh");
+        let mut appended = Vec::new();
+        let mut synced_len = 0usize;
+        for batch in &batches {
+            store.extend(batch.iter().copied());
+            appended.extend_from_slice(batch);
+            store.sync().expect("sync");
+            synced_len = appended.len();
+        }
+        // A few unsynced records sit only in memory — lost by design.
+        store.extend(batches.iter().flatten().take(3).copied());
+        drop(store);
+
+        // Crash mid-write: truncate the WAL at an arbitrary offset.
+        let wal = live_wal(scratch.path());
+        let full = std::fs::metadata(&wal).expect("wal meta").len();
+        let cut = (full as f64 * cut_frac) as u64;
+        let f = std::fs::OpenOptions::new().write(true).open(&wal).expect("open wal");
+        f.set_len(cut).expect("truncate");
+        drop(f);
+
+        if cut < 8 {
+            // A cut inside the magic is not crash-reachable (the magic
+            // is fsynced before the manifest ever names the WAL): that
+            // is real corruption, and must fail typed — never panic.
+            let err = TelemetryStore::open(scratch.path())
+                .expect_err("short-magic WAL must not open");
+            prop_assert!(matches!(err, PersistError::Corrupt { .. }), "got {err}");
+            return;
+        }
+        let recovered = TelemetryStore::open(scratch.path()).expect("recovery must not fail");
+        let got: Vec<MachineHourRecord> = recovered.iter().copied().collect();
+
+        // Recovered records are an append-order prefix of what was
+        // appended (frames are atomic: a cut inside frame k drops
+        // frames k.. entirely); the unsynced tail never hit disk.
+        prop_assert!(got.len() <= appended.len());
+        let expect_prefix: Vec<_> = appended.iter().take(got.len()).copied().collect();
+        prop_assert_eq!(&got, &expect_prefix, "recovered records are not a prefix");
+
+        // Nothing before the final sync may be lost unless the cut fell
+        // before the final frame; a cut at or past `full` loses nothing.
+        if cut >= full {
+            prop_assert_eq!(got.len(), synced_len);
+        }
+
+        // And the recovered store behaves exactly like a fresh store
+        // over the recovered records.
+        let mut reference = RefStore::new();
+        reference.extend(got.iter().copied());
+        assert_agrees(&reference, &recovered);
+    }
+
+    /// Kill-point property for rotation: seal + sync (spilling a
+    /// segment), then flip one byte anywhere in the segment file. Open
+    /// must fail with a typed `Corrupt` error — never a panic — and
+    /// quarantine the damaged file.
+    #[test]
+    fn segment_byte_flip_quarantines_with_typed_error(
+        records in proptest::collection::vec(arb_record(), 1..80),
+        flip_frac in 0.0..1.0f64,
+        flip_bit in 0u8..8,
+    ) {
+        let scratch = Scratch::new();
+        let mut store = TelemetryStore::open(scratch.path()).expect("open fresh");
+        store.extend(records.iter().copied());
+        store.seal();
+        store.sync().expect("sync");
+        drop(store);
+
+        let segments = live_segments(scratch.path());
+        prop_assert_eq!(segments.len(), 1, "seal+sync must spill exactly one segment");
+        let seg = &segments[0];
+        let mut bytes = std::fs::read(seg).expect("read segment");
+        let at = ((bytes.len() - 1) as f64 * flip_frac) as usize;
+        bytes[at] ^= 1 << flip_bit;
+        std::fs::write(seg, &bytes).expect("write corrupted segment");
+
+        match TelemetryStore::open(scratch.path()) {
+            Err(PersistError::Corrupt { path, .. }) => {
+                prop_assert_eq!(&path, seg);
+                let quarantined = seg.with_extension("kseg.quarantine");
+                prop_assert!(quarantined.exists(), "corrupt segment not quarantined");
+                prop_assert!(!seg.exists());
+            }
+            Err(other) => prop_assert!(false, "wrong error type: {other}"),
+            Ok(_) => prop_assert!(false, "open succeeded on corrupt segment"),
+        }
+    }
+}
+
+// ---- directed crash/abuse cases ---------------------------------------
+
+fn rec(i: u64) -> MachineHourRecord {
+    MachineHourRecord {
+        machine: MachineId((i % 11) as u32),
+        group: GroupKey::new(SkuId((i % 4) as u16), ScId((i % 2) as u8)),
+        hour: i / 11,
+        metrics: MetricValues { tasks_finished: i as f64, ..MetricValues::default() },
+    }
+}
+
+#[test]
+fn sync_on_in_memory_store_is_not_durable() {
+    let mut store = TelemetryStore::new();
+    store.push(rec(1));
+    assert!(!store.is_durable());
+    assert!(store.storage_dir().is_none());
+    assert!(matches!(store.sync(), Err(PersistError::NotDurable)));
+}
+
+#[test]
+fn clone_of_durable_store_is_detached() {
+    let scratch = Scratch::new();
+    let mut store = TelemetryStore::open(scratch.path()).expect("open");
+    store.extend((0..50).map(rec));
+    store.sync().expect("sync");
+
+    let mut clone = store.clone();
+    assert!(!clone.is_durable());
+    assert!(matches!(clone.sync(), Err(PersistError::NotDurable)));
+    // Mutating the clone must not disturb the original's directory.
+    clone.extend((50..100).map(rec));
+    drop(store);
+    let reopened = TelemetryStore::open(scratch.path()).expect("reopen");
+    assert_eq!(reopened.len(), 50);
+}
+
+#[test]
+fn unsynced_records_are_lost_synced_records_survive() {
+    let scratch = Scratch::new();
+    let mut store = TelemetryStore::open(scratch.path()).expect("open");
+    store.extend((0..30).map(rec));
+    store.sync().expect("sync");
+    store.extend((30..60).map(rec)); // never synced — the crash eats these
+    drop(store);
+
+    let reopened = TelemetryStore::open(scratch.path()).expect("reopen");
+    let got: Vec<_> = reopened.iter().copied().collect();
+    let want: Vec<_> = (0..30).map(rec).collect();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn rotation_covers_compaction_spill_and_wal_reset() {
+    let scratch = Scratch::new();
+    let mut store = TelemetryStore::open(scratch.path()).expect("open");
+    // Past the 1024 auto-compaction threshold: the store compacts on its
+    // own, so the next sync must rotate without an explicit seal.
+    store.extend((0..2000).map(rec));
+    store.sync().expect("sync");
+    assert!(!live_segments(scratch.path()).is_empty(), "compaction must spill a segment");
+    // The tail past the compaction point rides in the WAL.
+    store.extend((2000..2010).map(rec));
+    store.sync().expect("tail sync");
+    drop(store);
+
+    let reopened = TelemetryStore::open(scratch.path()).expect("reopen");
+    assert_eq!(reopened.len(), 2010);
+    let mut reference = RefStore::new();
+    reference.extend((0..2010).map(rec));
+    assert_agrees(&reference, &reopened);
+}
+
+#[test]
+fn missing_manifest_with_store_files_is_typed_error() {
+    let scratch = Scratch::new();
+    let mut store = TelemetryStore::open(scratch.path()).expect("open");
+    store.extend((0..1500).map(rec));
+    store.seal();
+    store.sync().expect("sync");
+    drop(store);
+
+    std::fs::remove_file(scratch.path().join("MANIFEST")).expect("remove manifest");
+    match TelemetryStore::open(scratch.path()) {
+        Err(PersistError::MissingManifest { dir }) => assert_eq!(dir, scratch.path()),
+        other => panic!("expected MissingManifest, got {other:?}"),
+    }
+}
+
+#[test]
+fn garbage_manifest_is_corrupt_not_panic() {
+    let scratch = Scratch::new();
+    std::fs::create_dir_all(scratch.path()).expect("mkdir");
+    std::fs::write(scratch.path().join("MANIFEST"), b"\xFF\xFEtotal garbage\n").expect("write");
+    assert!(matches!(
+        TelemetryStore::open(scratch.path()),
+        Err(PersistError::Corrupt { .. })
+    ));
+}
+
+#[test]
+fn manifest_path_traversal_is_rejected() {
+    let scratch = Scratch::new();
+    std::fs::create_dir_all(scratch.path()).expect("mkdir");
+    std::fs::write(
+        scratch.path().join("MANIFEST"),
+        "kea-telemetry-manifest v1\nsegment ../../escape.kseg rows 5\nwal w.wal\n",
+    )
+    .expect("write");
+    assert!(matches!(
+        TelemetryStore::open(scratch.path()),
+        Err(PersistError::Corrupt { .. })
+    ));
+}
+
+#[test]
+fn orphans_from_interrupted_rotation_are_swept() {
+    let scratch = Scratch::new();
+    let mut store = TelemetryStore::open(scratch.path()).expect("open");
+    store.extend((0..10).map(rec));
+    store.sync().expect("sync");
+    drop(store);
+
+    // Fake the debris of a rotation that died before the manifest flip:
+    // a segment nobody references, a stray WAL, a temp file.
+    std::fs::write(scratch.path().join("seg-000099.kseg"), b"debris").expect("write");
+    std::fs::write(scratch.path().join("wal-000099.wal"), b"debris").expect("write");
+    std::fs::write(scratch.path().join("seg-000100.kseg.tmp"), b"debris").expect("write");
+
+    let reopened = TelemetryStore::open(scratch.path()).expect("reopen sweeps orphans");
+    assert_eq!(reopened.len(), 10);
+    assert!(!scratch.path().join("seg-000099.kseg").exists());
+    assert!(!scratch.path().join("wal-000099.wal").exists());
+    assert!(!scratch.path().join("seg-000100.kseg.tmp").exists());
+}
+
+#[test]
+fn quarantined_files_survive_the_sweep() {
+    let scratch = Scratch::new();
+    let mut store = TelemetryStore::open(scratch.path()).expect("open");
+    store.extend((0..40).map(rec));
+    store.seal();
+    store.sync().expect("sync");
+    drop(store);
+
+    let segments = live_segments(scratch.path());
+    let seg = &segments[0];
+    let mut bytes = std::fs::read(seg).expect("read");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xA5;
+    std::fs::write(seg, &bytes).expect("write");
+
+    // First open: corrupt → quarantine + error.
+    assert!(TelemetryStore::open(scratch.path()).is_err());
+    let quarantined = seg.with_extension("kseg.quarantine");
+    assert!(quarantined.exists());
+
+    // The segment is gone, so the second open still fails (Io on the
+    // missing file) — but it must not delete the quarantined bytes.
+    assert!(TelemetryStore::open(scratch.path()).is_err());
+    assert!(quarantined.exists(), "sweep must never remove quarantined files");
+}
+
+#[test]
+fn empty_store_roundtrip() {
+    let scratch = Scratch::new();
+    let mut store = TelemetryStore::open(scratch.path()).expect("open");
+    assert!(store.is_empty());
+    store.sync().expect("sync of empty store");
+    drop(store);
+    let reopened = TelemetryStore::open(scratch.path()).expect("reopen");
+    assert!(reopened.is_empty());
+    assert!(reopened.is_durable());
+}

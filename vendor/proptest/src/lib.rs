@@ -9,11 +9,20 @@
 //! * [`collection::vec`], [`bool::ANY`], [`arbitrary::any`], [`strategy::Just`]
 //! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`
 //!
-//! Semantics differ from real proptest in two deliberate ways: inputs are
-//! purely random (no integrated shrinking — a failing case prints its
-//! inputs but is not minimized), and `.proptest-regressions` files are
-//! ignored. Each test function derives its RNG seed from its own name, so
-//! runs are deterministic across processes.
+//! Failing cases are **shrunk** before being reported: integer and float
+//! ranges shrink toward their range start, vectors shrink toward their
+//! minimum length (plus bounded element-wise shrinks), and tuples shrink
+//! one component at a time — a greedy loop with a bounded budget keeps
+//! re-running the property and adopts every candidate that still fails,
+//! so the printed inputs are a local minimum, not the first random hit.
+//! Strategies built with `prop_map`/`prop_oneof` generate fine but do
+//! not shrink through the mapping (the stand-in cannot invert arbitrary
+//! closures); a vector *of* mapped values still shrinks by length.
+//!
+//! Other deliberate differences from real proptest:
+//! `.proptest-regressions` files are ignored, and each test function
+//! derives its RNG seed from its own name, so runs are deterministic
+//! across processes.
 
 /// Deterministic generator handed to strategies (SplitMix64).
 #[derive(Debug, Clone)]
@@ -74,6 +83,16 @@ pub mod strategy {
         /// Generates one value.
         fn generate(&self, rng: &mut TestRng) -> Self::Value;
 
+        /// Proposes strictly "smaller" variants of a failing `value`,
+        /// most aggressive first. The default — no candidates — is
+        /// correct for any strategy (shrinking is an optimization, not
+        /// a semantic requirement); combinators that cannot invert
+        /// their construction (`prop_map`, `prop_oneof`) keep it.
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            let _ = value;
+            Vec::new()
+        }
+
         /// Maps generated values through `f`.
         fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
         where
@@ -119,6 +138,18 @@ pub mod strategy {
                 v
             }
         }
+
+        fn shrink(&self, value: &f64) -> Vec<f64> {
+            let mut out = Vec::new();
+            if *value != self.start {
+                out.push(self.start);
+                let mid = self.start + (*value - self.start) / 2.0;
+                if mid != self.start && mid != *value {
+                    out.push(mid);
+                }
+            }
+            out
+        }
     }
 
     macro_rules! impl_strategy_int_range {
@@ -130,6 +161,26 @@ pub mod strategy {
                     let span = (self.end as i128 - self.start as i128) as u64;
                     (self.start as i128 + rng.below(span) as i128) as $t
                 }
+
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    let mut out = Vec::new();
+                    if *value != self.start {
+                        // Toward the range start: the start itself, the
+                        // midpoint (binary descent), one step down.
+                        out.push(self.start);
+                        let mid = (self.start as i128
+                            + (*value as i128 - self.start as i128) / 2)
+                            as $t;
+                        if mid != self.start && mid != *value {
+                            out.push(mid);
+                        }
+                        let dec = (*value as i128 - 1) as $t;
+                        if dec != self.start && dec != mid {
+                            out.push(dec);
+                        }
+                    }
+                    out
+                }
             }
         )*};
     }
@@ -137,13 +188,31 @@ pub mod strategy {
     impl_strategy_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
     macro_rules! impl_strategy_tuple {
-        ($($s:ident/$v:ident),+) => {
-            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+        ($($s:ident/$idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+)
+            where
+                $($s::Value: Clone),+
+            {
                 type Value = ($($s::Value,)+);
                 #[allow(non_snake_case)]
                 fn generate(&self, rng: &mut TestRng) -> Self::Value {
                     let ($($s,)+) = self;
                     ($($s.generate(rng),)+)
+                }
+
+                /// Component-wise: each candidate replaces exactly one
+                /// position with one of that component's shrinks and
+                /// clones the rest.
+                fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                    let mut out = Vec::new();
+                    $(
+                        for cand in self.$idx.shrink(&value.$idx) {
+                            let mut next = value.clone();
+                            next.$idx = cand;
+                            out.push(next);
+                        }
+                    )+
+                    out
                 }
             }
         };
@@ -199,14 +268,22 @@ pub mod strategy {
         }
     }
 
-    impl_strategy_tuple!(A/a);
-    impl_strategy_tuple!(A/a, B/b);
-    impl_strategy_tuple!(A/a, B/b, C/c);
-    impl_strategy_tuple!(A/a, B/b, C/c, D/d);
-    impl_strategy_tuple!(A/a, B/b, C/c, D/d, E/e);
-    impl_strategy_tuple!(A/a, B/b, C/c, D/d, E/e, F/f);
-    impl_strategy_tuple!(A/a, B/b, C/c, D/d, E/e, F/f, G/g);
-    impl_strategy_tuple!(A/a, B/b, C/c, D/d, E/e, F/f, G/g, H/h);
+    impl_strategy_tuple!(A/0);
+    impl_strategy_tuple!(A/0, B/1);
+    impl_strategy_tuple!(A/0, B/1, C/2);
+    impl_strategy_tuple!(A/0, B/1, C/2, D/3);
+    impl_strategy_tuple!(A/0, B/1, C/2, D/3, E/4);
+    impl_strategy_tuple!(A/0, B/1, C/2, D/3, E/4, F/5);
+    impl_strategy_tuple!(A/0, B/1, C/2, D/3, E/4, F/5, G/6);
+    impl_strategy_tuple!(A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7);
+    impl_strategy_tuple!(A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7, I/8);
+    impl_strategy_tuple!(A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7, I/8, J/9);
+    impl_strategy_tuple!(A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7, I/8, J/9, K/10);
+    impl_strategy_tuple!(A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7, I/8, J/9, K/10, L/11);
+    impl_strategy_tuple!(A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7, I/8, J/9, K/10, L/11, M/12);
+    impl_strategy_tuple!(A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7, I/8, J/9, K/10, L/11, M/12, N/13);
+    impl_strategy_tuple!(A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7, I/8, J/9, K/10, L/11, M/12, N/13, O/14);
+    impl_strategy_tuple!(A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7, I/8, J/9, K/10, L/11, M/12, N/13, O/14, P/15);
 }
 
 pub mod bool {
@@ -226,6 +303,14 @@ pub mod bool {
         type Value = bool;
         fn generate(&self, rng: &mut TestRng) -> bool {
             rng.next_u64() & 1 == 1
+        }
+
+        fn shrink(&self, value: &bool) -> Vec<bool> {
+            if *value {
+                vec![false]
+            } else {
+                Vec::new()
+            }
         }
     }
 }
@@ -252,12 +337,50 @@ pub mod collection {
         VecStrategy { element, len }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let span = (self.len.end - self.len.start) as u64;
             let n = self.len.start + rng.below(span) as usize;
             (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+
+        /// Length reduction first (jump to the minimum, then binary
+        /// descent, then drop-one), then bounded element-wise shrinks:
+        /// the first few positions each propose a few candidates from
+        /// the element strategy, keeping the candidate list small even
+        /// for long vectors.
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            let min = self.len.start;
+            let n = value.len();
+            if n > min {
+                out.push(value[..min].to_vec());
+                let half = min + (n - min) / 2;
+                if half > min && half < n {
+                    out.push(value[..half].to_vec());
+                }
+                if n - 1 > min {
+                    out.push(value[..n - 1].to_vec());
+                }
+                // Drop one interior element at a time (bounded).
+                for i in 0..n.min(8) {
+                    let mut v = value.clone();
+                    v.remove(i);
+                    out.push(v);
+                }
+            }
+            for (i, elem) in value.iter().enumerate().take(4) {
+                for cand in self.element.shrink(elem).into_iter().take(4) {
+                    let mut v = value.clone();
+                    v[i] = cand;
+                    out.push(v);
+                }
+            }
+            out
         }
     }
 }
@@ -273,11 +396,25 @@ pub mod arbitrary {
     pub trait Arbitrary: Sized {
         /// Generates an arbitrary value.
         fn arbitrary(rng: &mut TestRng) -> Self;
+
+        /// Proposes smaller variants of `self` for shrinking; empty by
+        /// default.
+        fn shrink_value(&self) -> Vec<Self> {
+            Vec::new()
+        }
     }
 
     impl Arbitrary for bool {
         fn arbitrary(rng: &mut TestRng) -> bool {
             rng.next_u64() & 1 == 1
+        }
+
+        fn shrink_value(&self) -> Vec<bool> {
+            if *self {
+                vec![false]
+            } else {
+                Vec::new()
+            }
         }
     }
 
@@ -286,6 +423,18 @@ pub mod arbitrary {
             impl Arbitrary for $t {
                 fn arbitrary(rng: &mut TestRng) -> $t {
                     rng.next_u64() as $t
+                }
+
+                fn shrink_value(&self) -> Vec<$t> {
+                    let mut out = Vec::new();
+                    if *self != 0 {
+                        out.push(0);
+                        let half = *self / 2;
+                        if half != 0 && half != *self {
+                            out.push(half);
+                        }
+                    }
+                    out
                 }
             }
         )*};
@@ -306,6 +455,10 @@ pub mod arbitrary {
         type Value = T;
         fn generate(&self, rng: &mut TestRng) -> T {
             T::arbitrary(rng)
+        }
+
+        fn shrink(&self, value: &T) -> Vec<T> {
+            value.shrink_value()
         }
     }
 }
@@ -363,7 +516,8 @@ macro_rules! proptest {
     };
 }
 
-/// Internal: expands each `#[test] fn` item into a case loop.
+/// Internal: expands each `#[test] fn` item into a case loop with
+/// greedy shrinking on failure.
 #[doc(hidden)]
 #[macro_export]
 macro_rules! __proptest_items {
@@ -377,19 +531,76 @@ macro_rules! __proptest_items {
         fn $name() {
             let config: $crate::test_runner::Config = $cfg;
             let mut rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+            // All argument strategies as one tuple strategy, so shrinking
+            // can vary one argument at a time through the tuple impl.
+            let __strategies = ($($strat,)+);
+            // Pins the closure parameter below to the tuple's value type;
+            // without it, method calls on the arguments inside the body
+            // hit unresolved-inference errors.
+            fn __pin<S: $crate::strategy::Strategy>(_s: &S, v: S::Value) -> S::Value {
+                v
+            }
             for case in 0..config.cases {
-                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
-                let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
-                    $body
-                }));
-                if let Err(panic) = result {
-                    eprintln!(
-                        "proptest case {}/{} failed with inputs:",
-                        case + 1,
-                        config.cases
-                    );
+                let __case_val =
+                    $crate::strategy::Strategy::generate(&__strategies, &mut rng);
+                let __run = |__vals| {
+                    let ($($arg,)+) = __pin(&__strategies, __vals);
+                    ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                        // Inner closure so `return;` inside the body exits
+                        // only this case.
+                        let __case_body = || { $body };
+                        __case_body()
+                    }))
+                    .is_ok()
+                };
+                if __run(::std::clone::Clone::clone(&__case_val)) {
+                    continue;
+                }
+                // Shrink: repeatedly adopt the first candidate that still
+                // fails, silencing panic output while probing.
+                let mut __best = __case_val;
+                let __prev_hook = ::std::panic::take_hook();
+                ::std::panic::set_hook(::std::boxed::Box::new(|_| {}));
+                let mut __budget: u32 = 512;
+                'shrinking: loop {
+                    let mut __progressed = false;
+                    for __cand in
+                        $crate::strategy::Strategy::shrink(&__strategies, &__best)
+                    {
+                        if __budget == 0 {
+                            break 'shrinking;
+                        }
+                        __budget -= 1;
+                        if !__run(::std::clone::Clone::clone(&__cand)) {
+                            __best = __cand;
+                            __progressed = true;
+                            break;
+                        }
+                    }
+                    if !__progressed {
+                        break;
+                    }
+                }
+                ::std::panic::set_hook(__prev_hook);
+                eprintln!(
+                    "proptest case {}/{} failed; minimized inputs:",
+                    case + 1,
+                    config.cases
+                );
+                {
+                    let ($(ref $arg,)+) = __best;
                     $(eprintln!("  {} = {:?}", stringify!($arg), $arg);)+
-                    ::std::panic::resume_unwind(panic);
+                }
+                let __result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    let ($($arg,)+) = __best;
+                    let __case_body = || { $body };
+                    __case_body()
+                }));
+                match __result {
+                    Err(panic) => ::std::panic::resume_unwind(panic),
+                    Ok(()) => panic!(
+                        "proptest: shrunk case passed on re-run (non-deterministic test body?)"
+                    ),
                 }
             }
         }
@@ -495,5 +706,85 @@ mod tests {
         for _ in 0..50 {
             assert_eq!(a.next_u64(), b.next_u64());
         }
+    }
+
+    #[test]
+    fn int_range_shrinks_toward_start() {
+        let s = 10u64..100;
+        let cands = s.shrink(&80);
+        assert!(cands.contains(&10), "must propose the range start: {cands:?}");
+        assert!(cands.iter().all(|&c| (10..80).contains(&c)), "{cands:?}");
+        assert!(s.shrink(&10).is_empty(), "the start itself has no shrinks");
+    }
+
+    #[test]
+    fn vec_shrinks_toward_min_length() {
+        let s = prop::collection::vec(0u32..50, 2..10);
+        let v: Vec<u32> = vec![9, 8, 7, 6, 5];
+        let cands = s.shrink(&v);
+        assert!(cands.contains(&vec![9, 8]), "must jump to min length: {cands:?}");
+        assert!(cands.iter().all(|c| c.len() >= 2), "{cands:?}");
+        // Element-wise candidates keep the length but lower a value.
+        assert!(
+            cands.iter().any(|c| c.len() == v.len() && c != &v),
+            "{cands:?}"
+        );
+        assert!(s.shrink(&vec![0u32, 0]).is_empty(), "fully minimal already");
+    }
+
+    #[test]
+    fn tuple_shrinks_one_component_at_a_time() {
+        let s = (0u32..100, 0u64..100);
+        let cands = s.shrink(&(40u32, 60u64));
+        assert!(!cands.is_empty());
+        for (a, b) in &cands {
+            let first_changed = *a != 40;
+            let second_changed = *b != 60;
+            assert!(first_changed != second_changed, "exactly one side moves");
+        }
+        assert!(cands.contains(&(0u32, 60u64)));
+        assert!(cands.contains(&(40u32, 0u64)));
+    }
+
+    #[test]
+    fn bool_and_any_shrink_toward_zero() {
+        assert_eq!(crate::bool::ANY.shrink(&true), vec![false]);
+        assert!(crate::bool::ANY.shrink(&false).is_empty());
+        let s = any::<u64>();
+        let cands = s.shrink(&64);
+        assert!(cands.contains(&0) && cands.contains(&32), "{cands:?}");
+        assert!(s.shrink(&0).is_empty());
+    }
+
+    #[test]
+    fn failing_case_is_minimized_before_reporting() {
+        // Drive the macro's shrink loop directly: a property failing for
+        // any vec containing a value >= 7 must minimize to the shortest
+        // vec holding the smallest still-failing value.
+        let s = prop::collection::vec(0u32..100, 1..20);
+        let fails = |v: &Vec<u32>| v.iter().any(|&x| x >= 7);
+        let mut best: Vec<u32> = vec![55, 3, 91, 7, 12, 44];
+        assert!(fails(&best));
+        let mut budget = 512;
+        'shrinking: loop {
+            let mut progressed = false;
+            for cand in s.shrink(&best) {
+                if budget == 0 {
+                    break 'shrinking;
+                }
+                budget -= 1;
+                if fails(&cand) {
+                    best = cand;
+                    progressed = true;
+                    break;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        assert!(fails(&best), "shrinking must preserve failure");
+        assert!(best.len() <= 2, "greedy shrink should drop passing elements: {best:?}");
+        assert!(best.iter().all(|&x| x < 15), "values should descend: {best:?}");
     }
 }
