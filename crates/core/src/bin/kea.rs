@@ -103,10 +103,16 @@ fn cluster_by_name(name: &str) -> Result<ClusterSpec, String> {
 
 /// Loads telemetry from either a CSV file or a durable store directory
 /// (WAL + segments); a directory path selects crash recovery via
-/// `TelemetryStore::open`, anything else is parsed as CSV.
+/// `TelemetryStore::open`, anything else is parsed as CSV. Segment
+/// bodies decode lazily, so a one-shot CLI run verifies them up front:
+/// a corrupt segment must fail here with the typed error, not surface
+/// as silently missing rows mid-analysis.
 fn load_telemetry(path: &str) -> Result<TelemetryStore, String> {
     if std::path::Path::new(path).is_dir() {
-        return TelemetryStore::open(path).map_err(|e| format!("recover {path}: {e}"));
+        let store =
+            TelemetryStore::open(path).map_err(|e| format!("recover {path}: {e}"))?;
+        store.verify().map_err(|e| format!("recover {path}: {e}"))?;
+        return Ok(store);
     }
     let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
     read_csv(BufReader::new(file)).map_err(|e| format!("read {path}: {e}"))

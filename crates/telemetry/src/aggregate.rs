@@ -8,12 +8,18 @@
 //! (Figure 2) views the Performance Monitor serves.
 //!
 //! All four roll-ups are **fused single-pass kernels** over the store's
-//! run + delta pair: each group is a contiguous slice of the sealed run
-//! merged on the fly with a contiguous slice of the delta mini-index, so
-//! streaming appends never force a rebuild before aggregation. Counts,
-//! sums, and distinct-machine membership accumulate in flat arrays
-//! indexed by *merged* dense machine ids (each side's dense ids remapped
-//! through a shared table — no `BTreeMap` entry lookup per record).
+//! sealed runs plus delta: each group is one contiguous slice per side,
+//! k-way merged on the fly, so streaming appends never force a rebuild
+//! before aggregation. Counts, sums, and distinct-machine membership
+//! accumulate in flat arrays indexed by *merged* dense machine ids (each
+//! side's dense ids remapped through a shared table — no `BTreeMap` entry
+//! lookup per record).
+//!
+//! The month-scale variants — [`daily_group_aggregates_window`] and
+//! [`hourly_fleet_series_window`] — take an `[start, end)` hour window
+//! and consult only the runs whose recorded hour bounds intersect it:
+//! against a long retained history, a one-day question touches the one
+//! or two segments holding that day and leaves the rest on disk.
 //!
 //! The per-group kernels parallelize by **work stealing**: scoped worker
 //! threads pull group indexes off a shared atomic cursor, so one giant
@@ -141,71 +147,89 @@ pub(crate) fn run_group_partitions<T: Send, S>(
     slots.into_iter().flatten().flatten().collect()
 }
 
-/// One group's presence across the run + delta pair: its rows in each
-/// side's sorted order (empty range when absent from that side).
+/// One group's presence across every side of the store: its row range in
+/// each side's sorted order (empty when absent from that side), plus —
+/// when the kernel is hour-windowed — the range already narrowed to the
+/// window (the group slice is hour-major, so narrowing is two binary
+/// searches per side).
 struct MergedGroup {
     group: GroupKey,
-    run_rows: Range<usize>,
-    delta_rows: Range<usize>,
+    rows: Vec<Range<usize>>,
 }
 
-/// The merged group list of a run + delta pair, ascending by group key.
-fn merged_groups(run: &ColumnIndex, delta: &ColumnIndex) -> Vec<MergedGroup> {
-    merge_dedup(&run.groups, &delta.groups)
-        .into_iter()
+/// The merged group list across `sides`, ascending by group key, with
+/// per-side row ranges narrowed to `window` when given.
+fn merged_groups(sides: &[&ColumnIndex], window: Option<(u64, u64)>) -> Vec<MergedGroup> {
+    let keys = sides
+        .iter()
+        .fold(Vec::new(), |acc, s| merge_dedup(&acc, &s.groups));
+    keys.into_iter()
         .map(|group| MergedGroup {
             group,
-            run_rows: run.group_range(group),
-            delta_rows: delta.group_range(group),
+            rows: sides
+                .iter()
+                .map(|s| {
+                    let full = s.group_range(group);
+                    match window {
+                        None => full,
+                        Some((start, end)) => {
+                            let slice = &s.sorted[full.clone()];
+                            let lo = full.start + slice.partition_point(|r| r.hour < start);
+                            let hi = full.start + slice.partition_point(|r| r.hour < end);
+                            lo..hi
+                        }
+                    }
+                })
+                .collect(),
         })
+        .filter(|g| g.rows.iter().any(|r| !r.is_empty()))
         .collect()
 }
 
-/// The merged dense machine-id space of a run + delta pair: the combined
+/// The merged dense machine-id space across every side: the combined
 /// distinct-machine list plus one remap table per side translating that
 /// side's dense ids into merged ids.
 struct MergedMachines {
     ids: Vec<MachineId>,
-    run_map: Vec<u32>,
-    delta_map: Vec<u32>,
+    maps: Vec<Vec<u32>>,
 }
 
-fn merged_machines(run: &ColumnIndex, delta: &ColumnIndex) -> MergedMachines {
-    let ids = merge_dedup(&run.machines, &delta.machines);
-    let run_map = remap_into(&run.machines, &ids);
-    let delta_map = remap_into(&delta.machines, &ids);
-    MergedMachines {
-        ids,
-        run_map,
-        delta_map,
-    }
+fn merged_machines(sides: &[&ColumnIndex]) -> MergedMachines {
+    let ids = sides
+        .iter()
+        .fold(Vec::new(), |acc, s| merge_dedup(&acc, &s.machines));
+    let maps = sides.iter().map(|s| remap_into(&s.machines, &ids)).collect();
+    MergedMachines { ids, maps }
 }
 
-/// Two-cursor merge over one group's run rows and delta rows, ordered by
-/// `(hour, machine)` (both sides are already hour-major within a group).
-/// Yields each record with its *merged* dense machine id.
+/// K-cursor merge over one group's rows across every side, ordered by
+/// `(hour, machine)` (each side is already hour-major within a group;
+/// the earliest side wins ties, so passing sides oldest-run-first keeps
+/// arrival order). Yields each record with its *merged* dense machine
+/// id.
 fn for_each_merged_row(
-    run: &ColumnIndex,
-    delta: &ColumnIndex,
+    sides: &[&ColumnIndex],
     machines: &MergedMachines,
     g: &MergedGroup,
     mut visit: impl FnMut(&MachineHourRecord, usize),
 ) {
-    let (mut i, mut j) = (g.run_rows.start, g.delta_rows.start);
-    while i < g.run_rows.end || j < g.delta_rows.end {
-        let take_run = j >= g.delta_rows.end
-            || (i < g.run_rows.end
-                && (run.sorted[i].hour, run.sorted[i].machine)
-                    <= (delta.sorted[j].hour, delta.sorted[j].machine));
-        if take_run {
-            let dense = machines.run_map[run.machine_dense[i] as usize] as usize;
-            visit(&run.sorted[i], dense);
-            i += 1;
-        } else {
-            let dense = machines.delta_map[delta.machine_dense[j] as usize] as usize;
-            visit(&delta.sorted[j], dense);
-            j += 1;
+    let mut cursors: Vec<Range<usize>> = g.rows.clone();
+    loop {
+        let mut best: Option<(usize, (u64, MachineId))> = None;
+        for (i, c) in cursors.iter().enumerate() {
+            if c.start < c.end {
+                let r = &sides[i].sorted[c.start];
+                let k = (r.hour, r.machine);
+                if best.is_none_or(|(_, bk)| k < bk) {
+                    best = Some((i, k));
+                }
+            }
         }
+        let Some((i, _)) = best else { break };
+        let row = cursors[i].start;
+        cursors[i].start += 1;
+        let dense = machines.maps[i][sides[i].machine_dense[row] as usize] as usize;
+        visit(&sides[i].sorted[row], dense);
     }
 }
 
@@ -221,17 +245,34 @@ struct DailyScratch {
 /// Rolls the store up into per-machine, per-day aggregates (the training
 /// rows of §5.2.1), sorted by `(group, machine, day)`.
 ///
-/// Kernel shape: within a group both the run slice and the delta slice
-/// are hour-major, so the two-cursor merge delivers days as contiguous
-/// runs; each day's rows accumulate into flat `(count, sums)` buckets
-/// indexed by merged dense machine id, and only touched buckets are
-/// drained and reset at the day boundary. Groups are claimed by
-/// work-stealing workers.
+/// Kernel shape: within a group every side's slice is hour-major, so the
+/// k-cursor merge delivers days as contiguous runs; each day's rows
+/// accumulate into flat `(count, sums)` buckets indexed by merged dense
+/// machine id, and only touched buckets are drained and reset at the day
+/// boundary. Groups are claimed by work-stealing workers.
 pub fn daily_group_aggregates(store: &TelemetryStore) -> Vec<DailyAggregate> {
-    let run = store.run_index();
-    let delta = store.delta_or_empty();
-    let machines = merged_machines(run, delta);
-    let groups = merged_groups(run, delta);
+    daily_core(&store.sides(), None)
+}
+
+/// [`daily_group_aggregates`] restricted to hours `[start_hour,
+/// end_hour)`. Sealed runs whose recorded hour bounds miss the window
+/// are skipped *without decoding their segments*, so a day-scale
+/// question against a month-scale history touches only the sides that
+/// can answer it.
+pub fn daily_group_aggregates_window(
+    store: &TelemetryStore,
+    start_hour: u64,
+    end_hour: u64,
+) -> Vec<DailyAggregate> {
+    daily_core(
+        &store.window_sides(start_hour, end_hour),
+        Some((start_hour, end_hour)),
+    )
+}
+
+fn daily_core(sides: &[&ColumnIndex], window: Option<(u64, u64)>) -> Vec<DailyAggregate> {
+    let machines = merged_machines(sides);
+    let groups = merged_groups(sides, window);
     let n_machines = machines.ids.len();
     run_group_partitions(
         groups.len(),
@@ -244,7 +285,7 @@ pub fn daily_group_aggregates(store: &TelemetryStore) -> Vec<DailyAggregate> {
             let g = &groups[gi];
             let mut out: Vec<DailyAggregate> = Vec::new();
             let mut current_day = u64::MAX; // no day open yet
-            for_each_merged_row(run, delta, &machines, g, |r, dense| {
+            for_each_merged_row(sides, &machines, g, |r, dense| {
                 let day = r.hour / 24;
                 if day != current_day {
                     if current_day != u64::MAX {
@@ -301,21 +342,25 @@ fn drain_day(
 }
 
 /// Distribution summary of one metric over all machine-hours of one group
-/// — a single pass over the group's contiguous metric column when the
-/// store is sealed; with a live delta the run and delta column slices
-/// are concatenated first ([`Summary::of`] sorts a copy either way).
+/// — each side contributes one contiguous metric column slice, and the
+/// slices are concatenated before the summary ([`Summary::of`] sorts a
+/// copy either way).
 ///
 /// Returns `None` when the group has no records.
 pub fn group_summary(store: &TelemetryStore, group: GroupKey, metric: Metric) -> Option<Summary> {
-    let run = store.run_index();
-    match store.delta_index() {
-        None => Summary::of(run.group_column(group, metric)).ok(),
-        Some(delta) => {
-            let run_slice = run.group_column(group, metric);
-            let delta_slice = delta.group_column(group, metric);
-            let mut values = Vec::with_capacity(run_slice.len() + delta_slice.len());
-            values.extend_from_slice(run_slice);
-            values.extend_from_slice(delta_slice);
+    let sides = store.sides();
+    let slices: Vec<&[f64]> = sides
+        .iter()
+        .map(|s| s.group_column(group, metric))
+        .collect();
+    match slices.as_slice() {
+        [] => None,
+        [one] => Summary::of(one).ok(),
+        many => {
+            let mut values = Vec::with_capacity(many.iter().map(|s| s.len()).sum());
+            for s in many {
+                values.extend_from_slice(s);
+            }
             Summary::of(&values).ok()
         }
     }
@@ -330,38 +375,73 @@ pub fn group_summary(store: &TelemetryStore, group: GroupKey, metric: Metric) ->
 /// and the mean is a gather-sum over the metric columns — no per-record
 /// map lookups and no predicate scans.
 pub fn hourly_fleet_series(store: &TelemetryStore, metric: Metric) -> Vec<(u64, f64)> {
-    let run = store.run_index();
-    let delta = store.delta_or_empty();
-    let span = |idx: &ColumnIndex| idx.hours.first().copied().zip(idx.hours.last().copied());
-    let (start, end_inclusive) = match (span(run), span(delta)) {
-        (Some((a, b)), Some((c, d))) => (a.min(c), b.max(d)),
-        (Some((a, b)), None) | (None, Some((a, b))) => (a, b),
-        (None, None) => return Vec::new(),
+    let Some((start, end)) = store.hour_span() else {
+        return Vec::new();
     };
-    let run_column = &run.columns[metric.index()];
-    let delta_column = &delta.columns[metric.index()];
+    hourly_core(&store.sides(), metric, start, end - 1)
+}
+
+/// [`hourly_fleet_series`] restricted to hours `[start_hour, end_hour)`
+/// — one point per hour of the window's intersection with the store's
+/// span (hours inside the intersection that no machine reported are
+/// zero-filled, exactly as in the full series). Sealed runs whose
+/// recorded hour bounds miss the window are skipped *without decoding
+/// their segments*: this is the query shape the multi-segment layout
+/// exists for, a one-day dashboard panel against a month of retained
+/// fleet history.
+pub fn hourly_fleet_series_window(
+    store: &TelemetryStore,
+    metric: Metric,
+    start_hour: u64,
+    end_hour: u64,
+) -> Vec<(u64, f64)> {
+    // `hour_span` reads the recorded run bounds — no segment decodes.
+    let Some((lo, hi)) = store.hour_span() else {
+        return Vec::new();
+    };
+    if end_hour <= start_hour {
+        return Vec::new();
+    }
+    // Guarded above: end_hour >= 1 and hi >= 1, so neither `- 1` wraps.
+    let start = lo.max(start_hour);
+    let end_inclusive = (hi - 1).min(end_hour - 1);
+    if end_inclusive < start {
+        return Vec::new();
+    }
+    hourly_core(
+        &store.window_sides(start_hour, end_hour),
+        metric,
+        start,
+        end_inclusive,
+    )
+}
+
+fn hourly_core(
+    sides: &[&ColumnIndex],
+    metric: Metric,
+    start: u64,
+    end_inclusive: u64,
+) -> Vec<(u64, f64)> {
+    let columns: Vec<&[f64]> = sides.iter().map(|s| &s.columns[metric.index()][..]).collect();
+    // Distinct-hour cursor per side, positioned at the span start.
+    let mut cursors: Vec<usize> = sides
+        .iter()
+        .map(|s| s.hours.partition_point(|&h| h < start))
+        .collect();
     let mut out = Vec::with_capacity((end_inclusive - start + 1) as usize);
-    let (mut rp, mut dp) = (0usize, 0usize); // distinct-hour cursors
     for hour in start..=end_inclusive {
         let mut sum = 0.0f64;
         let mut n = 0usize;
-        if run.hours.get(rp) == Some(&hour) {
-            let positions = run.hour_offsets[rp]..run.hour_offsets[rp + 1];
-            n += positions.len();
-            sum += run.hour_order[positions]
-                .iter()
-                .map(|&row| run_column[row])
-                .sum::<f64>();
-            rp += 1;
-        }
-        if delta.hours.get(dp) == Some(&hour) {
-            let positions = delta.hour_offsets[dp]..delta.hour_offsets[dp + 1];
-            n += positions.len();
-            sum += delta.hour_order[positions]
-                .iter()
-                .map(|&row| delta_column[row])
-                .sum::<f64>();
-            dp += 1;
+        for ((s, p), column) in sides.iter().zip(cursors.iter_mut()).zip(&columns) {
+            if s.hours.get(*p) == Some(&hour) {
+                let positions = s.hour_offsets[*p]..s.hour_offsets[*p + 1];
+                n += positions.len();
+                sum += s.hour_order[positions]
+                    .iter()
+                    .map(|&row| column[row])
+                    .sum::<f64>();
+                *p += 1;
+            }
         }
         out.push((hour, if n == 0 { 0.0 } else { sum / n as f64 }));
     }
@@ -373,52 +453,51 @@ pub fn hourly_fleet_series(store: &TelemetryStore, metric: Metric) -> Vec<(u64, 
 /// is empty.
 ///
 /// Kernel shape: per group, the CPU and container means are contiguous
-/// column-slice sums over both sides, and the distinct-machine count is a
+/// column-slice sums over every side, and the distinct-machine count is a
 /// seen-bitmap over merged dense machine ids (reset via the touched
 /// list). Groups are claimed by work-stealing workers.
 pub fn group_utilization(store: &TelemetryStore) -> Vec<GroupUtilization> {
-    let run = store.run_index();
-    let delta = store.delta_or_empty();
-    let machines = merged_machines(run, delta);
-    let groups = merged_groups(run, delta);
+    let sides = store.sides();
+    let machines = merged_machines(&sides);
+    let groups = merged_groups(&sides, None);
     let n_machines = machines.ids.len();
-    let run_cpu = &run.columns[Metric::CpuUtilization.index()];
-    let run_containers = &run.columns[Metric::AverageRunningContainers.index()];
-    let delta_cpu = &delta.columns[Metric::CpuUtilization.index()];
-    let delta_containers = &delta.columns[Metric::AverageRunningContainers.index()];
+    let cpus: Vec<&[f64]> = sides
+        .iter()
+        .map(|s| &s.columns[Metric::CpuUtilization.index()][..])
+        .collect();
+    let containers: Vec<&[f64]> = sides
+        .iter()
+        .map(|s| &s.columns[Metric::AverageRunningContainers.index()][..])
+        .collect();
+    // With a single side the merged machine space IS that side's, so the
+    // remap is the identity — skip the indirection on the hot sealed
+    // path.
+    let identity = sides.len() == 1;
     run_group_partitions(
         groups.len(),
         || (vec![false; n_machines], Vec::<u32>::new()),
         |(seen, touched), gi| {
             let g = &groups[gi];
-            let n = g.run_rows.len() + g.delta_rows.len();
-            // With an empty delta the merged machine space IS the run's,
-            // so the remap is the identity — skip the indirection on the
-            // hot sealed path.
-            let identity = delta.machines.is_empty();
-            for row in g.run_rows.clone() {
-                let raw = run.machine_dense[row] as usize;
-                let dense = if identity {
-                    raw
-                } else {
-                    machines.run_map[raw] as usize
-                };
-                if !seen[dense] {
-                    seen[dense] = true;
-                    touched.push(dense as u32);
+            let n: usize = g.rows.iter().map(|r| r.len()).sum();
+            let mut cpu_sum = 0.0f64;
+            let mut containers_sum = 0.0f64;
+            for (i, side) in sides.iter().enumerate() {
+                let rows = g.rows[i].clone();
+                for row in rows.clone() {
+                    let raw = side.machine_dense[row] as usize;
+                    let dense = if identity {
+                        raw
+                    } else {
+                        machines.maps[i][raw] as usize
+                    };
+                    if !seen[dense] {
+                        seen[dense] = true;
+                        touched.push(dense as u32);
+                    }
                 }
+                cpu_sum += cpus[i][rows.clone()].iter().sum::<f64>();
+                containers_sum += containers[i][rows].iter().sum::<f64>();
             }
-            for row in g.delta_rows.clone() {
-                let dense = machines.delta_map[delta.machine_dense[row] as usize] as usize;
-                if !seen[dense] {
-                    seen[dense] = true;
-                    touched.push(dense as u32);
-                }
-            }
-            let cpu_sum: f64 = run_cpu[g.run_rows.clone()].iter().sum::<f64>()
-                + delta_cpu[g.delta_rows.clone()].iter().sum::<f64>();
-            let containers_sum: f64 = run_containers[g.run_rows.clone()].iter().sum::<f64>()
-                + delta_containers[g.delta_rows.clone()].iter().sum::<f64>();
             let result = GroupUtilization {
                 group: g.group,
                 machines: touched.len(),
@@ -474,7 +553,7 @@ pub fn scatter(
 /// store`](crate::store::reference::TelemetryStore), preserved as the
 /// executable specification: per-record `BTreeMap` entry lookups for the
 /// bucketed views and full predicate scans for the filtered ones. The
-/// agreement suite pins these against the run+delta kernels to 1e-9 at
+/// agreement suite pins these against the multi-run kernels to 1e-9 at
 /// every intermediate state of interleaved mutate/query sequences; the
 /// `telemetry_scan` and `telemetry_stream` benches report the speedup.
 pub mod reference {
@@ -488,9 +567,23 @@ pub mod reference {
     /// Per-machine, per-day aggregates via a `(group, machine, day)` →
     /// `(count, sums)` tree with one entry lookup per record.
     pub fn daily_group_aggregates(store: &TelemetryStore) -> Vec<DailyAggregate> {
+        daily_group_aggregates_window(store, 0, u64::MAX)
+    }
+
+    /// The windowed variant: the same tree roll-up over records whose
+    /// hour falls in `[start_hour, end_hour)` — a predicate per record,
+    /// exactly what the pruned kernel must agree with.
+    pub fn daily_group_aggregates_window(
+        store: &TelemetryStore,
+        start_hour: u64,
+        end_hour: u64,
+    ) -> Vec<DailyAggregate> {
         let mut acc: BTreeMap<(GroupKey, MachineId, u64), (u32, [f64; Metric::ALL.len()])> =
             BTreeMap::new();
         for r in store.iter() {
+            if r.hour < start_hour || r.hour >= end_hour {
+                continue;
+            }
             let entry = acc
                 .entry((r.group, r.machine, r.day()))
                 .or_insert((0, [0.0; Metric::ALL.len()]));
@@ -533,9 +626,25 @@ pub mod reference {
     /// Fleet-wide hourly mean series via an hour-keyed `BTreeMap` with
     /// one lookup per record.
     pub fn hourly_fleet_series(store: &TelemetryStore, metric: Metric) -> Vec<(u64, f64)> {
-        let Some((start, end)) = store.hour_span() else {
+        hourly_fleet_series_window(store, metric, 0, u64::MAX)
+    }
+
+    /// The windowed variant: the series over the intersection of the
+    /// store's span with `[start_hour, end_hour)`.
+    pub fn hourly_fleet_series_window(
+        store: &TelemetryStore,
+        metric: Metric,
+        start_hour: u64,
+        end_hour: u64,
+    ) -> Vec<(u64, f64)> {
+        let Some((lo, hi)) = store.hour_span() else {
             return Vec::new();
         };
+        let start = lo.max(start_hour);
+        let end = hi.min(end_hour);
+        if end <= start {
+            return Vec::new();
+        }
         let mut sums: BTreeMap<u64, (f64, u64)> = (start..end).map(|h| (h, (0.0, 0))).collect();
         for rec in store.iter() {
             if let Some(e) = sums.get_mut(&rec.hour) {
@@ -655,8 +764,8 @@ mod tests {
     }
 
     #[test]
-    fn daily_aggregates_span_run_and_delta() {
-        // A machine's day split across the sealed run and the delta must
+    fn daily_aggregates_span_runs_and_delta() {
+        // A machine's day split across a sealed run and the delta must
         // roll up into ONE daily row covering both sides.
         let mut store = TelemetryStore::new();
         let group = GroupKey::new(SkuId(0), ScId(0));
@@ -688,6 +797,49 @@ mod tests {
         assert_eq!(daily.len(), 1);
         assert_eq!(daily[0].hours_observed, 24);
         assert!((daily[0].mean(Metric::NumberOfTasks) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn windowed_daily_aggregates_match_reference() {
+        // Three sealed runs over disjoint day ranges plus a delta; every
+        // window shape must agree with the reference predicate scan.
+        let mut store = TelemetryStore::new();
+        let mut flat = crate::store::reference::TelemetryStore::new();
+        let mut push = |store: &mut TelemetryStore, m: u32, sku: u16, hour: u64, cpu: f64| {
+            let r = MachineHourRecord {
+                machine: MachineId(m),
+                group: GroupKey::new(SkuId(sku), ScId(0)),
+                hour,
+                metrics: MetricValues {
+                    cpu_utilization: cpu,
+                    tasks_finished: hour as f64,
+                    ..Default::default()
+                },
+            };
+            store.push(r);
+            flat.push(r);
+        };
+        for (batch, base) in [(0u64, 0u64), (1, 100), (2, 200)] {
+            for m in 0..6u32 {
+                for h in 0..30u64 {
+                    push(&mut store, m, (m % 2) as u16, base + h, (batch + m as u64) as f64);
+                }
+            }
+            store.seal();
+        }
+        push(&mut store, 9, 1, 250, 5.0);
+        for (s, e) in [(0u64, 24u64), (90, 130), (200, 1000), (240, 260), (50, 60), (0, u64::MAX)] {
+            let pruned = daily_group_aggregates_window(&store, s, e);
+            let spec = reference::daily_group_aggregates_window(&flat, s, e);
+            assert_eq!(pruned.len(), spec.len(), "window [{s}, {e})");
+            for (a, b) in pruned.iter().zip(&spec) {
+                assert_eq!((a.group, a.machine, a.day), (b.group, b.machine, b.day));
+                assert_eq!(a.hours_observed, b.hours_observed);
+                for m in Metric::ALL {
+                    assert!((a.mean(m) - b.mean(m)).abs() < 1e-9);
+                }
+            }
+        }
     }
 
     #[test]
@@ -788,6 +940,52 @@ mod tests {
     }
 
     #[test]
+    fn windowed_hourly_series_clamps_and_prunes() {
+        let mut store = TelemetryStore::new();
+        let group = GroupKey::new(SkuId(0), ScId(0));
+        let push = |store: &mut TelemetryStore, hour: u64, cpu: f64| {
+            store.push(MachineHourRecord {
+                machine: MachineId(1),
+                group,
+                hour,
+                metrics: MetricValues {
+                    cpu_utilization: cpu,
+                    ..Default::default()
+                },
+            });
+        };
+        // Elder run strictly larger so the runs stay separate.
+        for h in 0..10u64 {
+            push(&mut store, h, 10.0);
+        }
+        store.seal();
+        for h in 100..105u64 {
+            push(&mut store, h, 50.0);
+        }
+        store.seal();
+        // Window straddling the second run's start: in-span hours no
+        // machine reported are zero-filled, as in the full series.
+        assert_eq!(
+            hourly_fleet_series_window(&store, Metric::CpuUtilization, 98, 103),
+            vec![(98, 0.0), (99, 0.0), (100, 50.0), (101, 50.0), (102, 50.0)]
+        );
+        // Window in the dead zone between runs: inside the store's span,
+        // so fully zero-filled — and served without consulting any run.
+        let dead = hourly_fleet_series_window(&store, Metric::CpuUtilization, 40, 60);
+        assert_eq!(dead.len(), 20);
+        assert!(dead.iter().all(|&(_, v)| v == 0.0));
+        assert_eq!(dead[0].0, 40);
+        // Degenerate and out-of-span windows.
+        assert!(hourly_fleet_series_window(&store, Metric::CpuUtilization, 5, 5).is_empty());
+        assert!(hourly_fleet_series_window(&store, Metric::CpuUtilization, 500, 600).is_empty());
+        // Unwindowed agreement on the full span.
+        let full = hourly_fleet_series(&store, Metric::CpuUtilization);
+        assert_eq!(full.len(), 105);
+        assert_eq!(full[0], (0, 10.0));
+        assert_eq!(full[104], (104, 50.0));
+    }
+
+    #[test]
     fn group_utilization_counts_distinct_machines() {
         let mut store = TelemetryStore::new();
         for m in 0..4u32 {
@@ -816,7 +1014,7 @@ mod tests {
 
     #[test]
     fn group_utilization_dedups_machines_across_run_and_delta() {
-        // The same machine observed in the run AND the delta must count
+        // The same machine observed in a run AND the delta must count
         // once; a delta-only machine extends the count.
         let mut store = TelemetryStore::new();
         let group = GroupKey::new(SkuId(0), ScId(0));
@@ -851,6 +1049,7 @@ mod tests {
     fn empty_store_empty_outputs() {
         let store = TelemetryStore::new();
         assert!(daily_group_aggregates(&store).is_empty());
+        assert!(daily_group_aggregates_window(&store, 0, 100).is_empty());
         assert!(scatter(
             &store,
             GroupKey::new(SkuId(0), ScId(0)),
@@ -897,11 +1096,10 @@ mod tests {
                 });
             }
         }
-        // Serial ground truth via the single-worker path.
-        let run = store.run_index();
-        let delta = store.delta_or_empty();
-        let machines = merged_machines(run, delta);
-        let groups = merged_groups(run, delta);
+        // Serial ground truth via the single-worker kernel shape.
+        let sides = store.sides();
+        let machines = merged_machines(&sides);
+        let groups = merged_groups(&sides, None);
         let n_machines = machines.ids.len();
         let serial: Vec<DailyAggregate> = {
             let mut scratch = DailyScratch {
@@ -913,7 +1111,7 @@ mod tests {
             for g in &groups {
                 let start = out.len();
                 let mut current_day = u64::MAX;
-                for_each_merged_row(run, delta, &machines, g, |r, dense| {
+                for_each_merged_row(&sides, &machines, g, |r, dense| {
                     let day = r.hour / 24;
                     if day != current_day {
                         if current_day != u64::MAX {

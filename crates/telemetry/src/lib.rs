@@ -13,30 +13,38 @@
 //! * [`record`] — one observation per machine per hour, the granularity of
 //!   the paper's scatter view (Figure 8: "each point corresponding to one
 //!   observation for a machine during one hour").
-//! * [`store`] — an in-memory append-only store shaped like a two-level
-//!   LSM tree: an immutable **sealed run** (columnar, indexed layout —
+//! * [`store`] — an in-memory append-only store shaped like an LSM
+//!   tree: N immutable **sealed runs** (columnar, indexed layout —
 //!   sorted `(group, hour, machine)` rows, interned dense ids,
-//!   offset-range indexes, struct-of-arrays metric columns) plus a small
-//!   **delta buffer** that absorbs streaming appends. Every filtered
-//!   view merges the two sorted sides, and the delta compacts into the
-//!   run past a size threshold (or on explicit `seal()`) with a linear
-//!   `O(n + d)` two-run merge — a live monitor never pays an
-//!   `O(n log n)` rebuild per batch. The pre-columnar flat store
-//!   survives as [`store::reference`].
+//!   offset-range indexes, struct-of-arrays metric columns), each
+//!   carrying its `[min_hour, max_hour]` bounds, plus a small **delta
+//!   buffer** that absorbs streaming appends. Every filtered view k-way
+//!   merges the sorted sides; hour-windowed queries consult only the
+//!   runs whose bounds intersect the window. The delta seals into a new
+//!   run past a size threshold (or on explicit `seal()`), and a
+//!   binary-counter ladder compaction bounds both the live run count
+//!   (logarithmic) and total re-merge work (`O(log n)` per record) — a
+//!   live monitor never pays an `O(n log n)` rebuild per batch. The
+//!   pre-columnar flat store survives as [`store::reference`].
 //! * [`csv`] — flat-file persistence with schema checking and typed
 //!   rejection of non-finite metric values.
 //! * [`persist`] — durable storage mirroring the LSM shape on disk: a
-//!   checksummed write-ahead log for the delta tail, immutable segment
-//!   files spilling sealed runs, and an atomically-flipped manifest
-//!   naming the live file set. [`TelemetryStore::open`] recovers a
-//!   directory (torn WAL tails truncated, corrupt files quarantined,
-//!   never a panic); [`TelemetryStore::sync`] makes appended records
-//!   durable with one fsync per batch.
-//! * [`aggregate`] — fused single-pass aggregation kernels over the
-//!   run + delta pair (hourly→daily roll-ups, per-group summaries, fleet
-//!   series, group utilization), work-stealing parallel across groups,
-//!   plus the scatter-view extraction that feeds model fitting.
-//!   Pre-columnar roll-ups survive as [`aggregate::reference`].
+//!   checksummed write-ahead log for the delta tail, one immutable
+//!   segment file per sealed run, and an atomically-flipped manifest
+//!   naming the live file set with per-segment row counts and hour
+//!   bounds. [`TelemetryStore::open`] recovers a directory (headers
+//!   validated eagerly, bodies decoded lazily on first query, torn WAL
+//!   tails truncated, corrupt files quarantined, never a panic);
+//!   [`TelemetryStore::sync`] makes appended records durable with one
+//!   fsync per batch and never rewrites an unchanged segment.
+//! * [`aggregate`] — fused single-pass aggregation kernels k-way merged
+//!   over the sealed runs + delta (hourly→daily roll-ups, per-group
+//!   summaries, fleet series, group utilization), work-stealing
+//!   parallel across groups, plus the scatter-view extraction that
+//!   feeds model fitting and hour-windowed variants
+//!   ([`daily_group_aggregates_window`], [`hourly_fleet_series_window`])
+//!   that ride the store's segment pruning. Pre-columnar roll-ups
+//!   survive as [`aggregate::reference`].
 //!
 //! The key design decision mirrors the paper's Level-V abstraction: all
 //! analysis happens at the `(software configuration, SKU)` machine-group
@@ -53,11 +61,12 @@ pub mod record;
 pub mod store;
 
 pub use aggregate::{
-    daily_group_aggregates, group_summary, group_utilization, hourly_fleet_series, scatter,
-    DailyAggregate, GroupUtilization, ScatterPoint,
+    daily_group_aggregates, daily_group_aggregates_window, group_summary, group_utilization,
+    hourly_fleet_series, hourly_fleet_series_window, scatter, DailyAggregate, GroupUtilization,
+    ScatterPoint,
 };
 pub use csv::{read_csv, write_csv, CsvError};
-pub use persist::PersistError;
+pub use persist::{PersistError, SyncStats};
 pub use metric::{Metric, MetricCategory};
 pub use record::{GroupKey, MachineHourRecord, MachineId, MetricValues, ScId, SkuId};
 pub use store::TelemetryStore;

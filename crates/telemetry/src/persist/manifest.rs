@@ -1,13 +1,22 @@
 //! The manifest: the single source of truth for which files are live.
 //!
-//! A store directory's `MANIFEST` names the live segment set (in merge
-//! order, oldest first) and the live WAL. It is tiny and human-readable:
+//! A store directory's `MANIFEST` names the live segment set (in run
+//! order, oldest first) and the live WAL. It is tiny and human-readable.
+//! The current format is **v2**, which records each segment's inclusive
+//! hour bounds so windowed queries can prune segments without opening
+//! them:
 //!
 //! ```text
-//! kea-telemetry-manifest v1
-//! segment seg-000001.kseg rows 86016
-//! wal wal-000002.wal
+//! kea-telemetry-manifest v2
+//! segment seg-000001.kseg rows 86016 hours 0 335
+//! segment seg-000003.kseg rows 6144 hours 336 359
+//! wal wal-000004.wal
 //! ```
+//!
+//! **v1** manifests (written before hour bounds existed) parse under the
+//! same reader; their segment entries come back with `bounds: None`, the
+//! loader derives the bounds by reading the segment eagerly, and the
+//! next manifest flip rewrites the file as v2. Writes always emit v2.
 //!
 //! Every update writes `MANIFEST.tmp`, fsyncs it, renames over
 //! `MANIFEST`, and fsyncs the directory — so the manifest flips
@@ -18,27 +27,37 @@
 
 use std::path::{Path, PathBuf};
 
-use super::{fsync_dir, io_err, PersistError};
+use super::{fsync_dir, io_err, test_hooks, PersistError};
 
 /// File name of the manifest inside a store directory.
 pub const MANIFEST_NAME: &str = "MANIFEST";
 
-/// First line of every v1 manifest.
-const MANIFEST_HEADER: &str = "kea-telemetry-manifest v1";
+/// First line of every manifest this build writes.
+const MANIFEST_HEADER_V2: &str = "kea-telemetry-manifest v2";
 
-/// One live segment: file name plus the row count the loader must find.
+/// First line of manifests written before per-segment hour bounds;
+/// still accepted by the reader.
+const MANIFEST_HEADER_V1: &str = "kea-telemetry-manifest v1";
+
+/// One live segment: file name, the row count the loader must find, and
+/// (for v2 entries) the inclusive `[min_hour, max_hour]` the segment
+/// covers.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SegmentEntry {
     /// Segment file name (no directory components).
     pub name: String,
     /// Rows recorded at write time; cross-checked against the header.
     pub rows: u64,
+    /// Inclusive hour bounds recorded at write time; `None` only for
+    /// entries parsed from a v1 manifest, which are loaded eagerly to
+    /// derive them.
+    pub bounds: Option<(u64, u64)>,
 }
 
 /// Parsed manifest contents.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Manifest {
-    /// Live segments in merge order (oldest first).
+    /// Live segments in run order (oldest first).
     pub segments: Vec<SegmentEntry>,
     /// Live WAL file name.
     pub wal: String,
@@ -56,12 +75,20 @@ fn valid_name(name: &str) -> bool {
 }
 
 impl Manifest {
-    /// Serializes to the on-disk text form.
+    /// Serializes to the on-disk text form (always v2). Entries that
+    /// still lack bounds (possible only if a v1 entry was somehow never
+    /// upgraded) are rendered without an `hours` clause, which the v2
+    /// parser also accepts.
     fn render(&self) -> String {
-        let mut out = String::from(MANIFEST_HEADER);
+        let mut out = String::from(MANIFEST_HEADER_V2);
         out.push('\n');
         for s in &self.segments {
-            out.push_str(&format!("segment {} rows {}\n", s.name, s.rows));
+            match s.bounds {
+                Some((lo, hi)) => {
+                    out.push_str(&format!("segment {} rows {} hours {lo} {hi}\n", s.name, s.rows))
+                }
+                None => out.push_str(&format!("segment {} rows {}\n", s.name, s.rows)),
+            }
         }
         out.push_str(&format!("wal {}\n", self.wal));
         out
@@ -71,8 +98,9 @@ impl Manifest {
     fn parse(text: &str, path: &Path) -> Result<Manifest, PersistError> {
         let corrupt = |reason: String| PersistError::Corrupt { path: path.to_path_buf(), reason };
         let mut lines = text.lines();
-        if lines.next() != Some(MANIFEST_HEADER) {
-            return Err(corrupt("missing manifest header line".to_string()));
+        match lines.next() {
+            Some(MANIFEST_HEADER_V1) | Some(MANIFEST_HEADER_V2) => {}
+            _ => return Err(corrupt("missing or unsupported manifest header line".to_string())),
         }
         let mut segments = Vec::new();
         let mut wal = None;
@@ -89,7 +117,29 @@ impl Manifest {
                     let rows: u64 = rows
                         .parse()
                         .map_err(|_| corrupt(format!("bad row count on line {}", no + 2)))?;
-                    segments.push(SegmentEntry { name: name.to_string(), rows });
+                    segments.push(SegmentEntry { name: name.to_string(), rows, bounds: None });
+                }
+                ["segment", name, "rows", rows, "hours", lo, hi] => {
+                    if !valid_name(name) {
+                        return Err(corrupt(format!("bad segment name on line {}", no + 2)));
+                    }
+                    let rows: u64 = rows
+                        .parse()
+                        .map_err(|_| corrupt(format!("bad row count on line {}", no + 2)))?;
+                    let lo: u64 = lo
+                        .parse()
+                        .map_err(|_| corrupt(format!("bad hour bound on line {}", no + 2)))?;
+                    let hi: u64 = hi
+                        .parse()
+                        .map_err(|_| corrupt(format!("bad hour bound on line {}", no + 2)))?;
+                    if lo > hi {
+                        return Err(corrupt(format!("inverted hour bounds on line {}", no + 2)));
+                    }
+                    segments.push(SegmentEntry {
+                        name: name.to_string(),
+                        rows,
+                        bounds: Some((lo, hi)),
+                    });
                 }
                 ["wal", name] => {
                     if !valid_name(name) {
@@ -137,6 +187,16 @@ pub fn write_manifest(dir: &Path, manifest: &Manifest) -> Result<(), PersistErro
     let f = std::fs::File::open(&tmp).map_err(io_err("reopen manifest temp", &tmp))?;
     f.sync_all().map_err(io_err("fsync manifest temp", &tmp))?;
     drop(f);
+    // Crash-injection point for the crash suite: the new segments and
+    // the temp manifest are on disk, but the flip never happens — the
+    // old file set must stay live and the orphans must be swept.
+    if test_hooks::take_manifest_flip_failure(dir) {
+        return Err(PersistError::Io {
+            op: "rename manifest (injected crash)",
+            path,
+            source: std::io::Error::new(std::io::ErrorKind::Other, "injected manifest-flip failure"),
+        });
+    }
     std::fs::rename(&tmp, &path).map_err(io_err("rename manifest", &path))?;
     fsync_dir(dir)
 }
@@ -157,14 +217,30 @@ mod tests {
         let dir = tmpdir("roundtrip");
         let m = Manifest {
             segments: vec![
-                SegmentEntry { name: "seg-000001.kseg".into(), rows: 86_016 },
-                SegmentEntry { name: "seg-000002.kseg".into(), rows: 12 },
+                SegmentEntry { name: "seg-000001.kseg".into(), rows: 86_016, bounds: Some((0, 335)) },
+                SegmentEntry { name: "seg-000002.kseg".into(), rows: 12, bounds: Some((336, 340)) },
             ],
             wal: "wal-000003.wal".into(),
         };
         write_manifest(&dir, &m).unwrap();
         assert_eq!(read_manifest(&dir).unwrap(), m);
         assert!(!dir.join("MANIFEST.tmp").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v1_manifest_parses_with_unknown_bounds() {
+        let dir = tmpdir("v1");
+        std::fs::write(
+            dir.join(MANIFEST_NAME),
+            "kea-telemetry-manifest v1\nsegment seg-000001.kseg rows 77\nwal wal-000002.wal\n",
+        )
+        .unwrap();
+        let m = read_manifest(&dir).unwrap();
+        assert_eq!(m.segments.len(), 1);
+        assert_eq!(m.segments[0].rows, 77);
+        assert_eq!(m.segments[0].bounds, None);
+        assert_eq!(m.wal, "wal-000002.wal");
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -185,9 +261,14 @@ mod tests {
             "",
             "wrong header\nwal a.wal\n",
             "kea-telemetry-manifest v1\n",                       // no wal
+            "kea-telemetry-manifest v2\n",                       // no wal
             "kea-telemetry-manifest v1\nwal a\nwal b\n",        // two wals
             "kea-telemetry-manifest v1\nsegment x rows z\nwal a\n",
             "kea-telemetry-manifest v1\nsegment ../x rows 3\nwal a\n",
+            "kea-telemetry-manifest v2\nsegment ../x rows 3 hours 0 4\nwal a\n",
+            "kea-telemetry-manifest v2\nsegment x rows 3 hours z 4\nwal a\n",
+            "kea-telemetry-manifest v2\nsegment x rows 3 hours 9 4\nwal a\n", // inverted
+            "kea-telemetry-manifest v2\nsegment x rows 3 hours 1\nwal a\n",   // truncated
             "kea-telemetry-manifest v1\nwal ../../etc/passwd\n",
             "kea-telemetry-manifest v1\nmystery line\nwal a\n",
         ];

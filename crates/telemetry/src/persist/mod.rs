@@ -1,31 +1,43 @@
 //! Durable storage for [`TelemetryStore`]: WAL + segment spill + manifest.
 //!
-//! The on-disk layout mirrors the in-memory LSM shape. The sealed run
-//! lives in immutable *segment* files ([`segment`]); the insertion-order
-//! delta tail lives in a *write-ahead log* ([`wal`]); a tiny *manifest*
-//! ([`manifest`]) names the live file set and is the only file ever
-//! updated in place (atomically, via temp-file + rename).
+//! The on-disk layout mirrors the in-memory LSM shape. Each sealed run
+//! lives in its own immutable *segment* file ([`segment`]); the
+//! insertion-order delta tail lives in a *write-ahead log* ([`wal`]); a
+//! tiny *manifest* ([`manifest`]) names the live file set — in run
+//! order, with per-segment row counts and hour bounds — and is the only
+//! file ever updated in place (atomically, via temp-file + rename).
 //!
 //! ## Durability contract
 //!
 //! `push`/`extend`/`seal` stay purely in-memory and infallible — exactly
 //! as on a non-durable store. All I/O happens in
-//! [`TelemetryStore::sync`]: records appended since the last sync are
-//! framed into the WAL and fsynced (one fsync per batch); if the store
-//! compacted since the last sync, the new run is spilled as a fresh
-//! segment, a fresh WAL is started holding only the surviving delta
-//! tail, and the manifest is flipped to the new file set. Records are
-//! guaranteed on stable storage only after `sync` returns `Ok`.
+//! [`TelemetryStore::sync`]: if no run changed since the last sync,
+//! records appended since then are framed into the WAL and fsynced (one
+//! fsync per batch); if runs did change (a seal or compaction), only the
+//! *dirty* runs are spilled as fresh segments — unchanged segments are
+//! carried over by name, never rewritten — a fresh WAL is started
+//! holding only the surviving delta tail, and the manifest is flipped
+//! to the new file set. Per-sync bytes written are therefore bounded by
+//! the new rows plus whatever the compaction ladder merged, not by the
+//! total history. Records are guaranteed on stable storage only after
+//! `sync` returns `Ok`; a failed `sync` may be retried and is
+//! idempotent (the WAL tracks written-but-unsynced frames and never
+//! re-appends them).
 //!
 //! ## Recovery sequence
 //!
-//! [`TelemetryStore::open`] reads the manifest, loads and merges the
-//! segments it names (each checksum-verified and structurally
-//! validated; corruption quarantines the file and fails typed, never
-//! panics), replays the WAL into the delta tail (truncating a torn
-//! tail from a mid-write crash), and sweeps orphan files left by an
-//! interrupted rotation. Every crash point therefore lands in one of
-//! two states: the old file set or the new one, both complete.
+//! [`TelemetryStore::open`] reads the manifest and validates each named
+//! segment's *header* (magic, version, checksum, row/size accounting)
+//! without decoding bodies — segment bodies load lazily on first query,
+//! so opening a month of history costs one small read per segment.
+//! Manifests from the v1 era (no hour bounds) still open: their
+//! segments are loaded eagerly to derive bounds and the next sync
+//! rewrites the manifest as v2. The WAL is replayed into the delta tail
+//! (truncating a torn tail from a mid-write crash), and orphan files
+//! left by an interrupted rotation are swept. Every crash point
+//! therefore lands in one of two states: the old file set or the new
+//! one, both complete. Corruption quarantines the file and fails typed,
+//! never panics.
 //!
 //! [`TelemetryStore`]: crate::TelemetryStore
 //! [`TelemetryStore::sync`]: crate::TelemetryStore::sync
@@ -35,6 +47,7 @@ pub(crate) mod codec;
 pub(crate) mod crc;
 pub(crate) mod manifest;
 pub(crate) mod segment;
+pub mod test_hooks;
 pub(crate) mod wal;
 
 use std::fmt;
@@ -72,7 +85,8 @@ pub enum PersistError {
     },
     /// The directory exists and is non-trivial but has no `MANIFEST` —
     /// distinguishable from a fresh (empty) directory, which is
-    /// initialized silently.
+    /// initialized silently. Quarantined files count as evidence of a
+    /// prior store.
     MissingManifest {
         /// The store directory.
         dir: PathBuf,
@@ -124,6 +138,76 @@ pub(crate) fn fsync_dir(dir: &Path) -> Result<(), PersistError> {
     d.sync_all().map_err(io_err("fsync dir", dir))
 }
 
+/// What one [`crate::TelemetryStore::sync`] wrote, for
+/// write-amplification accounting: a rotation that spills two fresh
+/// segments reports their bytes here; an unchanged-history sync reports
+/// only the WAL frame it appended.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SyncStats {
+    /// Whether this sync rotated (rewrote the manifest and WAL) rather
+    /// than appending to the live WAL.
+    pub rotated: bool,
+    /// Segment files written by this sync.
+    pub segments_written: usize,
+    /// Bytes of segment data written by this sync.
+    pub segment_bytes: u64,
+    /// Records framed into a WAL by this sync.
+    pub wal_records: usize,
+    /// Bytes of WAL data written by this sync.
+    pub wal_bytes: u64,
+}
+
+/// One sealed run as the store presents it to [`Backing::sync`]:
+/// either already on disk under a known segment name, or dirty
+/// (new or re-merged) and needing a spill.
+#[derive(Debug)]
+pub(crate) enum RunRef<'a> {
+    /// Already persisted; carried into the next manifest by name
+    /// without rewriting a byte.
+    Clean {
+        /// Segment file name.
+        name: &'a str,
+        /// Row count recorded in the manifest.
+        rows: u64,
+        /// Inclusive hour bounds recorded in the manifest.
+        bounds: (u64, u64),
+    },
+    /// In memory only (fresh seal or compaction output); spilled as a
+    /// new segment on the next rotation.
+    Dirty {
+        /// The run's index, from which bounds and rows are derived.
+        index: &'a ColumnIndex,
+    },
+}
+
+/// One sealed run recovered at open: its manifest identity plus, for
+/// v1-era entries that had to be read eagerly to learn their bounds,
+/// the decoded index.
+#[derive(Debug)]
+pub(crate) struct RecoveredRun {
+    /// Segment file name.
+    pub name: String,
+    /// Row count from the manifest (header-verified).
+    pub rows: usize,
+    /// Inclusive hour bounds (from the manifest, or derived from an
+    /// eagerly-loaded v1 segment).
+    pub bounds: (u64, u64),
+    /// Decoded index, present only when the segment was loaded eagerly.
+    pub index: Option<ColumnIndex>,
+}
+
+/// Result of opening a store directory: the backing plus the recovered
+/// in-memory state.
+#[derive(Debug)]
+pub(crate) struct Recovered {
+    /// The attached backing, ready for appends.
+    pub backing: Backing,
+    /// The sealed runs, oldest first.
+    pub runs: Vec<RecoveredRun>,
+    /// The delta tail replayed from the WAL, in append order.
+    pub delta: Vec<MachineHourRecord>,
+}
+
 /// The attachment of a [`crate::TelemetryStore`] to its directory: open
 /// WAL handle, live file set, and high-water marks tracking what is
 /// already durable.
@@ -135,27 +219,18 @@ pub(crate) struct Backing {
     wal: wal::Wal,
     /// Live file set as last committed to the manifest.
     live: Manifest,
-    /// Records covered by segments — the store's `run_len` at the last
-    /// rotation. A `run_len` above this means a compaction happened
-    /// since and the next sync must rotate.
-    seg_covered: usize,
-    /// Absolute record count already framed into the live WAL
-    /// (`seg_covered` + WAL records).
-    wal_appended: usize,
+    /// Tail records appended to the live WAL (a prefix length of the
+    /// store's delta tail). Advanced only after a successful append.
+    wal_written: usize,
+    /// Tail records known durable (fsynced). Lags `wal_written` after a
+    /// failed fsync; a retried sync then skips the re-append and only
+    /// repeats the fsync — the fix for the duplicate-replay bug.
+    wal_synced: usize,
     /// Next generation number for naming new segment/WAL files.
     next_gen: u64,
-}
-
-/// Result of opening a store directory: the backing plus the recovered
-/// in-memory state.
-#[derive(Debug)]
-pub(crate) struct Recovered {
-    /// The attached backing, ready for appends.
-    pub backing: Backing,
-    /// The sealed run merged from all live segments.
-    pub run: ColumnIndex,
-    /// The delta tail replayed from the WAL, in append order.
-    pub delta: Vec<MachineHourRecord>,
+    /// Set when the manifest parsed as v1; the next sync rotates even
+    /// if nothing changed, upgrading the directory to v2.
+    needs_upgrade: bool,
 }
 
 /// Parses the generation number out of `seg-NNNNNN.kseg` /
@@ -177,16 +252,23 @@ fn sweepable(name: &str) -> bool {
 pub(crate) fn recover(dir: &Path) -> Result<Recovered, PersistError> {
     std::fs::create_dir_all(dir).map_err(io_err("create store dir", dir))?;
 
-    let live = match manifest::read_manifest(dir) {
-        Ok(m) => m,
+    let (live, needs_upgrade_hdr) = match manifest::read_manifest(dir) {
+        Ok(m) => {
+            let v1 = m.segments.iter().any(|s| s.bounds.is_none());
+            (m, v1)
+        }
         Err(PersistError::MissingManifest { .. }) => {
             // Fresh directory — but refuse to silently reinitialize on
-            // top of real store files whose manifest went missing.
+            // top of evidence of a real store whose manifest went
+            // missing: generation-named files, or quarantined files
+            // left by a prior corruption event.
             let mut entries = std::fs::read_dir(dir).map_err(io_err("list store dir", dir))?;
             let has_store_files = entries.try_fold(false, |acc, e| {
                 let e = e.map_err(io_err("list store dir", dir))?;
                 let name = e.file_name();
-                let owned = name.to_str().is_some_and(|n| gen_of(n).is_some());
+                let owned = name
+                    .to_str()
+                    .is_some_and(|n| gen_of(n).is_some() || n.ends_with(".quarantine"));
                 Ok::<bool, PersistError>(acc || owned)
             })?;
             if has_store_files {
@@ -197,27 +279,45 @@ pub(crate) fn recover(dir: &Path) -> Result<Recovered, PersistError> {
             fsync_dir(dir)?;
             let m = Manifest { segments: Vec::new(), wal: wal_name };
             manifest::write_manifest(dir, &m)?;
-            m
+            (m, false)
         }
         Err(e) => return Err(e),
     };
 
-    // Load and merge the live segments, oldest first.
-    let mut run: Option<ColumnIndex> = None;
+    // Validate the live segments, oldest first. v2 entries carry their
+    // hour bounds in the manifest, so only the header is checked here
+    // and the body loads lazily on first query; v1 entries are loaded
+    // in full to derive bounds.
+    let mut runs = Vec::with_capacity(live.segments.len());
     for seg in &live.segments {
-        let loaded = segment::load_segment(dir, &seg.name, seg.rows)?;
-        run = Some(match run {
-            None => loaded,
-            Some(acc) => ColumnIndex::merge(&acc, &loaded),
-        });
+        match seg.bounds {
+            Some(bounds) => {
+                segment::read_header(dir, &seg.name, seg.rows)?;
+                let rows = usize::try_from(seg.rows).map_err(|_| PersistError::Corrupt {
+                    path: dir.join(&seg.name),
+                    reason: "row count overflows usize".to_string(),
+                })?;
+                if rows > 0 {
+                    runs.push(RecoveredRun { name: seg.name.clone(), rows, bounds, index: None });
+                }
+            }
+            None => {
+                let index = segment::load_segment(dir, &seg.name, seg.rows, None)?;
+                if let (Some(&lo), Some(&hi)) = (index.hours.first(), index.hours.last()) {
+                    runs.push(RecoveredRun {
+                        name: seg.name.clone(),
+                        rows: index.sorted.len(),
+                        bounds: (lo, hi),
+                        index: Some(index),
+                    });
+                }
+            }
+        }
     }
-    let run = run.unwrap_or_else(|| ColumnIndex::build(&[]));
-    let seg_covered = run.sorted.len();
 
     // Replay the WAL; a torn tail is truncated inside `Wal::open`.
     let replay = wal::Wal::open(&dir.join(&live.wal))?;
     let delta = replay.records;
-    let wal_appended = seg_covered + delta.len();
 
     // Sweep orphans from interrupted rotations: generation-named files
     // and temp files the manifest does not own. Quarantined files and
@@ -245,15 +345,17 @@ pub(crate) fn recover(dir: &Path) -> Result<Recovered, PersistError> {
         .max()
         .unwrap_or(0);
 
+    let tail_len = delta.len();
     let backing = Backing {
         dir: dir.to_path_buf(),
         wal: replay.wal,
         live,
-        seg_covered,
-        wal_appended,
+        wal_written: tail_len,
+        wal_synced: tail_len,
         next_gen,
+        needs_upgrade: needs_upgrade_hdr,
     };
-    Ok(Recovered { backing, run, delta })
+    Ok(Recovered { backing, runs, delta })
 }
 
 impl Backing {
@@ -262,68 +364,112 @@ impl Backing {
         &self.dir
     }
 
-    /// Makes the store durable up to `records.len()`. `run_len` and
-    /// `run` describe the store's current sealed run; `records` is the
-    /// full insertion-order record vector.
+    /// Makes the store durable: `runs` are the sealed runs oldest
+    /// first, `tail` the insertion-order delta. If every run is clean
+    /// and matches the live manifest, this appends the new tail suffix
+    /// to the WAL; otherwise it rotates — writing only the dirty runs
+    /// as fresh segments. Returns what was written plus, aligned with
+    /// `runs`, the names newly assigned to dirty runs.
     pub(crate) fn sync(
         &mut self,
-        records: &[MachineHourRecord],
-        run_len: usize,
-        run: &ColumnIndex,
-    ) -> Result<(), PersistError> {
-        if run_len != self.seg_covered {
-            self.rotate(records, run_len, run)
+        runs: &[RunRef<'_>],
+        tail: &[MachineHourRecord],
+    ) -> Result<(SyncStats, Vec<Option<String>>), PersistError> {
+        let clean_matches = runs.len() == self.live.segments.len()
+            && runs.iter().zip(&self.live.segments).all(|(r, s)| match r {
+                RunRef::Clean { name, .. } => *name == s.name,
+                RunRef::Dirty { .. } => false,
+            });
+        if clean_matches && !self.needs_upgrade {
+            let stats = self.append_tail(tail)?;
+            Ok((stats, vec![None; runs.len()]))
         } else {
-            self.append_tail(records)
+            self.rotate(runs, tail)
         }
     }
 
     /// Fast path: frame everything past the WAL high-water mark and
-    /// fsync once.
-    fn append_tail(&mut self, records: &[MachineHourRecord]) -> Result<(), PersistError> {
-        let new = records.get(self.wal_appended..).unwrap_or_default();
-        if new.is_empty() {
-            return Ok(());
+    /// fsync once. Idempotent under retry: records already appended by
+    /// a previous attempt whose fsync failed are not re-appended (only
+    /// the fsync repeats), and a batch torn mid-append is erased by the
+    /// WAL before the retry writes it again.
+    fn append_tail(&mut self, tail: &[MachineHourRecord]) -> Result<SyncStats, PersistError> {
+        let mut stats = SyncStats::default();
+        let new = tail.get(self.wal_written..).unwrap_or_default();
+        if new.is_empty() && self.wal_synced == self.wal_written {
+            return Ok(stats);
         }
-        self.wal.append(new)?;
+        if !new.is_empty() {
+            let before = self.wal.byte_len();
+            self.wal.append(new)?;
+            self.wal_written = tail.len();
+            stats.wal_records = new.len();
+            stats.wal_bytes = self.wal.byte_len().saturating_sub(before);
+        }
         self.wal.sync()?;
-        self.wal_appended = records.len();
-        Ok(())
+        self.wal_synced = self.wal_written;
+        Ok(stats)
     }
 
-    /// Rotation: the in-memory run moved (compaction or seal), so spill
-    /// it as a segment, start a fresh WAL holding only the current
-    /// delta tail, flip the manifest, and drop the superseded files.
+    /// Rotation: the run set changed (seal, compaction, or a v1
+    /// upgrade), so spill each dirty run as a segment, start a fresh
+    /// WAL holding only the current delta tail, flip the manifest, and
+    /// drop the superseded files. Clean runs are carried over by name —
+    /// unchanged history is never rewritten.
     ///
     /// Ordering is crash-safe at every point: the old manifest (and the
     /// files it names) stays live until the new manifest's rename
     /// lands, and the sweep of superseded files only happens after.
+    /// Nothing in `self` mutates until the flip succeeds, so a failed
+    /// rotation can simply be retried.
     fn rotate(
         &mut self,
-        records: &[MachineHourRecord],
-        run_len: usize,
-        run: &ColumnIndex,
-    ) -> Result<(), PersistError> {
-        let delta = records.get(run_len..).unwrap_or_default();
-
-        let mut segments = Vec::new();
-        if run_len > 0 {
-            let seg_name = format!("seg-{:06}.kseg", self.next_gen);
-            self.next_gen += 1;
-            segment::write_segment(&self.dir, &seg_name, run)?;
-            segments.push(SegmentEntry { name: seg_name, rows: run_len as u64 });
+        runs: &[RunRef<'_>],
+        tail: &[MachineHourRecord],
+    ) -> Result<(SyncStats, Vec<Option<String>>), PersistError> {
+        let mut stats = SyncStats { rotated: true, ..SyncStats::default() };
+        let mut segments = Vec::with_capacity(runs.len());
+        let mut assigned = vec![None; runs.len()];
+        let mut next_gen = self.next_gen;
+        for (slot, r) in assigned.iter_mut().zip(runs) {
+            match r {
+                RunRef::Clean { name, rows, bounds } => segments.push(SegmentEntry {
+                    name: (*name).to_string(),
+                    rows: *rows,
+                    bounds: Some(*bounds),
+                }),
+                RunRef::Dirty { index } => {
+                    let (Some(&lo), Some(&hi)) = (index.hours.first(), index.hours.last())
+                    else {
+                        continue; // An empty run has nothing to persist.
+                    };
+                    let name = format!("seg-{next_gen:06}.kseg");
+                    next_gen += 1;
+                    stats.segment_bytes += segment::write_segment(&self.dir, &name, index)?;
+                    stats.segments_written += 1;
+                    segments.push(SegmentEntry {
+                        name: name.clone(),
+                        rows: u64::try_from(index.sorted.len()).unwrap_or(u64::MAX),
+                        bounds: Some((lo, hi)),
+                    });
+                    *slot = Some(name);
+                }
+            }
         }
 
-        let wal_name = format!("wal-{:06}.wal", self.next_gen);
-        self.next_gen += 1;
-        let new_wal = wal::Wal::create(&self.dir.join(&wal_name), delta)?;
+        let wal_name = format!("wal-{next_gen:06}.wal");
+        next_gen += 1;
+        let new_wal = wal::Wal::create(&self.dir.join(&wal_name), tail)?;
+        stats.wal_records = tail.len();
+        stats.wal_bytes = new_wal.byte_len();
         fsync_dir(&self.dir)?;
 
         let new_live = Manifest { segments, wal: wal_name };
         manifest::write_manifest(&self.dir, &new_live)?;
 
-        // The old file set is now superseded; best-effort removal (a
-        // crash here just leaves orphans for the next open's sweep).
+        // The flip landed: the new file set is live. The old set is now
+        // superseded; best-effort removal (a crash here just leaves
+        // orphans for the next open's sweep).
         for s in &self.live.segments {
             if !new_live.segments.iter().any(|n| n.name == s.name) {
                 let _ = std::fs::remove_file(self.dir.join(&s.name));
@@ -335,8 +481,10 @@ impl Backing {
 
         self.wal = new_wal;
         self.live = new_live;
-        self.seg_covered = run_len;
-        self.wal_appended = records.len();
-        Ok(())
+        self.wal_written = tail.len();
+        self.wal_synced = tail.len();
+        self.next_gen = next_gen;
+        self.needs_upgrade = false;
+        Ok((stats, assigned))
     }
 }

@@ -21,13 +21,22 @@
 //! body            the four sections, concatenated in table order
 //! ```
 //!
-//! Permutation entries are `u32` (a run never exceeds `u32::MAX` rows —
-//! enforced at write time), so a segment is ~135 bytes/row.
+//! Permutation entries are `u32`; every row position is converted with
+//! a checked narrowing at write time (`u32::try_from`) so a run past
+//! `u32::MAX` rows surfaces a typed [`PersistError`] instead of
+//! corrupting silently. A segment is ~135 bytes/row.
 //!
-//! On checksum or validation failure the loader renames the file to
-//! `<name>.quarantine` (best-effort) so the bad bytes survive for
+//! [`read_header`] validates just the fixed header (magic, version,
+//! header CRC, row/section accounting against the file length) without
+//! decoding the body — the multi-segment store uses it at open so a
+//! month of segments costs one small read each, and full decoding (with
+//! every section CRC and structural invariant checked) happens lazily
+//! on first query via [`load_segment`].
+//!
+//! On checksum or validation failure both entry points rename the file
+//! to `<name>.quarantine` (best-effort) so the bad bytes survive for
 //! forensics and never get mistaken for a live segment again, then
-//! returns [`PersistError::Corrupt`].
+//! return [`PersistError::Corrupt`].
 
 use std::path::{Path, PathBuf};
 
@@ -47,17 +56,33 @@ const SEG_VERSION: u32 = 1;
 /// descriptors + header CRC.
 const HEADER_BYTES: usize = 8 + 4 + 8 + 8 + 4 * 12 + 4;
 
+/// Encodes a row permutation as little-endian `u32`s with a checked
+/// narrowing per entry; `None` if any row position exceeds `u32::MAX`
+/// (an index that large must never be spilled — the caller surfaces a
+/// typed error at write time rather than truncating silently).
+fn encode_order(order: &[usize]) -> Option<Vec<u8>> {
+    let mut out = Vec::with_capacity(order.len() * 4);
+    for &row in order {
+        let row = u32::try_from(row).ok()?;
+        out.extend_from_slice(&row.to_le_bytes());
+    }
+    Some(out)
+}
+
 /// Writes `index` as segment `name` inside `dir`: temp file, fsync,
 /// rename into place, fsync the directory. The segment is fully valid
 /// or invisible — a crash mid-write leaves only a `.tmp` orphan.
-pub fn write_segment(dir: &Path, name: &str, index: &ColumnIndex) -> Result<(), PersistError> {
+/// Returns the number of bytes written (the write-amplification
+/// accounting behind [`super::SyncStats`]).
+pub fn write_segment(dir: &Path, name: &str, index: &ColumnIndex) -> Result<u64, PersistError> {
     let n = index.sorted.len();
     let m = index.machines.len();
+    let too_big = |what: &str| PersistError::Corrupt {
+        path: dir.join(name),
+        reason: format!("{what} exceeds u32::MAX; refusing to write a silently-truncated segment"),
+    };
     if u32::try_from(n).is_err() {
-        return Err(PersistError::Corrupt {
-            path: dir.join(name),
-            reason: "run exceeds u32::MAX rows; cannot encode permutations".to_string(),
-        });
+        return Err(too_big("run row count"));
     }
 
     let mut records = Vec::with_capacity(n * RECORD_BYTES);
@@ -68,25 +93,19 @@ pub fn write_segment(dir: &Path, name: &str, index: &ColumnIndex) -> Result<(), 
     for mid in &index.machines {
         machines.extend_from_slice(&mid.0.to_le_bytes());
     }
-    let encode_order = |order: &[usize]| {
-        let mut out = Vec::with_capacity(order.len() * 4);
-        for &row in order {
-            // Fits: n ≤ u32::MAX was checked above and row < n.
-            out.extend_from_slice(&(row as u32).to_le_bytes());
-        }
-        out
-    };
-    let hour_order = encode_order(&index.hour_order);
-    let machine_order = encode_order(&index.machine_order);
+    let hour_order =
+        encode_order(&index.hour_order).ok_or_else(|| too_big("hour permutation row"))?;
+    let machine_order =
+        encode_order(&index.machine_order).ok_or_else(|| too_big("machine permutation row"))?;
     let sections = [&records, &machines, &hour_order, &machine_order];
 
     let mut header = Vec::with_capacity(HEADER_BYTES);
     header.extend_from_slice(SEG_MAGIC);
     header.extend_from_slice(&SEG_VERSION.to_le_bytes());
-    header.extend_from_slice(&(n as u64).to_le_bytes());
-    header.extend_from_slice(&(m as u64).to_le_bytes());
+    header.extend_from_slice(&u64::try_from(n).unwrap_or_default().to_le_bytes());
+    header.extend_from_slice(&u64::try_from(m).unwrap_or_default().to_le_bytes());
     for s in sections {
-        header.extend_from_slice(&(s.len() as u64).to_le_bytes());
+        header.extend_from_slice(&u64::try_from(s.len()).unwrap_or_default().to_le_bytes());
         header.extend_from_slice(&crc32(s).to_le_bytes());
     }
     header.extend_from_slice(&crc32(&header).to_le_bytes());
@@ -103,25 +122,26 @@ pub fn write_segment(dir: &Path, name: &str, index: &ColumnIndex) -> Result<(), 
     f.sync_all().map_err(io_err("fsync segment temp", &tmp))?;
     drop(f);
     std::fs::rename(&tmp, &path).map_err(io_err("rename segment", &path))?;
-    fsync_dir(dir)
+    fsync_dir(dir)?;
+    Ok(u64::try_from(bytes.len()).unwrap_or(u64::MAX))
 }
 
-/// Loads segment `name` from `dir`, verifying every checksum and the
-/// structural invariants, and expecting exactly `expect_rows` rows (the
-/// count recorded in the manifest). Corruption quarantines the file and
-/// returns a typed error; it never panics.
-pub fn load_segment(dir: &Path, name: &str, expect_rows: u64) -> Result<ColumnIndex, PersistError> {
-    let path = dir.join(name);
-    let bytes = std::fs::read(&path).map_err(io_err("read segment", &path))?;
-    match parse_segment(&bytes, expect_rows) {
-        Ok(index) => Ok(index),
-        Err(reason) => Err(quarantine(dir, name, &path, reason)),
-    }
+/// The validated accounting a segment header describes.
+struct HeaderInfo {
+    /// Row count.
+    n: usize,
+    /// Machine count.
+    m: usize,
+    /// The four section lengths in table order.
+    lens: [usize; 4],
+    /// Total file size the header implies (header + sections).
+    total: usize,
 }
 
-/// Parses and validates a whole segment image. `Err` carries the
-/// human-readable reason; the caller turns it into a quarantine.
-fn parse_segment(bytes: &[u8], expect_rows: u64) -> Result<ColumnIndex, String> {
+/// Parses and validates the fixed header at the front of `bytes`
+/// (magic, version, header CRC, row-count agreement, section-length
+/// accounting). `bytes` may be just the header or the whole file.
+fn parse_header(bytes: &[u8], expect_rows: u64) -> Result<HeaderInfo, String> {
     if bytes.get(..SEG_MAGIC.len()) != Some(SEG_MAGIC.as_slice()) {
         return Err("missing or unrecognized segment magic".to_string());
     }
@@ -142,22 +162,16 @@ fn parse_segment(bytes: &[u8], expect_rows: u64) -> Result<ColumnIndex, String> 
     let n = usize::try_from(n64).map_err(|_| "row count overflows usize")?;
     let m = usize::try_from(m64).map_err(|_| "machine count overflows usize")?;
 
-    // Section descriptors, then slice out and checksum each section.
     let mut lens = [0usize; 4];
-    let mut crcs = [0u32; 4];
-    for (i, (len, crc)) in lens.iter_mut().zip(crcs.iter_mut()).enumerate() {
+    for (i, len) in lens.iter_mut().enumerate() {
         let at = 28 + i * 12;
         *len = usize::try_from(codec::u64_at(bytes, at).ok_or("truncated header")?)
             .map_err(|_| "section length overflows usize")?;
-        *crc = codec::u32_at(bytes, at + 8).ok_or("truncated header")?;
     }
     let total: usize = lens
         .iter()
         .try_fold(HEADER_BYTES, |acc, &l| acc.checked_add(l))
         .ok_or("section lengths overflow")?;
-    if bytes.len() != total {
-        return Err(format!("file is {} bytes, sections describe {total}", bytes.len()));
-    }
     let expect_lens = [
         n.checked_mul(RECORD_BYTES).ok_or("row count overflows")?,
         m.checked_mul(4).ok_or("machine count overflows")?,
@@ -166,6 +180,95 @@ fn parse_segment(bytes: &[u8], expect_rows: u64) -> Result<ColumnIndex, String> 
     ];
     if lens != expect_lens {
         return Err("section lengths disagree with row/machine counts".to_string());
+    }
+    Ok(HeaderInfo { n, m, lens, total })
+}
+
+/// Validates segment `name`'s header without decoding the body: magic,
+/// version, header CRC, row count against the manifest, and the file
+/// length against the section accounting. This is the cheap open-time
+/// check of the lazy-loading store; full body validation happens in
+/// [`load_segment`] on first query. Header-level corruption quarantines
+/// the file exactly like a load failure.
+pub fn read_header(dir: &Path, name: &str, expect_rows: u64) -> Result<(), PersistError> {
+    let path = dir.join(name);
+    let mut header = vec![0u8; HEADER_BYTES];
+    let outcome = (|| {
+        use std::io::Read;
+        let mut f = std::fs::File::open(&path).map_err(io_err("open segment", &path))?;
+        let file_len = f
+            .metadata()
+            .map_err(io_err("stat segment", &path))?
+            .len();
+        if let Err(e) = f.read_exact(&mut header) {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                return Ok(Err("truncated header".to_string()));
+            }
+            return Err(io_err("read segment header", &path)(e));
+        }
+        match parse_header(&header, expect_rows) {
+            Ok(info) => {
+                if u64::try_from(info.total).ok() != Some(file_len) {
+                    return Ok(Err(format!(
+                        "file is {file_len} bytes, sections describe {}",
+                        info.total
+                    )));
+                }
+                Ok(Ok(()))
+            }
+            Err(reason) => Ok(Err(reason)),
+        }
+    })();
+    match outcome {
+        Ok(Ok(())) => Ok(()),
+        Ok(Err(reason)) => Err(quarantine(dir, name, &path, reason)),
+        Err(io) => Err(io),
+    }
+}
+
+/// Loads segment `name` from `dir`, verifying every checksum and the
+/// structural invariants, and expecting exactly `expect_rows` rows (the
+/// count recorded in the manifest) and, when given, the inclusive
+/// `expect_bounds` hour range recorded there too. Corruption quarantines
+/// the file and returns a typed error; it never panics.
+pub fn load_segment(
+    dir: &Path,
+    name: &str,
+    expect_rows: u64,
+    expect_bounds: Option<(u64, u64)>,
+) -> Result<ColumnIndex, PersistError> {
+    let path = dir.join(name);
+    let bytes = std::fs::read(&path).map_err(io_err("read segment", &path))?;
+    match parse_segment(&bytes, expect_rows) {
+        Ok(index) => {
+            if let Some((lo, hi)) = expect_bounds {
+                let got = index.hours.first().copied().zip(index.hours.last().copied());
+                if got != Some((lo, hi)) {
+                    return Err(quarantine(
+                        dir,
+                        name,
+                        &path,
+                        format!("manifest says hours [{lo}, {hi}], segment covers {got:?}"),
+                    ));
+                }
+            }
+            Ok(index)
+        }
+        Err(reason) => Err(quarantine(dir, name, &path, reason)),
+    }
+}
+
+/// Parses and validates a whole segment image. `Err` carries the
+/// human-readable reason; the caller turns it into a quarantine.
+fn parse_segment(bytes: &[u8], expect_rows: u64) -> Result<ColumnIndex, String> {
+    let HeaderInfo { n, m, lens, total } = parse_header(bytes, expect_rows)?;
+    if bytes.len() != total {
+        return Err(format!("file is {} bytes, sections describe {total}", bytes.len()));
+    }
+    // Section CRCs from the (already-validated) descriptors.
+    let mut crcs = [0u32; 4];
+    for (i, crc) in crcs.iter_mut().enumerate() {
+        *crc = codec::u32_at(bytes, 28 + i * 12 + 8).ok_or("truncated header")?;
     }
     let mut sections = [&[] as &[u8]; 4];
     let mut at = HEADER_BYTES;
@@ -249,7 +352,7 @@ mod tests {
         let dir = tmpdir("roundtrip");
         let index = ColumnIndex::build(&records(500));
         write_segment(&dir, "seg-000001.kseg", &index).unwrap();
-        let back = load_segment(&dir, "seg-000001.kseg", 500).unwrap();
+        let back = load_segment(&dir, "seg-000001.kseg", 500, None).unwrap();
         assert_eq!(back.sorted, index.sorted);
         assert_eq!(back.machines, index.machines);
         assert_eq!(back.hour_order, index.hour_order);
@@ -262,11 +365,69 @@ mod tests {
     }
 
     #[test]
+    fn header_validation_accepts_good_segment_and_bounds_check_works() {
+        let dir = tmpdir("header");
+        let index = ColumnIndex::build(&records(210)); // hours 0..=29
+        write_segment(&dir, "seg-000001.kseg", &index).unwrap();
+        read_header(&dir, "seg-000001.kseg", 210).unwrap();
+        // Matching bounds load cleanly.
+        load_segment(&dir, "seg-000001.kseg", 210, Some((0, 29))).unwrap();
+        // Mismatched manifest bounds are corruption, not silence.
+        let err = load_segment(&dir, "seg-000001.kseg", 210, Some((0, 99))).unwrap_err();
+        assert!(matches!(err, PersistError::Corrupt { .. }));
+        assert!(dir.join("seg-000001.kseg.quarantine").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn header_validation_rejects_wrong_rows_and_truncation() {
+        let dir = tmpdir("header-bad");
+        let index = ColumnIndex::build(&records(64));
+        write_segment(&dir, "seg-000001.kseg", &index).unwrap();
+        let bytes = std::fs::read(dir.join("seg-000001.kseg")).unwrap();
+        // Wrong manifest row count.
+        std::fs::write(dir.join("a.kseg"), &bytes).unwrap();
+        assert!(matches!(
+            read_header(&dir, "a.kseg", 65).unwrap_err(),
+            PersistError::Corrupt { .. }
+        ));
+        assert!(dir.join("a.kseg.quarantine").exists());
+        // Body shorter than the header promises (caught without decoding).
+        std::fs::write(dir.join("b.kseg"), &bytes[..bytes.len() - 3]).unwrap();
+        assert!(matches!(
+            read_header(&dir, "b.kseg", 64).unwrap_err(),
+            PersistError::Corrupt { .. }
+        ));
+        // File shorter than the header itself.
+        std::fs::write(dir.join("c.kseg"), &bytes[..10]).unwrap();
+        assert!(matches!(
+            read_header(&dir, "c.kseg", 64).unwrap_err(),
+            PersistError::Corrupt { .. }
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Regression (satellite bugfix): permutation rows used to be
+    /// narrowed with a bare `as u32`, silently truncating any row past
+    /// `u32::MAX`. The encoder now uses a checked conversion; an
+    /// impossible row position is refused, never wrapped.
+    #[test]
+    #[cfg(target_pointer_width = "64")]
+    fn permutation_row_past_u32_is_refused_not_truncated() {
+        let big = u32::MAX as usize + 1;
+        assert_eq!(encode_order(&[0, big]), None, "oversized row must not encode");
+        // In-range rows still encode exactly.
+        let ok = encode_order(&[0, 1, u32::MAX as usize]).unwrap();
+        assert_eq!(ok.len(), 12);
+        assert_eq!(&ok[8..], &u32::MAX.to_le_bytes());
+    }
+
+    #[test]
     fn empty_run_roundtrips() {
         let dir = tmpdir("empty");
         let index = ColumnIndex::build(&[]);
         write_segment(&dir, "seg-000001.kseg", &index).unwrap();
-        let back = load_segment(&dir, "seg-000001.kseg", 0).unwrap();
+        let back = load_segment(&dir, "seg-000001.kseg", 0, None).unwrap();
         assert!(back.sorted.is_empty());
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -284,7 +445,7 @@ mod tests {
             let mut bytes = std::fs::read(&path).unwrap();
             bytes[at] ^= 0x40;
             std::fs::write(dir.join(&name), &bytes).unwrap();
-            let err = load_segment(&dir, &name, 300).unwrap_err();
+            let err = load_segment(&dir, &name, 300, None).unwrap_err();
             assert!(matches!(err, PersistError::Corrupt { .. }), "at byte {at}: {err}");
             assert!(dir.join(format!("{name}.quarantine")).exists(), "at byte {at}");
             assert!(!dir.join(&name).exists());
@@ -297,7 +458,7 @@ mod tests {
         let dir = tmpdir("rows");
         let index = ColumnIndex::build(&records(64));
         write_segment(&dir, "seg-000001.kseg", &index).unwrap();
-        let err = load_segment(&dir, "seg-000001.kseg", 65).unwrap_err();
+        let err = load_segment(&dir, "seg-000001.kseg", 65, None).unwrap_err();
         assert!(matches!(err, PersistError::Corrupt { .. }));
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -310,7 +471,7 @@ mod tests {
         let bytes = std::fs::read(dir.join("seg-000001.kseg")).unwrap();
         for cut in [0usize, 7, HEADER_BYTES - 2, HEADER_BYTES + 100, bytes.len() - 1] {
             std::fs::write(dir.join("cut.kseg"), &bytes[..cut]).unwrap();
-            let err = load_segment(&dir, "cut.kseg", 200).unwrap_err();
+            let err = load_segment(&dir, "cut.kseg", 200, None).unwrap_err();
             assert!(matches!(err, PersistError::Corrupt { .. }), "cut at {cut}");
         }
         std::fs::remove_dir_all(&dir).ok();

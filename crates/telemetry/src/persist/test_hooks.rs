@@ -1,0 +1,89 @@
+//! One-shot failure-injection points for the crash-recovery suite.
+//!
+//! Real crash testing needs failures *between* the durability steps —
+//! after WAL frames are written but before the fsync, or after new
+//! segments land but before the manifest flip. These hooks let a test
+//! arm exactly one such failure for one store directory; the
+//! persistence layer consults them at the matching point and, when
+//! armed, behaves as if the operation failed there (including any
+//! partial on-disk effects a real failure would leave).
+//!
+//! Hooks are keyed by directory and self-disarm on first trigger, so
+//! concurrently running tests (cargo runs them in one process) cannot
+//! trip each other's injections: a hook armed for `/tmp/store-a` is
+//! invisible to operations under `/tmp/store-b`. In production code
+//! paths the checks are a single mutex lock against an armed-`None`
+//! static.
+
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+static FAIL_WAL_SYNC: Mutex<Option<PathBuf>> = Mutex::new(None);
+static FAIL_WAL_APPEND: Mutex<Option<(PathBuf, u64)>> = Mutex::new(None);
+static FAIL_MANIFEST_FLIP: Mutex<Option<PathBuf>> = Mutex::new(None);
+
+/// Locks ignoring poison: a panicking test must not wedge the others.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Arms a one-shot failure for the next WAL fsync under `dir`: the
+/// frames are written to the file, the durability barrier "fails".
+pub fn fail_next_wal_sync(dir: &Path) {
+    *lock(&FAIL_WAL_SYNC) = Some(dir.to_path_buf());
+}
+
+/// Arms a one-shot mid-frame append failure for the next WAL append
+/// under `dir`: only the first `bytes_written` bytes of the frame reach
+/// the file before the "crash" — a torn frame, as a power cut leaves.
+pub fn fail_wal_append_mid_frame(dir: &Path, bytes_written: u64) {
+    *lock(&FAIL_WAL_APPEND) = Some((dir.to_path_buf(), bytes_written));
+}
+
+/// Arms a one-shot failure for the next manifest flip under `dir`: the
+/// temp manifest (and any new segments/WAL) are on disk, but the rename
+/// that would make them live never happens.
+pub fn fail_next_manifest_flip(dir: &Path) {
+    *lock(&FAIL_MANIFEST_FLIP) = Some(dir.to_path_buf());
+}
+
+/// Disarms every hook, armed or not. Tests call this in setup so an
+/// earlier failed test cannot leak an injection into them.
+pub fn reset() {
+    *lock(&FAIL_WAL_SYNC) = None;
+    *lock(&FAIL_WAL_APPEND) = None;
+    *lock(&FAIL_MANIFEST_FLIP) = None;
+}
+
+/// True (once) if a WAL-fsync failure is armed for `path`'s store.
+pub(crate) fn take_wal_sync_failure(path: &Path) -> bool {
+    let mut g = lock(&FAIL_WAL_SYNC);
+    if g.as_ref().is_some_and(|dir| path.starts_with(dir)) {
+        *g = None;
+        true
+    } else {
+        false
+    }
+}
+
+/// The armed partial-write length (once) if a mid-frame append failure
+/// is armed for `path`'s store.
+pub(crate) fn take_wal_append_failure(path: &Path) -> Option<u64> {
+    let mut g = lock(&FAIL_WAL_APPEND);
+    if g.as_ref().is_some_and(|(dir, _)| path.starts_with(dir)) {
+        g.take().map(|(_, bytes)| bytes)
+    } else {
+        None
+    }
+}
+
+/// True (once) if a manifest-flip failure is armed for `dir`'s store.
+pub(crate) fn take_manifest_flip_failure(dir: &Path) -> bool {
+    let mut g = lock(&FAIL_MANIFEST_FLIP);
+    if g.as_ref().is_some_and(|armed| dir.starts_with(armed)) {
+        *g = None;
+        true
+    } else {
+        false
+    }
+}

@@ -14,6 +14,13 @@
 //! is truncated (`set_len`) so subsequent appends land on a clean
 //! boundary. A torn tail is an expected outcome, not an error.
 //!
+//! The log also tracks its own clean high-water mark in memory: a batch
+//! that fails partway through an [`Wal::append`] marks the log torn, and
+//! the next append first truncates back to the last fully-written batch
+//! boundary. A failed append therefore leaves nothing behind — retrying
+//! it cannot produce duplicate frames, which is what makes the store's
+//! sync retry idempotent.
+//!
 //! [`TelemetryStore`]: crate::TelemetryStore
 
 use std::fs::{File, OpenOptions};
@@ -22,7 +29,7 @@ use std::path::{Path, PathBuf};
 
 use super::codec::{self, RECORD_BYTES};
 use super::crc::crc32;
-use super::{io_err, PersistError};
+use super::{io_err, test_hooks, PersistError};
 use crate::record::MachineHourRecord;
 
 /// Magic bytes opening every WAL file.
@@ -41,6 +48,14 @@ const MAX_FRAME_RECORDS: usize = 1 << 24;
 pub struct Wal {
     file: File,
     path: PathBuf,
+    /// Bytes written so far (may include a torn batch; see `torn`).
+    len: u64,
+    /// Length of the longest prefix containing only fully-appended
+    /// batches — where the next append restarts from after a failure.
+    clean_len: u64,
+    /// Set when an append failed partway; the file may hold a partial
+    /// frame past `clean_len` that must be truncated before reuse.
+    torn: bool,
 }
 
 /// Outcome of replaying a WAL on open.
@@ -70,7 +85,14 @@ impl Wal {
             .truncate(true)
             .open(path)
             .map_err(io_err("create wal", path))?;
-        let mut wal = Wal { file, path: path.to_path_buf() };
+        let magic_len = WAL_MAGIC.len() as u64;
+        let mut wal = Wal {
+            file,
+            path: path.to_path_buf(),
+            len: magic_len,
+            clean_len: magic_len,
+            torn: false,
+        };
         wal.file
             .write_all(WAL_MAGIC)
             .map_err(io_err("write wal magic", path))?;
@@ -117,14 +139,42 @@ impl Wal {
             }
         }
 
-        file.seek(SeekFrom::End(0)).map_err(io_err("seek wal end", path))?;
-        let wal = Wal { file, path: path.to_path_buf() };
+        file.seek(SeekFrom::Start(at as u64)).map_err(io_err("seek wal end", path))?;
+        let wal = Wal {
+            file,
+            path: path.to_path_buf(),
+            len: at as u64,
+            clean_len: at as u64,
+            torn: false,
+        };
         Ok(WalReplay { wal, records, truncated_at })
     }
 
+    /// Current logical length in bytes: everything up to the last
+    /// fully-appended batch. Feeds the store's per-sync write
+    /// accounting.
+    pub fn byte_len(&self) -> u64 {
+        if self.torn { self.clean_len } else { self.len }
+    }
+
     /// Appends `records` as one frame (split only past the 2^24-record
-    /// cap) without fsyncing; pair with [`Wal::sync`].
+    /// cap) without fsyncing; pair with [`Wal::sync`]. The batch is
+    /// all-or-nothing: on failure the log is marked torn and the next
+    /// append truncates back to the pre-batch boundary first, so a
+    /// retried batch never duplicates frames.
     pub fn append(&mut self, records: &[MachineHourRecord]) -> Result<(), PersistError> {
+        if self.torn {
+            // Erase the partial frame(s) a previous failed batch left
+            // behind before writing anything new.
+            self.file
+                .set_len(self.clean_len)
+                .map_err(io_err("truncate torn wal batch", &self.path))?;
+            self.file
+                .seek(SeekFrom::Start(self.clean_len))
+                .map_err(io_err("seek wal clean end", &self.path))?;
+            self.len = self.clean_len;
+            self.torn = false;
+        }
         let mut rest = records;
         loop {
             let take = rest.len().min(MAX_FRAME_RECORDS);
@@ -138,6 +188,7 @@ impl Wal {
             }
             rest = tail;
         }
+        self.clean_len = self.len;
         Ok(())
     }
 
@@ -159,13 +210,47 @@ impl Wal {
         frame.extend_from_slice(&len.to_le_bytes());
         frame.extend_from_slice(&crc32(&payload).to_le_bytes());
         frame.extend_from_slice(&payload);
-        self.file
-            .write_all(&frame)
-            .map_err(io_err("append wal frame", &self.path))
+        // Crash-injection point for the crash suite: write only a
+        // prefix of the frame, then fail — exactly what a full disk or
+        // power cut mid-write leaves behind.
+        if let Some(cut) = test_hooks::take_wal_append_failure(&self.path) {
+            let cut = usize::try_from(cut).unwrap_or(usize::MAX).min(frame.len());
+            let _ = self.file.write_all(frame.get(..cut).unwrap_or_default());
+            self.torn = true;
+            return Err(PersistError::Io {
+                op: "append wal frame (injected failure)",
+                path: self.path.clone(),
+                source: std::io::Error::new(
+                    std::io::ErrorKind::Other,
+                    "injected mid-frame append failure",
+                ),
+            });
+        }
+        if let Err(e) = self.file.write_all(&frame) {
+            // A short write may have landed part of the frame; mark the
+            // batch torn so a retry starts from the clean boundary.
+            self.torn = true;
+            return Err(io_err("append wal frame", &self.path)(e));
+        }
+        self.len += frame.len() as u64;
+        Ok(())
     }
 
     /// Flushes appended frames to stable storage (`fdatasync`).
     pub fn sync(&mut self) -> Result<(), PersistError> {
+        // Crash-injection point: the frames hit the file, the barrier
+        // did not. The data is all written (a later sync persists it) —
+        // the caller must not re-append it on retry.
+        if test_hooks::take_wal_sync_failure(&self.path) {
+            return Err(PersistError::Io {
+                op: "fsync wal (injected failure)",
+                path: self.path.clone(),
+                source: std::io::Error::new(
+                    std::io::ErrorKind::Other,
+                    "injected wal fsync failure",
+                ),
+            });
+        }
         self.file.sync_data().map_err(io_err("fsync wal", &self.path))
     }
 }
@@ -215,6 +300,7 @@ mod tests {
         let second: Vec<_> = (10..25).map(rec).collect();
         wal.append(&second).unwrap();
         wal.sync().unwrap();
+        assert_eq!(wal.byte_len(), std::fs::metadata(&path).unwrap().len());
         drop(wal);
 
         let replay = Wal::open(&path).unwrap();
@@ -282,5 +368,30 @@ mod tests {
         let err = Wal::open(&path).unwrap_err();
         assert!(matches!(err, PersistError::Corrupt { .. }));
         std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    /// A batch that fails mid-frame leaves the log torn; retrying the
+    /// same batch truncates the partial frame first, so replay sees the
+    /// batch exactly once.
+    #[test]
+    fn failed_batch_retries_without_duplicates() {
+        let path = tmp("retry");
+        let dir = path.parent().unwrap().to_path_buf();
+        let mut wal = Wal::create(&path, &(0..6).map(rec).collect::<Vec<_>>()).unwrap();
+        let batch: Vec<_> = (6..12).map(rec).collect();
+
+        test_hooks::fail_wal_append_mid_frame(&dir, 20);
+        let err = wal.append(&batch).unwrap_err();
+        assert!(matches!(err, PersistError::Io { .. }));
+        // Partial bytes are on disk but excluded from the logical length.
+        assert!(std::fs::metadata(&path).unwrap().len() > wal.byte_len());
+
+        wal.append(&batch).unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let replay = Wal::open(&path).unwrap();
+        assert_eq!(replay.records, (0..12).map(rec).collect::<Vec<_>>());
+        assert!(replay.truncated_at.is_none());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

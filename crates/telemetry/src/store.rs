@@ -1,70 +1,127 @@
 //! In-memory telemetry store: columnar, indexed, with incremental re-seal.
 //!
 //! The production KEA pipeline lands metrics in Cosmos itself and re-reads
-//! them daily; our reproduction keeps the observation window in memory
-//! (a 7-day window for a simulated cluster is a few million records at
-//! most). The store is append-only with filtered views — exactly the
-//! access pattern of the Performance Monitor — and every module re-reads
-//! the same window many times per tuning run, so reads are what must be
-//! fast *and* appends must not invalidate the read structures wholesale:
-//! the monitor is a continuously running service ingesting per-hour
-//! batches.
+//! them daily; our reproduction keeps the observation window addressable
+//! in memory while the durable history scales past it. The store is
+//! append-only with filtered views — exactly the access pattern of the
+//! Performance Monitor — and every module re-reads the same window many
+//! times per tuning run, so reads are what must be fast *and* appends
+//! must not invalidate the read structures wholesale: the monitor is a
+//! continuously running service ingesting per-hour batches.
 //!
-//! # Layout: sealed run + sorted delta
+//! # Layout: N sealed runs + sorted delta
 //!
-//! The store is a two-level LSM-shaped structure:
+//! The store is an LSM-shaped structure:
 //!
-//! * The **sealed run** is an immutable [`ColumnIndex`]: the compacted
-//!   prefix of the record log, sorted by `(group, hour, machine)` with
-//!   interned dense ids, CSR offset-range indexes over groups/hours/
-//!   machines, and struct-of-arrays metric columns.
+//! * The **sealed runs** are immutable [`ColumnIndex`]es, oldest first:
+//!   each is a compacted slice of history, sorted by `(group, hour,
+//!   machine)` with interned dense ids, CSR offset-range indexes over
+//!   groups/hours/machines, and struct-of-arrays metric columns. Every
+//!   run carries its inclusive `[min_hour, max_hour]` bounds, so
+//!   hour-windowed queries skip runs that cannot contain the window.
 //! * The **delta** is the tail of the record log appended since the last
-//!   compaction. On first query it is sealed into a *mini* `ColumnIndex`
-//!   of its own (cost `O(d log d)` for `d` delta rows — small by
+//!   seal. On first query it is sealed into a *mini* `ColumnIndex` of
+//!   its own (cost `O(d log d)` for `d` delta rows — small by
 //!   construction), cached until the next mutation.
 //!
 //! Every view ([`by_group`](TelemetryStore::by_group),
 //! [`by_hours`](TelemetryStore::by_hours), …) and every fused kernel in
-//! [`crate::aggregate`] answers by **merging run + delta** — two sorted
-//! sources, one key-ordered two-way merge, no re-sort. When the delta
-//! outgrows `max(1024, 5% of run)` (checked once per mutating call) or on
-//! an explicit [`seal`](TelemetryStore::seal), the delta is **compacted**
-//! into a new sealed run by [`ColumnIndex::merge`] — a linear `O(n + d)`
-//! merge of two sorted sequences instead of an `O((n+d) log (n+d))`
-//! rebuild.
+//! [`crate::aggregate`] answers by **k-way merging** the relevant runs
+//! plus the delta — sorted sources, one key-ordered merge, no re-sort.
+//! When the delta outgrows its threshold (checked once per mutating
+//! call) or on an explicit [`seal`](TelemetryStore::seal), it becomes a
+//! new sealed run; a *ladder* compaction then merges the newest runs
+//! while each is no larger than its elder neighbour — the classic
+//! binary-counter schedule, so every record is re-merged `O(log n)`
+//! times total and big old runs are left untouched by small fresh ones.
+//! [`compact_segments`](TelemetryStore::compact_segments) additionally
+//! k-way-merges adjacent runs whose hour bounds overlap (restoring
+//! pruning precision) or that are undersized.
+//!
+//! # Durability
+//!
+//! A store created by [`TelemetryStore::open`] mirrors each sealed run
+//! to a segment file under the manifest-flip protocol of
+//! [`crate::persist`]. Segment-backed runs load **lazily**: opening a
+//! directory validates headers only, a run's body is decoded on the
+//! first query that touches it, and [`sync`](TelemetryStore::sync)
+//! evicts the coldest decoded runs past a small LRU budget
+//! ([`set_segment_cache_limit`](TelemetryStore::set_segment_cache_limit)).
+//! A run whose segment fails validation at load time is quarantined and
+//! served as empty; the store remembers the failure ("degraded"),
+//! [`verify`](TelemetryStore::verify) and `sync` surface it, and `sync`
+//! refuses to rewrite history from a degraded image.
 //!
 //! The pre-columnar flat-scan implementation survives unchanged as
 //! [`reference::TelemetryStore`]: it is the executable specification that
-//! the randomized agreement suite (`tests/agreement.rs`) pins the run+delta
-//! engine against at every intermediate state of interleaved mutate/query
-//! sequences, and the baseline the `telemetry_scan`/`telemetry_stream`
-//! benches measure speedups over.
+//! the randomized agreement suite (`tests/agreement.rs`) pins the
+//! multi-run engine against at every intermediate state of interleaved
+//! mutate/query sequences, and the baseline the
+//! `telemetry_scan`/`telemetry_stream` benches measure speedups over.
 
 use crate::metric::Metric;
 use crate::persist;
 use crate::record::{GroupKey, MachineHourRecord, MachineId};
 use std::collections::BTreeSet;
 use std::ops::Range;
-use std::sync::OnceLock;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
 
-/// Delta sizes below this never trigger automatic compaction: merging a
-/// handful of rows per mutation would pay the `O(n)` run rewrite with no
-/// read-side benefit.
+/// Delta sizes below this never trigger automatic sealing: indexing a
+/// handful of rows per mutation would pay the sort with no read-side
+/// benefit.
 const MIN_COMPACT_DELTA: usize = 1024;
 
-/// Append-only store of machine-hour records with a sealed columnar run
+/// Runs smaller than this are merge targets for the sync-time policy
+/// compaction: they cost a manifest entry and a header read each, and
+/// merging two of them is cheap by definition.
+const MIN_SEGMENT_ROWS: usize = 4096;
+
+/// Default cap on decoded segment-backed runs kept resident between
+/// syncs.
+const DEFAULT_SEGMENT_CACHE: usize = 8;
+
+/// One sealed, immutable run of the store.
+///
+/// Invariants: `rows >= 1` (empty runs are never created); when `seg`
+/// is `None` the run exists only in memory and `index` is always
+/// resident (there is nothing to reload it from).
+#[derive(Debug)]
+struct SealedRun {
+    /// Row count (also recorded in the manifest once persisted).
+    rows: usize,
+    /// Inclusive `[min_hour, max_hour]` covered by the run.
+    bounds: (u64, u64),
+    /// Segment file name once persisted by a sync; `None` while dirty.
+    seg: Option<String>,
+    /// Decoded index; for segment-backed runs, loaded lazily on first
+    /// touch and evictable at `&mut self` points.
+    index: OnceLock<ColumnIndex>,
+    /// LRU stamp from the store's touch clock (Relaxed is enough: the
+    /// stamp only orders evictions, never gates an observable read).
+    touch: AtomicU64,
+}
+
+impl SealedRun {
+    /// A run born in memory from `index`, with `bounds` already
+    /// extracted by the caller (who also guarantees non-emptiness).
+    fn dirty(index: ColumnIndex, bounds: (u64, u64)) -> SealedRun {
+        let rows = index.sorted.len();
+        let cell = OnceLock::new();
+        let _ = cell.set(index);
+        SealedRun { rows, bounds, seg: None, index: cell, touch: AtomicU64::new(0) }
+    }
+}
+
+/// Append-only store of machine-hour records: N sealed columnar runs
 /// plus a small delta buffer for streaming appends.
 #[derive(Debug)]
 pub struct TelemetryStore {
-    /// Insertion-order record log ([`iter`](TelemetryStore::iter) and CSV
-    /// round-trips preserve this order exactly). `records[..run_len]` is
-    /// compacted into `run`; `records[run_len..]` is the delta.
-    records: Vec<MachineHourRecord>,
-    /// How many leading records are covered by the sealed run.
-    run_len: usize,
-    /// Sealed columnar run over `records[..run_len]` (row-equivalent as a
-    /// multiset; the run stores them re-sorted).
-    run: ColumnIndex,
+    /// Sealed runs, oldest first.
+    runs: Vec<SealedRun>,
+    /// Insertion-order delta tail appended since the last seal.
+    tail: Vec<MachineHourRecord>,
     /// Lazily built mini-index over the delta tail, invalidated by every
     /// mutation.
     delta: OnceLock<ColumnIndex>,
@@ -72,16 +129,28 @@ pub struct TelemetryStore {
     /// created by [`TelemetryStore::open`]. In-memory stores (the
     /// default) carry `None` and reject [`TelemetryStore::sync`].
     backing: Option<persist::Backing>,
+    /// First segment-load failure observed by a query, if any. Queries
+    /// cannot return `Result` (they are infallible on in-memory
+    /// stores), so a lazy load that fails parks its diagnosis here,
+    /// serves the run as empty, and [`TelemetryStore::verify`] /
+    /// [`TelemetryStore::sync`] surface it.
+    degraded: Mutex<Option<(PathBuf, String)>>,
+    /// Max decoded segment-backed runs kept resident across syncs.
+    cache_limit: usize,
+    /// Monotonic clock behind the per-run LRU touch stamps.
+    touch_clock: AtomicU64,
 }
 
 impl Default for TelemetryStore {
     fn default() -> Self {
         TelemetryStore {
-            records: Vec::new(),
-            run_len: 0,
-            run: ColumnIndex::build(&[]),
+            runs: Vec::new(),
+            tail: Vec::new(),
             delta: OnceLock::new(),
             backing: None,
+            degraded: Mutex::new(None),
+            cache_limit: DEFAULT_SEGMENT_CACHE,
+            touch_clock: AtomicU64::new(0),
         }
     }
 }
@@ -91,21 +160,35 @@ impl Clone for TelemetryStore {
     /// *detached*: it holds the same records but no file handles, so
     /// mutating the clone never races the original's directory and
     /// `sync()` on the clone reports [`persist::PersistError::NotDurable`].
+    /// Cloning forces lazy runs resident; runs a degraded original
+    /// serves as empty are dropped from the clone (which is then
+    /// internally consistent and not degraded).
     fn clone(&self) -> Self {
+        let runs = self
+            .runs
+            .iter()
+            .filter_map(|r| {
+                let index = self.run_side(r).clone();
+                let bounds = index.hours.first().copied().zip(index.hours.last().copied())?;
+                Some(SealedRun::dirty(index, bounds))
+            })
+            .collect();
         TelemetryStore {
-            records: self.records.clone(),
-            run_len: self.run_len,
-            run: self.run.clone(),
+            runs,
+            tail: self.tail.clone(),
             delta: self.delta.clone(),
             backing: None,
+            degraded: Mutex::new(None),
+            cache_limit: self.cache_limit,
+            touch_clock: AtomicU64::new(0),
         }
     }
 }
 
 /// The sealed columnar layout. Built by [`ColumnIndex::build`] (sort) or
-/// [`ColumnIndex::merge`] (linear two-run compaction); immutable
-/// afterwards. All `Vec<usize>` offset tables follow the CSR convention:
-/// `offsets.len() == keys.len() + 1` and key `i` owns rows
+/// [`ColumnIndex::merge_many`] (linear compaction of sorted runs);
+/// immutable afterwards. All `Vec<usize>` offset tables follow the CSR
+/// convention: `offsets.len() == keys.len() + 1` and key `i` owns rows
 /// `offsets[i]..offsets[i + 1]`.
 //
 // kea-lint: allow-file(index-in-library) — dense index kernel: every row
@@ -139,8 +222,8 @@ pub(crate) struct ColumnIndex {
     pub(crate) columns: Vec<Vec<f64>>,
 }
 
-/// The empty index — the delta side of every merge while the store is
-/// sealed, so sealed-path views run the same code as merged views.
+/// The empty index — the stand-in side wherever view code wants a
+/// uniform merge shape or a degraded run must serve something.
 pub(crate) fn empty_index() -> &'static ColumnIndex {
     static EMPTY: OnceLock<ColumnIndex> = OnceLock::new();
     EMPTY.get_or_init(|| ColumnIndex::build(&[]))
@@ -318,8 +401,8 @@ impl ColumnIndex {
     /// Compacts two sealed indexes into one in `O(n + d)`: every table is
     /// produced by a linear two-way merge of the already-sorted inputs —
     /// no re-sort of the combined row set. `a` rows win ties, so merging
-    /// the run (older) with the delta (newer) keeps arrival order among
-    /// duplicate `(group, hour, machine)` keys.
+    /// an older run with a newer one keeps arrival order among duplicate
+    /// `(group, hour, machine)` keys.
     pub(crate) fn merge(a: &ColumnIndex, b: &ColumnIndex) -> ColumnIndex {
         if a.sorted.is_empty() {
             return b.clone();
@@ -419,6 +502,28 @@ impl ColumnIndex {
             machine_offsets,
             columns,
         }
+    }
+
+    /// Compacts any number of sealed indexes, oldest first, into one.
+    /// Earlier sides win ties throughout, so duplicate keys keep arrival
+    /// order across the whole ladder. Implemented as a left fold of the
+    /// stable two-way [`ColumnIndex::merge`]: with `k` sides of `n`
+    /// total rows both the fold and a cursor-scan k-way merge cost
+    /// `O(n·k)` comparisons, and the fold reuses the one merge kernel
+    /// the invariants are proven on.
+    pub(crate) fn merge_many(sides: &[&ColumnIndex]) -> ColumnIndex {
+        let mut nonempty = sides.iter().filter(|s| !s.sorted.is_empty());
+        let Some(&first) = nonempty.next() else {
+            return empty_index().clone();
+        };
+        let mut acc: Option<ColumnIndex> = None;
+        for &s in nonempty {
+            acc = Some(match &acc {
+                None => ColumnIndex::merge(first, s),
+                Some(a) => ColumnIndex::merge(a, s),
+            });
+        }
+        acc.unwrap_or_else(|| first.clone())
     }
 
     /// Row range of one group in `sorted`, empty when absent.
@@ -598,7 +703,7 @@ pub(crate) fn remap_into(sub: &[MachineId], all: &[MachineId]) -> Vec<u32> {
 
 /// Merge two secondary-key-ordered row permutations into one over the
 /// merged row space: compare by `key` on each side's own index, map
-/// through the row position maps. `a` wins ties (run before delta).
+/// through the row position maps. `a` wins ties (older before newer).
 fn merge_permutation<K: Ord>(
     a: &ColumnIndex,
     b: &ColumnIndex,
@@ -624,24 +729,28 @@ fn merge_permutation<K: Ord>(
     out
 }
 
-/// Key-ordered two-way merge of a run view and a delta view, both sorted
-/// by `(hour, machine)`; the run side wins ties.
-fn merge_by_hour_machine<'a>(
-    run: impl Iterator<Item = &'a MachineHourRecord> + 'a,
-    delta: impl Iterator<Item = &'a MachineHourRecord> + 'a,
-) -> impl Iterator<Item = &'a MachineHourRecord> + 'a {
-    let mut run = run.peekable();
-    let mut delta = delta.peekable();
-    std::iter::from_fn(move || match (run.peek(), delta.peek()) {
-        (Some(r), Some(d)) => {
-            if (r.hour, r.machine) <= (d.hour, d.machine) {
-                run.next()
-            } else {
-                delta.next()
+/// Key-ordered k-way merge of per-side views, each sorted by
+/// `(hour, machine)`. The earliest side wins ties, so passing sides
+/// oldest-run-first (delta last) keeps arrival order among duplicate
+/// keys — the same contract the two-run store upheld.
+fn merge_k_by_hour_machine<'a, I>(sides: Vec<I>) -> impl Iterator<Item = &'a MachineHourRecord>
+where
+    I: Iterator<Item = &'a MachineHourRecord> + 'a,
+{
+    let mut sides: Vec<std::iter::Peekable<I>> =
+        sides.into_iter().map(|s| s.peekable()).collect();
+    std::iter::from_fn(move || {
+        let mut best: Option<(usize, (u64, MachineId))> = None;
+        for (i, side) in sides.iter_mut().enumerate() {
+            if let Some(r) = side.peek() {
+                let k = (r.hour, r.machine);
+                if best.as_ref().is_none_or(|&(_, bk)| k < bk) {
+                    best = Some((i, k));
+                }
             }
         }
-        (Some(_), None) => run.next(),
-        (None, _) => delta.next(),
+        let (i, _) = best?;
+        sides.get_mut(i)?.next()
     })
 }
 
@@ -677,48 +786,105 @@ impl TelemetryStore {
     }
 
     /// Opens a durable store rooted at directory `dir`, creating it on
-    /// first use and recovering its contents otherwise: live segments
-    /// are loaded (checksum-verified and structurally validated) and
-    /// merged into the sealed run, then the write-ahead log is replayed
-    /// into the delta tail, truncating any torn tail a crash left
-    /// behind. Corruption surfaces as a typed
-    /// [`persist::PersistError`] — recovery never panics.
+    /// first use and recovering its contents otherwise: the manifest
+    /// names the live segments with their row counts and hour bounds,
+    /// each segment's header is validated (bodies decode lazily on
+    /// first query), and the write-ahead log is replayed into the delta
+    /// tail, truncating any torn tail a crash left behind. Manifests
+    /// from before hour bounds existed (v1) open too — their segments
+    /// load eagerly and the next sync upgrades the directory.
+    /// Corruption surfaces as a typed [`persist::PersistError`] —
+    /// recovery never panics.
     ///
     /// Note that recovery restores the *record multiset*, not the
-    /// original insertion order: the sealed prefix comes back in
-    /// `(group, hour, machine)` order (segments store the run
-    /// pre-sorted), while the delta tail keeps exact append order.
-    /// Every view and kernel is order-insensitive, so query results
-    /// are unchanged.
+    /// original insertion order: sealed runs come back in
+    /// `(group, hour, machine)` order (segments store them pre-sorted),
+    /// while the delta tail keeps exact append order. Every view and
+    /// kernel is order-insensitive, so query results are unchanged.
     pub fn open(dir: impl AsRef<std::path::Path>) -> Result<Self, persist::PersistError> {
         let recovered = persist::recover(dir.as_ref())?;
-        let mut records = recovered.run.sorted.clone();
-        let run_len = records.len();
-        records.extend_from_slice(&recovered.delta);
+        let runs = recovered
+            .runs
+            .into_iter()
+            .map(|r| {
+                let cell = OnceLock::new();
+                if let Some(index) = r.index {
+                    let _ = cell.set(index);
+                }
+                SealedRun {
+                    rows: r.rows,
+                    bounds: r.bounds,
+                    seg: Some(r.name),
+                    index: cell,
+                    touch: AtomicU64::new(0),
+                }
+            })
+            .collect();
         Ok(TelemetryStore {
-            records,
-            run_len,
-            run: recovered.run,
+            runs,
+            tail: recovered.delta,
             delta: OnceLock::new(),
             backing: Some(recovered.backing),
+            ..TelemetryStore::default()
         })
     }
 
     /// Flushes every record appended since the last `sync` to stable
-    /// storage. On the fast path this is one WAL frame and one fsync;
-    /// when the store compacted since the last sync it instead spills
-    /// the new run as a segment file, starts a fresh WAL holding only
-    /// the delta tail, and atomically flips the manifest.
+    /// storage and returns what was written. On the fast path this is
+    /// one WAL frame and one fsync; when the run set changed (a seal or
+    /// compaction) it spills each *dirty* run as a fresh segment —
+    /// unchanged segments are never rewritten — starts a fresh WAL
+    /// holding only the delta tail, and atomically flips the manifest.
+    /// Runs below [`MIN_SEGMENT_ROWS`] are first folded into their
+    /// neighbours (the sync-time compaction policy), and decoded
+    /// segment runs beyond the cache budget are evicted after.
     ///
     /// Records are durable — guaranteed to survive a crash or kill —
-    /// only once `sync` returns `Ok`. `push`/`extend`/`seal` never
-    /// touch disk. Returns [`persist::PersistError::NotDurable`] on a
-    /// store that was not created by [`TelemetryStore::open`].
-    pub fn sync(&mut self) -> Result<(), persist::PersistError> {
+    /// only once `sync` returns `Ok`. A failed sync may be retried and
+    /// never duplicates records. `push`/`extend`/`seal` never touch
+    /// disk. Returns [`persist::PersistError::NotDurable`] on a store
+    /// that was not created by [`TelemetryStore::open`], and refuses
+    /// (with the original diagnosis) on a store degraded by a corrupt
+    /// segment, so a partial in-memory image never overwrites history.
+    pub fn sync(&mut self) -> Result<persist::SyncStats, persist::PersistError> {
+        if let Some(err) = self.degraded_error() {
+            return Err(err);
+        }
+        if self.backing.is_none() {
+            return Err(persist::PersistError::NotDurable);
+        }
+        self.policy_compact();
+        // A policy merge may itself have tripped a lazy load failure.
+        if let Some(err) = self.degraded_error() {
+            return Err(err);
+        }
+        let refs: Vec<persist::RunRef<'_>> = self
+            .runs
+            .iter()
+            .map(|r| match (&r.seg, r.index.get()) {
+                (Some(name), _) => persist::RunRef::Clean {
+                    name,
+                    rows: r.rows as u64,
+                    bounds: r.bounds,
+                },
+                (None, Some(index)) => persist::RunRef::Dirty { index },
+                // Unreachable by invariant (dirty runs are resident);
+                // an empty side is simply skipped by the rotation.
+                (None, None) => persist::RunRef::Dirty { index: empty_index() },
+            })
+            .collect();
         let Some(backing) = self.backing.as_mut() else {
             return Err(persist::PersistError::NotDurable);
         };
-        backing.sync(&self.records, self.run_len, &self.run)
+        let (stats, assigned) = backing.sync(&refs, &self.tail)?;
+        drop(refs);
+        for (run, name) in self.runs.iter_mut().zip(assigned) {
+            if let Some(name) = name {
+                run.seg = Some(name);
+            }
+        }
+        self.evict_cold();
+        Ok(stats)
     }
 
     /// True when this store is attached to a directory and
@@ -732,26 +898,61 @@ impl TelemetryStore {
         self.backing.as_ref().map(|b| b.dir())
     }
 
-    /// Appends one record into the delta buffer. The sealed run is left
-    /// untouched; only the delta mini-index is invalidated. Non-finite
-    /// metric blocks are rejected by debug assertion — the simulator must
-    /// never emit them (CSV ingest checks them with a typed error
-    /// instead, see [`crate::csv`]). Compacts when the delta outgrows its
-    /// threshold.
+    /// Forces every run resident and reports the first segment-load
+    /// failure, if any — the explicit "is my history intact?" check.
+    /// Queries on a degraded store serve the surviving runs (the bad
+    /// segment is quarantined and its run reads as empty); this is how
+    /// a caller distinguishes that state from a clean one.
+    pub fn verify(&self) -> Result<(), persist::PersistError> {
+        for run in &self.runs {
+            let _ = self.run_side(run);
+        }
+        match self.degraded_error() {
+            Some(err) => Err(err),
+            None => Ok(()),
+        }
+    }
+
+    /// Number of sealed runs currently live.
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Number of sealed runs with a decoded index resident in memory —
+    /// what hour-bound pruning and the LRU cache actually bound.
+    pub fn resident_runs(&self) -> usize {
+        self.runs.iter().filter(|r| r.index.get().is_some()).count()
+    }
+
+    /// Caps how many decoded segment-backed runs stay resident across
+    /// [`sync`](TelemetryStore::sync) calls (minimum 1), evicting the
+    /// coldest immediately if over. Dirty (not-yet-persisted) runs are
+    /// never evicted — disk holds nothing to reload them from.
+    pub fn set_segment_cache_limit(&mut self, limit: usize) {
+        self.cache_limit = limit.max(1);
+        self.evict_cold();
+    }
+
+    /// Appends one record into the delta buffer. The sealed runs are
+    /// left untouched; only the delta mini-index is invalidated.
+    /// Non-finite metric blocks are rejected by debug assertion — the
+    /// simulator must never emit them (CSV ingest checks them with a
+    /// typed error instead, see [`crate::csv`]). Seals when the delta
+    /// outgrows its threshold.
     pub fn push(&mut self, record: MachineHourRecord) {
         debug_assert!(record.metrics.is_finite(), "non-finite telemetry emitted");
         self.delta.take();
-        self.records.push(record);
+        self.tail.push(record);
         self.maybe_compact();
     }
 
-    /// Appends many records as one batch: the compaction threshold is
-    /// checked once per call, so a bulk load compacts at most once.
+    /// Appends many records as one batch: the seal threshold is checked
+    /// once per call, so a bulk load seals at most once.
     pub fn extend(&mut self, records: impl IntoIterator<Item = MachineHourRecord>) {
         self.delta.take();
         for record in records {
             debug_assert!(record.metrics.is_finite(), "non-finite telemetry emitted");
-            self.records.push(record);
+            self.tail.push(record);
         }
         self.maybe_compact();
     }
@@ -761,182 +962,402 @@ impl TelemetryStore {
     /// batch append — and therefore the same non-finite validation — as
     /// [`extend`](TelemetryStore::extend).
     pub fn merge(&mut self, other: TelemetryStore) {
-        self.extend(other.records);
+        let TelemetryStore { runs, tail, .. } = other;
+        for run in &runs {
+            // Detach the other store's sealed rows back into record
+            // form; its runs are resident or reloadable via its own
+            // backing, which `runs` still references nothing of — a
+            // run without a resident index here can only come from a
+            // durable store, whose records were sealed after passing
+            // validation on their way in.
+            if let Some(index) = run.index.get() {
+                self.extend(index.sorted.iter().copied());
+            }
+        }
+        self.extend(tail);
     }
 
     /// Reserves capacity for at least `additional` more records, so a
     /// streaming ingest loop that knows its batch size can avoid
     /// reallocating the record log mid-append.
     pub fn reserve(&mut self, additional: usize) {
-        self.records.reserve(additional);
+        self.tail.reserve(additional);
     }
 
     /// Number of records.
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.runs.iter().map(|r| r.rows).sum::<usize>() + self.tail.len()
     }
 
     /// True when empty.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.runs.is_empty() && self.tail.is_empty()
     }
 
-    /// Compacts the delta into the sealed run now. A no-op when the delta
-    /// is empty; otherwise an `O(n + d)` two-run merge (the delta's own
-    /// `O(d log d)` mini-sort is reused when a query already built it).
-    /// Queries never require this — they merge run + delta on the fly —
-    /// so calling it only moves the compaction cost to a chosen point
-    /// (e.g. right after a simulation flush, before a timed analysis
-    /// path).
+    /// Seals the delta into a new run now, then ladder-compacts. A
+    /// no-op when the delta is empty. Queries never require this — they
+    /// k-way merge runs + delta on the fly — so calling it only moves
+    /// the indexing cost to a chosen point (e.g. right after a
+    /// simulation flush, before a timed analysis path).
     pub fn seal(&mut self) {
-        if self.run_len < self.records.len() {
-            self.compact();
+        if !self.tail.is_empty() {
+            self.seal_tail();
         }
     }
 
-    /// True when every record is compacted into the sealed run (no
-    /// append since the last seal or automatic compaction).
+    /// True when every record is sealed into a run (no append since the
+    /// last seal).
     pub fn is_sealed(&self) -> bool {
-        self.run_len == self.records.len()
+        self.tail.is_empty()
     }
 
     /// Number of records currently sitting in the delta buffer.
     pub fn delta_len(&self) -> usize {
-        self.records.len() - self.run_len
+        self.tail.len()
     }
 
-    /// Compacts when the delta exceeds `max(1024, 5% of run)` — large
-    /// enough that the `O(n)` run rewrite amortizes to a ~20× per-record
-    /// write cost, small enough that query-time merges stay narrow.
-    fn maybe_compact(&mut self) {
-        if self.delta_len() > MIN_COMPACT_DELTA.max(self.run_len / 20) {
-            self.compact();
+    /// Merges every run (and the delta) into a single sealed run, then
+    /// re-splits nothing: the explicit full-compaction entry point.
+    /// More usefully, between the extremes it k-way merges *adjacent
+    /// clusters* of runs whose hour bounds overlap — overlap defeats
+    /// window pruning — or that are undersized. Crash-safe: the merge
+    /// is in-memory and the next [`sync`](TelemetryStore::sync) commits
+    /// it under the manifest-flip protocol, so a crash at any point
+    /// leaves the previous on-disk state intact.
+    pub fn compact_segments(&mut self) {
+        self.seal();
+        let mut i = 0;
+        while i + 1 < self.runs.len() {
+            // Extend a cluster while the next run overlaps the running
+            // bounds union or sits below the size floor.
+            let mut bounds = self.runs[i].bounds;
+            let mut end = i + 1;
+            while end < self.runs.len() {
+                let nb = self.runs[end].bounds;
+                let overlap = nb.0 <= bounds.1 && bounds.0 <= nb.1;
+                let undersized = self.runs[end].rows < MIN_SEGMENT_ROWS
+                    || self.runs[end - 1].rows < MIN_SEGMENT_ROWS;
+                if !overlap && !undersized {
+                    break;
+                }
+                bounds = (bounds.0.min(nb.0), bounds.1.max(nb.1));
+                end += 1;
+            }
+            if end - i >= 2 {
+                self.merge_at(i, end - i);
+            }
+            i += 1;
         }
     }
 
-    fn compact(&mut self) {
+    /// Seals when the delta exceeds its floor — large enough that the
+    /// `O(d log d)` index build amortizes, small enough that query-time
+    /// merges stay narrow. Sealing is in-memory only; the ladder bounds
+    /// how many runs accumulate.
+    fn maybe_compact(&mut self) {
+        if self.tail.len() > MIN_COMPACT_DELTA {
+            self.seal_tail();
+        }
+    }
+
+    /// Turns the delta into a new sealed run (reusing a query-built
+    /// mini-index when present) and restores the ladder invariant.
+    fn seal_tail(&mut self) {
         let delta = self
             .delta
             .take()
-            .unwrap_or_else(|| ColumnIndex::build(&self.records[self.run_len..]));
-        self.run = if self.run_len == 0 {
-            delta // first compaction: the delta IS the run, no merge copy
-        } else {
-            ColumnIndex::merge(&self.run, &delta)
+            .unwrap_or_else(|| ColumnIndex::build(&self.tail));
+        self.tail.clear();
+        let Some(bounds) = delta.hours.first().copied().zip(delta.hours.last().copied())
+        else {
+            return; // Empty delta: nothing to seal.
         };
-        self.run_len = self.records.len();
+        self.runs.push(SealedRun::dirty(delta, bounds));
+        self.ladder_compact();
     }
 
-    /// The sealed run.
-    pub(crate) fn run_index(&self) -> &ColumnIndex {
-        &self.run
+    /// Binary-counter compaction: merge the two newest runs while the
+    /// elder of the pair is no larger than the newcomer. Each record is
+    /// re-merged `O(log n)` times over the store's lifetime, and a
+    /// large old run is only rewritten when the history behind it has
+    /// grown to its own size.
+    fn ladder_compact(&mut self) {
+        while self.runs.len() >= 2 {
+            let at = self.runs.len() - 2;
+            if self.runs[at].rows > self.runs[at + 1].rows {
+                break;
+            }
+            self.merge_at(at, 2);
+        }
+    }
+
+    /// Sync-time policy: fold adjacent pairs of undersized runs so the
+    /// manifest never accumulates confetti segments. Only pairs where
+    /// *both* runs are below the floor merge here — rewriting a large
+    /// clean segment to absorb a small one would break the bounded
+    /// write-amplification guarantee (that rewrite is what the ladder
+    /// schedules logarithmically, and what
+    /// [`TelemetryStore::compact_segments`] offers explicitly).
+    fn policy_compact(&mut self) {
+        loop {
+            let pair = (0..self.runs.len().saturating_sub(1)).find(|&i| {
+                self.runs[i].rows < MIN_SEGMENT_ROWS && self.runs[i + 1].rows < MIN_SEGMENT_ROWS
+            });
+            match pair {
+                Some(at) => self.merge_at(at, 2),
+                None => break,
+            }
+        }
+    }
+
+    /// Replaces `runs[at..at + count]` with their k-way merge (a dirty
+    /// run), preserving order. Rebuilds the vector without
+    /// panic-capable splicing.
+    fn merge_at(&mut self, at: usize, count: usize) {
+        let old = std::mem::take(&mut self.runs);
+        let mut head = Vec::with_capacity(old.len());
+        let mut cluster = Vec::with_capacity(count);
+        let mut rest = Vec::new();
+        for (i, run) in old.into_iter().enumerate() {
+            if i < at {
+                head.push(run);
+            } else if i < at + count {
+                cluster.push(run);
+            } else {
+                rest.push(run);
+            }
+        }
+        let merged = {
+            let sides: Vec<&ColumnIndex> = cluster.iter().map(|r| self.run_side(r)).collect();
+            ColumnIndex::merge_many(&sides)
+        };
+        self.runs = head;
+        if let Some(bounds) = merged.hours.first().copied().zip(merged.hours.last().copied()) {
+            self.runs.push(SealedRun::dirty(merged, bounds));
+        }
+        self.runs.append(&mut rest);
+    }
+
+    /// The decoded index of one run, loading it from its segment on
+    /// first touch and stamping the LRU clock. A load failure marks the
+    /// store degraded and serves the run as empty — queries stay
+    /// infallible; [`TelemetryStore::verify`] surfaces the diagnosis.
+    fn run_side<'a>(&'a self, run: &'a SealedRun) -> &'a ColumnIndex {
+        run.touch.store(
+            self.touch_clock.fetch_add(1, Ordering::Relaxed) + 1,
+            Ordering::Relaxed,
+        );
+        run.index.get_or_init(|| {
+            let loaded = match (&self.backing, &run.seg) {
+                (Some(backing), Some(name)) => {
+                    match persist::segment::load_segment(
+                        backing.dir(),
+                        name,
+                        run.rows as u64,
+                        Some(run.bounds),
+                    ) {
+                        Ok(index) => Some(index),
+                        Err(err) => {
+                            self.note_degraded(&err);
+                            None
+                        }
+                    }
+                }
+                // Unreachable by invariant (a run without a segment is
+                // always resident); serve empty rather than panic.
+                _ => None,
+            };
+            loaded.unwrap_or_else(|| empty_index().clone())
+        })
+    }
+
+    /// Records the first load failure; later ones keep the original
+    /// diagnosis (the first corruption found is the actionable one).
+    fn note_degraded(&self, err: &persist::PersistError) {
+        let mut slot = self.degraded.lock().unwrap_or_else(PoisonError::into_inner);
+        if slot.is_none() {
+            let (path, reason) = match err {
+                persist::PersistError::Corrupt { path, reason } => (path.clone(), reason.clone()),
+                persist::PersistError::Io { op, path, source } => {
+                    (path.clone(), format!("{op}: {source}"))
+                }
+                other => (PathBuf::new(), other.to_string()),
+            };
+            *slot = Some((path, reason));
+        }
+    }
+
+    /// The sticky degradation, reconstructed as a typed error.
+    /// (`PersistError` holds an `io::Error` and is not `Clone`; the
+    /// stored diagnosis is re-wrapped on each read.)
+    fn degraded_error(&self) -> Option<persist::PersistError> {
+        self.degraded
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .as_ref()
+            .map(|(path, reason)| persist::PersistError::Corrupt {
+                path: path.clone(),
+                reason: reason.clone(),
+            })
+    }
+
+    /// Evicts the coldest decoded segment-backed runs down to the cache
+    /// budget. Dirty runs are exempt (they are the only copy). Touch
+    /// stamps are collected then sorted — never compared in-place as a
+    /// gate — so Relaxed ordering is sufficient.
+    fn evict_cold(&mut self) {
+        let mut resident: Vec<(u64, usize)> = self
+            .runs
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.seg.is_some() && r.index.get().is_some())
+            .map(|(i, r)| (r.touch.load(Ordering::Relaxed), i))
+            .collect();
+        if resident.len() <= self.cache_limit {
+            return;
+        }
+        resident.sort_unstable();
+        let over = resident.len() - self.cache_limit;
+        for &(_, i) in resident.iter().take(over) {
+            if let Some(run) = self.runs.get_mut(i) {
+                run.index.take();
+            }
+        }
     }
 
     /// The delta mini-index, built on first use per mutation generation;
-    /// `None` when the store is fully compacted.
+    /// `None` when the store is fully sealed.
     pub(crate) fn delta_index(&self) -> Option<&ColumnIndex> {
-        if self.is_sealed() {
+        if self.tail.is_empty() {
             return None;
         }
-        Some(
-            self.delta
-                .get_or_init(|| ColumnIndex::build(&self.records[self.run_len..])),
-        )
+        Some(self.delta.get_or_init(|| ColumnIndex::build(&self.tail)))
     }
 
-    /// The delta mini-index, or the shared empty index when sealed — so
-    /// view and kernel code always merges exactly two sorted sources.
-    pub(crate) fn delta_or_empty(&self) -> &ColumnIndex {
-        self.delta_index().unwrap_or_else(|| empty_index())
+    /// Every sorted side of the store, oldest run first, delta last —
+    /// the merge inputs of the unwindowed views and kernels.
+    pub(crate) fn sides(&self) -> Vec<&ColumnIndex> {
+        let mut out: Vec<&ColumnIndex> = self.runs.iter().map(|r| self.run_side(r)).collect();
+        if let Some(delta) = self.delta_index() {
+            out.push(delta);
+        }
+        out
     }
 
-    /// All records, in insertion order.
+    /// The sides that can contain hours `[start, end)`: runs whose
+    /// recorded `[min_hour, max_hour]` intersects the window (others
+    /// are skipped *without decoding their segments* — the pruning this
+    /// store exists for), plus the delta. Oldest first, delta last.
+    pub(crate) fn window_sides(&self, start: u64, end: u64) -> Vec<&ColumnIndex> {
+        let mut out: Vec<&ColumnIndex> = Vec::with_capacity(self.runs.len() + 1);
+        if end > start {
+            for r in &self.runs {
+                if r.bounds.0 < end && r.bounds.1 >= start {
+                    out.push(self.run_side(r));
+                }
+            }
+        }
+        if let Some(delta) = self.delta_index() {
+            out.push(delta);
+        }
+        out
+    }
+
+    /// All records: each sealed run's rows (oldest run first, each in
+    /// its sorted order), then the delta tail in insertion order. On a
+    /// never-sealed store this is exactly insertion order; once runs
+    /// exist the global insertion order is no longer recorded (views
+    /// and kernels are order-insensitive; see
+    /// [`TelemetryStore::open`]).
     pub fn iter(&self) -> impl Iterator<Item = &MachineHourRecord> {
-        self.records.iter()
+        self.runs
+            .iter()
+            .flat_map(move |r| self.run_side(r).sorted.iter())
+            .chain(self.tail.iter())
     }
 
     /// Records for one machine group, sorted by `(hour, machine)` — a
-    /// run slice merged with a delta slice.
+    /// k-way merge of per-run slices and the delta slice.
     pub fn by_group(&self, group: GroupKey) -> impl Iterator<Item = &MachineHourRecord> {
-        merge_by_hour_machine(
-            self.run.group_rows(group),
-            self.delta_or_empty().group_rows(group),
+        merge_k_by_hour_machine(
+            self.sides().into_iter().map(|s| s.group_rows(group)).collect(),
         )
     }
 
     /// Records for one machine, sorted by hour.
     pub fn by_machine(&self, machine: MachineId) -> impl Iterator<Item = &MachineHourRecord> {
-        merge_by_hour_machine(
-            self.run.machine_rows(machine),
-            self.delta_or_empty().machine_rows(machine),
+        merge_k_by_hour_machine(
+            self.sides().into_iter().map(|s| s.machine_rows(machine)).collect(),
         )
     }
 
     /// Records within `[start_hour, end_hour)`, sorted by
-    /// `(hour, machine)`.
+    /// `(hour, machine)`. Runs whose hour bounds miss the window are
+    /// skipped without touching their segments.
     pub fn by_hours(
         &self,
         start_hour: u64,
         end_hour: u64,
     ) -> impl Iterator<Item = &MachineHourRecord> {
-        merge_by_hour_machine(
-            self.run.hour_window(start_hour, end_hour),
-            self.delta_or_empty().hour_window(start_hour, end_hour),
+        merge_k_by_hour_machine(
+            self.window_sides(start_hour, end_hour)
+                .into_iter()
+                .map(|s| s.hour_window(start_hour, end_hour))
+                .collect(),
         )
     }
 
     /// Records for a set of machines within `[start_hour, end_hour)` —
-    /// the shape of a flighting measurement query. The hour range is an
-    /// index probe on each side; machine membership is one bitmap test
-    /// per candidate row (dense ids, no `BTreeSet` lookup per record).
+    /// the shape of a flighting measurement query. Hour-bound pruning
+    /// first, then the hour range is an index probe on each surviving
+    /// side and machine membership is one bitmap test per candidate row
+    /// (dense ids, no `BTreeSet` lookup per record).
     pub fn by_machines_and_hours<'a>(
         &'a self,
         machines: &BTreeSet<MachineId>,
         start_hour: u64,
         end_hour: u64,
     ) -> impl Iterator<Item = &'a MachineHourRecord> {
-        merge_by_hour_machine(
-            self.run.machines_hour_window(machines, start_hour, end_hour),
-            self.delta_or_empty()
-                .machines_hour_window(machines, start_hour, end_hour),
+        merge_k_by_hour_machine(
+            self.window_sides(start_hour, end_hour)
+                .into_iter()
+                .map(|s| s.machines_hour_window(machines, start_hour, end_hour))
+                .collect(),
         )
     }
 
     /// The distinct machine groups present, sorted.
     pub fn groups(&self) -> Vec<GroupKey> {
-        match self.delta_index() {
-            None => self.run.groups.clone(),
-            Some(delta) => merge_dedup(&self.run.groups, &delta.groups),
-        }
+        self.sides()
+            .into_iter()
+            .fold(Vec::new(), |acc, s| merge_dedup(&acc, &s.groups))
     }
 
     /// The distinct machines present, sorted.
     pub fn machines(&self) -> Vec<MachineId> {
-        match self.delta_index() {
-            None => self.run.machines.clone(),
-            Some(delta) => merge_dedup(&self.run.machines, &delta.machines),
-        }
+        self.sides()
+            .into_iter()
+            .fold(Vec::new(), |acc, s| merge_dedup(&acc, &s.machines))
     }
 
-    /// Inclusive-exclusive hour span `(min, max+1)` covered by the store,
-    /// or `None` when empty. O(1) over the run; the delta contributes an
-    /// O(1) read when its mini-index is built and a single min/max pass
-    /// over the (small) buffer when not — this never forces an index
-    /// build.
+    /// Inclusive-exclusive hour span `(min, max+1)` covered by the
+    /// store, or `None` when empty. O(runs) over the recorded bounds —
+    /// no segment is decoded — and the delta contributes an O(1) read
+    /// when its mini-index is built or a single min/max pass over the
+    /// (small) buffer when not; this never forces an index build.
     pub fn hour_span(&self) -> Option<(u64, u64)> {
-        let run_span = self
-            .run
-            .hours
-            .first()
-            .zip(self.run.hours.last())
-            .map(|(&lo, &hi)| (lo, hi));
+        let runs_span = self.runs.iter().fold(None, |acc, r| match acc {
+            None => Some(r.bounds),
+            Some((lo, hi)) => Some((lo.min(r.bounds.0), hi.max(r.bounds.1))),
+        });
         let delta_span = match self.delta.get() {
             Some(delta) => delta
                 .hours
                 .first()
                 .zip(delta.hours.last())
                 .map(|(&lo, &hi)| (lo, hi)),
-            None => self.records[self.run_len..]
+            None => self
+                .tail
                 .iter()
                 .map(|r| r.hour)
                 .fold(None, |acc, h| match acc {
@@ -944,7 +1365,7 @@ impl TelemetryStore {
                     Some((lo, hi)) => Some((lo.min(h), hi.max(h))),
                 }),
         };
-        match (run_span, delta_span) {
+        match (runs_span, delta_span) {
             (Some((a, b)), Some((c, d))) => Some((a.min(c), b.max(d) + 1)),
             (Some((a, b)), None) | (None, Some((a, b))) => Some((a, b + 1)),
             (None, None) => None,
@@ -1112,6 +1533,13 @@ mod tests {
         }
     }
 
+    /// The single run of a store known to have exactly one — panics (in
+    /// tests only) otherwise, which is itself the assertion.
+    fn single_run(store: &TelemetryStore) -> &ColumnIndex {
+        assert_eq!(store.runs.len(), 1, "expected exactly one sealed run");
+        store.run_side(&store.runs[0])
+    }
+
     #[test]
     fn push_and_filters() {
         let mut store = TelemetryStore::new();
@@ -1149,10 +1577,10 @@ mod tests {
         // One-pass unsealed path must not force a delta index build.
         assert_eq!(store.hour_span(), Some((5, 10)));
         assert!(!store.is_sealed());
-        // Sealed path reads the run's hour index in O(1).
+        // Sealed path reads the recorded run bounds in O(1).
         store.seal();
         assert_eq!(store.hour_span(), Some((5, 10)));
-        // Straddling run and delta: span covers both sides.
+        // Straddling runs and delta: span covers both sides.
         store.push(rec(1, 0, 2, 0.0));
         store.push(rec(1, 0, 30, 0.0));
         assert_eq!(store.hour_span(), Some((2, 31)));
@@ -1195,7 +1623,7 @@ mod tests {
         // Build the offending store around the validated entry points,
         // the way a corrupted window would arrive from outside.
         let bad = TelemetryStore {
-            records: vec![rec(1, 0, 0, f64::NAN)],
+            tail: vec![rec(1, 0, 0, f64::NAN)],
             ..TelemetryStore::default()
         };
         let mut store = TelemetryStore::new();
@@ -1237,11 +1665,11 @@ mod tests {
         store.push(rec(2, 0, 1, 2.0));
         assert!(!store.is_sealed(), "append must open a delta");
         assert_eq!(store.delta_len(), 1);
-        // Views merge run + delta without compacting.
+        // Views merge runs + delta without sealing.
         assert_eq!(store.by_hours(0, 2).count(), 2);
         assert_eq!(store.machines().len(), 2);
-        assert!(!store.is_sealed(), "queries must not compact");
-        // Explicit seal folds the delta into the run.
+        assert!(!store.is_sealed(), "queries must not seal");
+        // Explicit seal turns the delta into a run.
         store.seal();
         assert!(store.is_sealed());
         assert_eq!(store.delta_len(), 0);
@@ -1249,7 +1677,7 @@ mod tests {
     }
 
     #[test]
-    fn merged_views_interleave_run_and_delta() {
+    fn merged_views_interleave_runs_and_delta() {
         let mut store = TelemetryStore::new();
         // Run: hours 0, 2, 4 on machine 1; delta: hours 1, 2, 3 on
         // machines 2/1/1 — merged views must interleave by (hour, machine).
@@ -1279,26 +1707,74 @@ mod tests {
     #[test]
     fn automatic_compaction_past_threshold() {
         let mut store = TelemetryStore::new();
-        // One batch bigger than the floor compacts once at the end.
+        // One batch bigger than the floor seals once at the end.
         store.extend((0..1500u64).map(|i| rec((i % 7) as u32, 0, i, i as f64)));
-        assert!(store.is_sealed(), "bulk extend compacts at call end");
+        assert!(store.is_sealed(), "bulk extend seals at call end");
         // Small pushes stay in the delta…
         for i in 0..100u64 {
             store.push(rec(1, 0, 2000 + i, 0.0));
         }
         assert!(!store.is_sealed());
         assert_eq!(store.delta_len(), 100);
-        // …until the per-call check crosses max(1024, 5% of run).
+        // …until the per-call check crosses the delta floor.
         store.extend((0..1000u64).map(|i| rec(2, 0, 3000 + i, 0.0)));
-        assert!(store.is_sealed(), "threshold crossing compacts");
+        assert!(store.is_sealed(), "threshold crossing seals");
         assert_eq!(store.len(), 2600);
         assert_eq!(store.by_hours(0, 5000).count(), 2600);
+        // The 1100-row batch is smaller than the 1500-row elder run, so
+        // the ladder leaves them as two runs.
+        assert_eq!(store.run_count(), 2);
     }
 
     #[test]
-    fn compaction_merge_equals_full_rebuild() {
-        // The merged run must be structurally identical to an index built
-        // from scratch over the same records. Keys are unique per record
+    fn ladder_bounds_run_count() {
+        // 64 sealed batches of equal size collapse like a binary counter:
+        // the live run count stays logarithmic in the batch count.
+        let mut store = TelemetryStore::new();
+        for b in 0..64u64 {
+            store.extend((0..32u64).map(|i| rec((i % 4) as u32, 0, b * 32 + i, 0.0)));
+            store.seal();
+            assert!(
+                store.run_count() <= 7,
+                "run count {} exceeds log bound after batch {b}",
+                store.run_count()
+            );
+        }
+        assert_eq!(store.len(), 64 * 32);
+        assert_eq!(store.by_hours(0, 64 * 32).count(), 64 * 32);
+    }
+
+    #[test]
+    fn window_sides_prune_disjoint_runs() {
+        let mut store = TelemetryStore::new();
+        // Two runs with disjoint hour ranges. Equal sizes would
+        // ladder-merge, so make the elder strictly larger.
+        store.extend((0..20u64).map(|h| rec(1, 0, h, 0.0)));
+        store.seal();
+        store.extend((100..110u64).map(|h| rec(1, 0, h, 0.0)));
+        store.seal();
+        assert_eq!(store.run_count(), 2);
+        // A window inside the second run's bounds consults one side.
+        assert_eq!(store.window_sides(100, 105).len(), 1);
+        assert_eq!(store.window_sides(0, 20).len(), 1);
+        // A window spanning both consults both.
+        assert_eq!(store.window_sides(10, 101).len(), 2);
+        // A window in the gap consults none (no delta).
+        assert_eq!(store.window_sides(50, 60).len(), 0);
+        // An open delta is always a side.
+        store.push(rec(2, 0, 55, 0.0));
+        assert_eq!(store.window_sides(50, 60).len(), 1);
+        assert_eq!(store.by_hours(50, 60).count(), 1);
+        // And query results match the pruned merge.
+        assert_eq!(store.by_hours(0, 200).count(), 31);
+        assert_eq!(store.by_hours(100, 105).count(), 5);
+    }
+
+    #[test]
+    fn compact_segments_restores_single_run() {
+        // Overlapping-bound runs defeat pruning; compact_segments folds
+        // them back into one and the result is structurally identical to
+        // an index built from scratch. Keys are unique per record
         // (disjoint machine ranges per batch): with duplicate keys the
         // unstable build sort and the stable merge may legally order the
         // duplicates' payloads differently — that case is covered as a
@@ -1314,11 +1790,12 @@ mod tests {
             .collect();
         for batch in &batches {
             merged.extend(batch.iter().copied());
-            merged.seal(); // force a compaction per batch → repeated merges
+            merged.seal(); // a run per batch (modulo ladder merges)
             rebuilt.extend(batch.iter().copied());
         }
+        merged.compact_segments(); // all bounds overlap → one run
         rebuilt.seal();
-        let (a, b) = (merged.run_index(), rebuilt.run_index());
+        let (a, b) = (single_run(&merged), single_run(&rebuilt));
         assert_eq!(a.sorted, b.sorted);
         assert_eq!(a.groups, b.groups);
         assert_eq!(a.group_offsets, b.group_offsets);
@@ -1346,7 +1823,7 @@ mod tests {
             }
         }
         store.seal();
-        let idx = store.run_index();
+        let idx = single_run(&store);
         assert_eq!(idx.group_offsets.len(), idx.groups.len() + 1);
         assert_eq!(idx.hour_offsets.len(), idx.hours.len() + 1);
         assert_eq!(idx.machine_offsets.len(), idx.machines.len() + 1);
@@ -1367,7 +1844,9 @@ mod tests {
 
     #[test]
     fn merged_index_csr_invariants() {
-        // Same invariants on a run produced by ColumnIndex::merge.
+        // Same invariants on a run produced by ColumnIndex::merge (the
+        // 15-row elder is no larger than the 18-row newcomer, so the
+        // second seal ladder-merges them into one run).
         let mut store = TelemetryStore::new();
         for m in 0..5u32 {
             for h in [0u64, 2, 7] {
@@ -1380,8 +1859,8 @@ mod tests {
                 store.push(rec(m, (m % 3) as u16, h, m as f64));
             }
         }
-        store.seal(); // second seal merges run + delta
-        let idx = store.run_index();
+        store.seal();
+        let idx = single_run(&store);
         assert_eq!(idx.group_offsets.len(), idx.groups.len() + 1);
         assert_eq!(idx.hour_offsets.len(), idx.hours.len() + 1);
         assert_eq!(idx.machine_offsets.len(), idx.machines.len() + 1);
@@ -1402,6 +1881,35 @@ mod tests {
     }
 
     #[test]
+    fn merge_many_handles_edge_shapes() {
+        let batch: Vec<MachineHourRecord> =
+            (0..8u64).map(|i| rec(i as u32, 0, i, i as f64)).collect();
+        let idx = ColumnIndex::build(&batch);
+        let empty = ColumnIndex::build(&[]);
+        // No sides / all-empty sides → the empty index.
+        assert!(ColumnIndex::merge_many(&[]).sorted.is_empty());
+        assert!(ColumnIndex::merge_many(&[&empty, &empty]).sorted.is_empty());
+        // One non-empty side → that side, empties ignored.
+        let one = ColumnIndex::merge_many(&[&empty, &idx, &empty]);
+        assert_eq!(one.sorted, idx.sorted);
+        assert_eq!(one.hour_order, idx.hour_order);
+        // Three-way fold equals a from-scratch build on unique keys.
+        let batch2: Vec<MachineHourRecord> =
+            (0..8u64).map(|i| rec(100 + i as u32, 1, i + 3, i as f64)).collect();
+        let batch3: Vec<MachineHourRecord> =
+            (0..8u64).map(|i| rec(200 + i as u32, 2, i + 6, i as f64)).collect();
+        let (i2, i3) = (ColumnIndex::build(&batch2), ColumnIndex::build(&batch3));
+        let folded = ColumnIndex::merge_many(&[&idx, &i2, &i3]);
+        let mut all = batch.clone();
+        all.extend_from_slice(&batch2);
+        all.extend_from_slice(&batch3);
+        let built = ColumnIndex::build(&all);
+        assert_eq!(folded.sorted, built.sorted);
+        assert_eq!(folded.machine_dense, built.machine_dense);
+        assert_eq!(folded.columns, built.columns);
+    }
+
+    #[test]
     fn empty_store_indexed_queries() {
         let mut store = TelemetryStore::new();
         store.seal();
@@ -1410,5 +1918,25 @@ mod tests {
         assert_eq!(store.hour_span(), None);
         assert_eq!(store.by_hours(0, 10).count(), 0);
         assert_eq!(store.by_machine(MachineId(0)).count(), 0);
+        assert_eq!(store.run_count(), 0);
+    }
+
+    #[test]
+    fn clone_is_detached_and_equal() {
+        let mut store = TelemetryStore::new();
+        store.extend((0..50u64).map(|i| rec((i % 5) as u32, 0, i, i as f64)));
+        store.seal();
+        store.push(rec(9, 1, 60, 1.0));
+        let mut twin = store.clone();
+        assert_eq!(twin.len(), store.len());
+        assert_eq!(
+            twin.by_hours(0, 100).count(),
+            store.by_hours(0, 100).count()
+        );
+        assert!(!twin.is_durable());
+        // Mutating the clone leaves the original untouched.
+        twin.push(rec(10, 1, 61, 1.0));
+        assert_eq!(store.len(), 51);
+        assert_eq!(twin.len(), 52);
     }
 }

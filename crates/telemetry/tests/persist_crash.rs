@@ -14,14 +14,27 @@
 //! randomized offsets, which covers a kill mid-`write(2)`.
 
 use kea_telemetry::aggregate::reference as ref_agg;
+use kea_telemetry::persist::test_hooks;
 use kea_telemetry::store::reference::TelemetryStore as RefStore;
 use kea_telemetry::{
-    daily_group_aggregates, group_utilization, hourly_fleet_series, GroupKey, MachineHourRecord,
-    MachineId, Metric, MetricValues, PersistError, ScId, SkuId, TelemetryStore,
+    daily_group_aggregates, daily_group_aggregates_window, group_utilization,
+    hourly_fleet_series, hourly_fleet_series_window, GroupKey, MachineHourRecord, MachineId,
+    Metric, MetricValues, PersistError, ScId, SkuId, TelemetryStore,
 };
 use proptest::prelude::*;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// The failure-injection hooks in `persist::test_hooks` are process-wide
+/// one-slot statics; tests that arm one hold this lock so a concurrently
+/// running hook test cannot overwrite the armed injection before it
+/// fires.
+static HOOK_LOCK: Mutex<()> = Mutex::new(());
+
+fn hook_guard() -> MutexGuard<'static, ()> {
+    HOOK_LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 // ---- scratch directories ----------------------------------------------
 
@@ -153,6 +166,34 @@ fn assert_agrees(reference: &RefStore, columnar: &TelemetryStore) {
         assert_eq!((r.group, r.machines), (c.group, c.machines));
         assert!(close(r.mean_cpu_utilization, c.mean_cpu_utilization));
     }
+
+    // Windowed (pruned) paths must agree with the reference predicate
+    // scans too — one-day windows at the span's start and middle.
+    if let Some((lo, hi)) = reference.hour_span() {
+        for ws in [lo, lo + (hi - lo) / 2] {
+            let we = ws + 24;
+            assert_eq!(
+                sorted_keys(reference.by_hours(ws, we)),
+                sorted_keys(columnar.by_hours(ws, we))
+            );
+            let r_daily = ref_agg::daily_group_aggregates_window(reference, ws, we);
+            let c_daily = daily_group_aggregates_window(columnar, ws, we);
+            assert_eq!(r_daily.len(), c_daily.len());
+            for (r, c) in r_daily.iter().zip(&c_daily) {
+                assert_eq!((r.group, r.machine, r.day), (c.group, c.machine, c.day));
+                assert_eq!(r.hours_observed, c.hours_observed);
+                assert!(close(r.mean(Metric::CpuUtilization), c.mean(Metric::CpuUtilization)));
+            }
+            let r_series =
+                ref_agg::hourly_fleet_series_window(reference, Metric::CpuUtilization, ws, we);
+            let c_series = hourly_fleet_series_window(columnar, Metric::CpuUtilization, ws, we);
+            assert_eq!(r_series.len(), c_series.len());
+            for ((rh, rv), (ch, cv)) in r_series.iter().zip(&c_series) {
+                assert_eq!(rh, ch);
+                assert!(close(*rv, *cv), "windowed fleet series at hour {rh} drifted");
+            }
+        }
+    }
 }
 
 /// Reads the live WAL file name out of `dir/MANIFEST` (the documented
@@ -180,13 +221,15 @@ fn live_segments(dir: &Path) -> Vec<PathBuf> {
 // ---- the crash-point properties ---------------------------------------
 
 /// One mutation step against the durable store. `Sync` is the
-/// durability point; `Seal` forces a compaction so the next sync
-/// rotates WAL contents into a segment.
+/// durability point; `Seal` cuts a new run so the next sync rotates WAL
+/// contents into a segment; `Compact` k-way merges overlapping or
+/// undersized adjacent runs.
 #[derive(Debug, Clone)]
 enum Op {
     PushBatch(Vec<MachineHourRecord>),
     Seal,
     Sync,
+    Compact,
 }
 
 fn arb_op() -> impl Strategy<Value = Op> {
@@ -194,6 +237,7 @@ fn arb_op() -> impl Strategy<Value = Op> {
         4 => proptest::collection::vec(arb_record(), 1..60).prop_map(Op::PushBatch),
         1 => Just(Op::Seal),
         2 => Just(Op::Sync),
+        1 => Just(Op::Compact),
     ]
 }
 
@@ -220,7 +264,10 @@ proptest! {
                     store.extend(records.iter().copied());
                 }
                 Op::Seal => store.seal(),
-                Op::Sync => store.sync().expect("sync"),
+                Op::Sync => {
+                    store.sync().expect("sync");
+                }
+                Op::Compact => store.compact_segments(),
             }
         }
         store.sync().expect("final sync");
@@ -307,9 +354,13 @@ proptest! {
     }
 
     /// Kill-point property for rotation: seal + sync (spilling a
-    /// segment), then flip one byte anywhere in the segment file. Open
-    /// must fail with a typed `Corrupt` error — never a panic — and
-    /// quarantine the damaged file.
+    /// segment), then flip one byte anywhere in the segment file. The
+    /// damage must surface as a typed `Corrupt` error — never a panic —
+    /// and quarantine the damaged file. Where it surfaces depends on
+    /// where the flip landed: header damage fails `open` itself (the
+    /// header is validated eagerly), body damage passes `open` (bodies
+    /// decode lazily) and fails `verify()` on the reopened store, which
+    /// then refuses to `sync`.
     #[test]
     fn segment_byte_flip_quarantines_with_typed_error(
         records in proptest::collection::vec(arb_record(), 1..80),
@@ -331,15 +382,27 @@ proptest! {
         bytes[at] ^= 1 << flip_bit;
         std::fs::write(seg, &bytes).expect("write corrupted segment");
 
+        let quarantined = seg.with_extension("kseg.quarantine");
         match TelemetryStore::open(scratch.path()) {
+            // Flip landed in the eagerly-validated header region.
             Err(PersistError::Corrupt { path, .. }) => {
                 prop_assert_eq!(&path, seg);
-                let quarantined = seg.with_extension("kseg.quarantine");
                 prop_assert!(quarantined.exists(), "corrupt segment not quarantined");
                 prop_assert!(!seg.exists());
             }
             Err(other) => prop_assert!(false, "wrong error type: {other}"),
-            Ok(_) => prop_assert!(false, "open succeeded on corrupt segment"),
+            // Flip landed in the lazily-decoded body: open passes on the
+            // intact header, the first decode quarantines and degrades.
+            Ok(mut reopened) => {
+                let err = reopened.verify().expect_err("body flip must fail verify");
+                prop_assert!(matches!(err, PersistError::Corrupt { .. }), "got {err}");
+                prop_assert!(quarantined.exists(), "corrupt segment not quarantined");
+                prop_assert!(!seg.exists());
+                // A degraded store serves the surviving sides (here:
+                // nothing) but must refuse to overwrite history.
+                prop_assert_eq!(reopened.by_hours(0, u64::MAX).count(), 0);
+                prop_assert!(reopened.sync().is_err(), "degraded store must refuse sync");
+            }
         }
     }
 }
@@ -496,13 +559,16 @@ fn quarantined_files_survive_the_sweep() {
     bytes[mid] ^= 0xA5;
     std::fs::write(seg, &bytes).expect("write");
 
-    // First open: corrupt → quarantine + error.
-    assert!(TelemetryStore::open(scratch.path()).is_err());
+    // A mid-file flip lands in the lazily-decoded body, so open passes
+    // on the intact header; the first decode quarantines the file.
+    let reopened = TelemetryStore::open(scratch.path()).expect("open validates headers only");
+    assert!(reopened.verify().is_err(), "body corruption must fail verify");
+    drop(reopened);
     let quarantined = seg.with_extension("kseg.quarantine");
     assert!(quarantined.exists());
 
-    // The segment is gone, so the second open still fails (Io on the
-    // missing file) — but it must not delete the quarantined bytes.
+    // The segment is gone, so the next open fails on the missing file —
+    // but it must not delete the quarantined bytes.
     assert!(TelemetryStore::open(scratch.path()).is_err());
     assert!(quarantined.exists(), "sweep must never remove quarantined files");
 }
@@ -517,4 +583,331 @@ fn empty_store_roundtrip() {
     let reopened = TelemetryStore::open(scratch.path()).expect("reopen");
     assert!(reopened.is_empty());
     assert!(reopened.is_durable());
+}
+
+// ---- injected-failure crash points (persist::test_hooks) ---------------
+
+fn rec_at(i: u64, hour: u64) -> MachineHourRecord {
+    MachineHourRecord {
+        machine: MachineId((i % 11) as u32),
+        group: GroupKey::new(SkuId((i % 4) as u16), ScId((i % 2) as u8)),
+        hour,
+        metrics: MetricValues { tasks_finished: i as f64, ..MetricValues::default() },
+    }
+}
+
+/// Regression (previously: a retried `sync()` after a WAL fsync failure
+/// re-appended every frame of the failed batch, so the retry persisted
+/// each record twice and replay duplicated the delta). The retry must
+/// recognize the frames already on disk and only repeat the durability
+/// barrier.
+#[test]
+fn failed_wal_fsync_retry_is_idempotent() {
+    let _guard = hook_guard();
+    let scratch = Scratch::new();
+    let mut store = TelemetryStore::open(scratch.path()).expect("open");
+    store.extend((0..100).map(rec));
+
+    test_hooks::fail_next_wal_sync(scratch.path());
+    let err = store.sync().expect_err("injected fsync failure must surface");
+    assert!(matches!(err, PersistError::Io { .. }), "got {err}");
+
+    // The caller retries; the batch must land exactly once.
+    store.sync().expect("retry after fsync failure");
+    drop(store);
+    let reopened = TelemetryStore::open(scratch.path()).expect("reopen");
+    let got: Vec<_> = reopened.iter().copied().collect();
+    let want: Vec<_> = (0..100).map(rec).collect();
+    assert_eq!(got, want, "fsync-failure retry must not duplicate records");
+}
+
+/// The torn-frame variant: the append itself dies mid-frame (a crash or
+/// ENOSPC partway through `write(2)`). The retry must erase the torn
+/// partial frame and append the batch exactly once.
+#[test]
+fn failed_wal_append_retry_has_no_duplicates_or_torn_frames() {
+    let _guard = hook_guard();
+    let scratch = Scratch::new();
+    let mut store = TelemetryStore::open(scratch.path()).expect("open");
+    store.extend((0..50).map(rec));
+    store.sync().expect("first sync");
+    store.extend((50..100).map(rec));
+
+    test_hooks::fail_wal_append_mid_frame(scratch.path(), 20);
+    let err = store.sync().expect_err("injected append failure must surface");
+    assert!(matches!(err, PersistError::Io { .. }), "got {err}");
+
+    store.sync().expect("retry after torn append");
+    drop(store);
+    let reopened = TelemetryStore::open(scratch.path()).expect("reopen");
+    let got: Vec<_> = reopened.iter().copied().collect();
+    let want: Vec<_> = (0..100).map(rec).collect();
+    assert_eq!(got, want, "torn-append retry must not duplicate or drop records");
+}
+
+/// Crash between segment spill and manifest flip: the new segments and
+/// WAL are on disk but the manifest never renames over. Reopening must
+/// serve exactly the previous committed state and sweep the orphans.
+#[test]
+fn manifest_flip_crash_preserves_previous_state() {
+    let _guard = hook_guard();
+    let scratch = Scratch::new();
+    let mut store = TelemetryStore::open(scratch.path()).expect("open");
+    store.extend((0..100).map(rec));
+    store.sync().expect("commit state A");
+    store.extend((100..150).map(rec));
+    store.seal(); // next sync must rotate
+
+    test_hooks::fail_next_manifest_flip(scratch.path());
+    let err = store.sync().expect_err("injected flip failure must surface");
+    assert!(matches!(err, PersistError::Io { .. }), "got {err}");
+    drop(store); // crash
+
+    let reopened = TelemetryStore::open(scratch.path()).expect("reopen");
+    let got: Vec<_> = reopened.iter().copied().collect();
+    let want: Vec<_> = (0..100).map(rec).collect();
+    assert_eq!(got, want, "uncommitted rotation must not be visible");
+    // The orphaned segment from the dead rotation is gone.
+    assert!(live_segments(scratch.path()).is_empty());
+    let stray_segments = std::fs::read_dir(scratch.path())
+        .expect("read dir")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".kseg"))
+        .count();
+    assert_eq!(stray_segments, 0, "orphaned segments must be swept");
+}
+
+/// The same crash point, but the process survives and retries: the
+/// retried sync must converge (regenerating the same segment names,
+/// overwriting the debris) and commit everything.
+#[test]
+fn manifest_flip_failure_retry_converges() {
+    let _guard = hook_guard();
+    let scratch = Scratch::new();
+    let mut store = TelemetryStore::open(scratch.path()).expect("open");
+    store.extend((0..100).map(rec));
+    store.sync().expect("commit state A");
+    store.extend((100..150).map(rec));
+    store.seal();
+
+    test_hooks::fail_next_manifest_flip(scratch.path());
+    assert!(store.sync().is_err());
+    store.sync().expect("retry must converge");
+    drop(store);
+
+    let reopened = TelemetryStore::open(scratch.path()).expect("reopen");
+    let mut reference = RefStore::new();
+    reference.extend((0..150).map(rec));
+    assert_agrees(&reference, &reopened);
+}
+
+// ---- lost-store detection (regression) ---------------------------------
+
+/// Regression (previously: a directory holding only `*.quarantine`
+/// debris — every segment condemned, the manifest lost — recovered as
+/// an EMPTY FRESH STORE, silently reporting total data loss as a clean
+/// slate). Quarantine files are store files; without a manifest next to
+/// them the store is damaged, not new.
+#[test]
+fn quarantine_only_directory_is_missing_manifest_not_fresh() {
+    let scratch = Scratch::new();
+    std::fs::create_dir_all(scratch.path()).expect("mkdir");
+    std::fs::write(
+        scratch.path().join("seg-000001.kseg.quarantine"),
+        b"condemned bytes",
+    )
+    .expect("write quarantine file");
+
+    match TelemetryStore::open(scratch.path()) {
+        Err(PersistError::MissingManifest { dir }) => assert_eq!(dir, scratch.path()),
+        other => panic!("expected MissingManifest, got {other:?}"),
+    }
+    // The evidence must survive the failed open.
+    assert!(scratch.path().join("seg-000001.kseg.quarantine").exists());
+}
+
+// ---- v1 manifest compatibility -----------------------------------------
+
+/// A manifest written before per-segment hour bounds existed (v1: bare
+/// `segment <name> rows <n>` lines) must open under the v2 reader —
+/// segments load eagerly, bounds are derived — and the next sync must
+/// upgrade the directory to v2 without rewriting the segment files.
+#[test]
+fn v1_manifest_opens_and_upgrades_without_segment_rewrite() {
+    let scratch = Scratch::new();
+    let mut store = TelemetryStore::open(scratch.path()).expect("open");
+    store.extend((0..200u64).map(|i| rec_at(i, i / 4)));
+    store.seal();
+    store.sync().expect("sync");
+    drop(store);
+
+    // Rewrite the manifest to the v1 form PR 8 shipped: v1 header, no
+    // hours clause. Segment files are format-identical across versions.
+    let manifest_path = scratch.path().join("MANIFEST");
+    let text = std::fs::read_to_string(&manifest_path).expect("read manifest");
+    assert!(text.contains(" hours "), "v2 manifest must record bounds");
+    let v1: String = text
+        .lines()
+        .map(|line| {
+            if line.starts_with("kea-telemetry-manifest") {
+                "kea-telemetry-manifest v1".to_string()
+            } else if line.starts_with("segment ") {
+                line.split(' ').take(4).collect::<Vec<_>>().join(" ")
+            } else {
+                line.to_string()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+        + "\n";
+    std::fs::write(&manifest_path, v1).expect("write v1 manifest");
+    let seg_bytes_before =
+        std::fs::read(&live_segments(scratch.path())[0]).expect("read segment");
+
+    let mut reopened = TelemetryStore::open(scratch.path()).expect("v1 manifest must open");
+    let mut reference = RefStore::new();
+    reference.extend((0..200u64).map(|i| rec_at(i, i / 4)));
+    assert_agrees(&reference, &reopened);
+
+    // The upgrade sync rewrites manifest + WAL, not the segment.
+    let stats = reopened.sync().expect("upgrade sync");
+    assert_eq!(stats.segments_written, 0, "upgrade must not rewrite segments");
+    let upgraded = std::fs::read_to_string(&manifest_path).expect("read upgraded manifest");
+    assert!(upgraded.starts_with("kea-telemetry-manifest v2"));
+    assert!(upgraded.contains(" hours "), "upgrade must record bounds");
+    let seg_bytes_after =
+        std::fs::read(&live_segments(scratch.path())[0]).expect("read segment");
+    assert_eq!(seg_bytes_before, seg_bytes_after, "segment bytes must be untouched");
+
+    // And the upgraded directory round-trips.
+    drop(reopened);
+    let again = TelemetryStore::open(scratch.path()).expect("reopen upgraded");
+    assert_agrees(&reference, &again);
+}
+
+// ---- multi-segment retention: pruning, laziness, write amplification ---
+
+/// Two disjoint-hour segments: opening validates headers only; an
+/// hour-windowed query decodes just the segment whose bounds intersect
+/// the window; the LRU cap bounds residency; `verify` forces everything.
+#[test]
+fn windowed_queries_load_only_intersecting_segments() {
+    let scratch = Scratch::new();
+    let mut store = TelemetryStore::open(scratch.path()).expect("open");
+    // Elder run strictly larger than the newcomer so the ladder keeps
+    // them separate; both at/above the policy floor so sync does too.
+    store.extend((0..4500u64).map(|i| rec_at(i, i % 100)));
+    store.seal();
+    store.extend((0..4200u64).map(|i| rec_at(i, 1000 + i % 100)));
+    store.seal();
+    let stats = store.sync().expect("sync");
+    assert!(stats.rotated);
+    assert_eq!(stats.segments_written, 2);
+    assert_eq!(live_segments(scratch.path()).len(), 2);
+    drop(store);
+
+    let mut reopened = TelemetryStore::open(scratch.path()).expect("reopen");
+    assert_eq!(reopened.run_count(), 2);
+    assert_eq!(reopened.resident_runs(), 0, "open must not decode segment bodies");
+    // Span comes from the manifest bounds — still nothing decoded.
+    assert_eq!(reopened.hour_span(), Some((0, 1100)));
+    assert_eq!(reopened.len(), 8700);
+    assert_eq!(reopened.resident_runs(), 0);
+
+    // A query over the second segment's hours decodes only it.
+    assert_eq!(reopened.by_hours(1000, 1100).count(), 4200);
+    assert_eq!(reopened.resident_runs(), 1, "pruned query must decode one segment");
+    // The dead zone between the segments touches nothing new.
+    assert_eq!(reopened.by_hours(200, 900).count(), 0);
+    assert_eq!(reopened.resident_runs(), 1);
+    // A full-span query decodes both; verify keeps them valid.
+    assert_eq!(reopened.by_hours(0, 1100).count(), 8700);
+    assert_eq!(reopened.resident_runs(), 2);
+    reopened.verify().expect("both segments intact");
+
+    // Tightening the cache cap evicts down to the budget; the evicted
+    // segment reloads transparently on the next touch.
+    reopened.set_segment_cache_limit(1);
+    assert_eq!(reopened.resident_runs(), 1);
+    assert_eq!(reopened.by_hours(0, 100).count(), 4500);
+    assert_eq!(reopened.by_hours(1000, 1100).count(), 4200);
+}
+
+/// Bounded write amplification: once a large segment is on disk, later
+/// small syncs must not rewrite it — the fast path writes only WAL
+/// frames, and a rotation spills only the new small run.
+#[test]
+fn sync_never_rewrites_unchanged_segments() {
+    let scratch = Scratch::new();
+    let mut store = TelemetryStore::open(scratch.path()).expect("open");
+    store.extend((0..4500u64).map(|i| rec_at(i, i % 100)));
+    store.seal();
+    store.extend((0..4200u64).map(|i| rec_at(i, 1000 + i % 100)));
+    store.seal();
+    store.sync().expect("sync big segments");
+    let big_segments = live_segments(scratch.path());
+    assert_eq!(big_segments.len(), 2);
+    let big_bytes: u64 = big_segments
+        .iter()
+        .map(|p| std::fs::metadata(p).expect("segment meta").len())
+        .sum();
+
+    // Fast path: an appended tail rides the WAL; no segment activity.
+    store.extend((0..10u64).map(|i| rec_at(i, 2000)));
+    let stats = store.sync().expect("tail sync");
+    assert!(!stats.rotated);
+    assert_eq!(stats.segments_written, 0);
+    assert_eq!(stats.segment_bytes, 0);
+    assert_eq!(stats.wal_records, 10);
+    assert!(stats.wal_bytes > 0);
+
+    // Rotation path: sealing the 10-row tail spills ONE small segment;
+    // the two big ones pass through by name, bytes untouched.
+    store.seal();
+    let stats = store.sync().expect("rotation sync");
+    assert!(stats.rotated);
+    assert_eq!(stats.segments_written, 1, "only the new run may be spilled");
+    assert!(
+        stats.segment_bytes < big_bytes / 10,
+        "a 10-row spill must be far smaller than the retained history \
+         ({} vs {big_bytes} bytes)",
+        stats.segment_bytes
+    );
+    let after = live_segments(scratch.path());
+    assert_eq!(after.len(), 3);
+    for big in &big_segments {
+        assert!(after.contains(big), "big segment {big:?} must survive by name");
+    }
+    drop(store);
+
+    let reopened = TelemetryStore::open(scratch.path()).expect("reopen");
+    assert_eq!(reopened.len(), 8710);
+}
+
+/// Explicit segment compaction across a reopen: overlapping-bound runs
+/// fold into one, the next sync commits the merged segment, and the
+/// result still agrees with the reference.
+#[test]
+fn compact_segments_roundtrips_through_disk() {
+    let scratch = Scratch::new();
+    let mut reference = RefStore::new();
+    let mut store = TelemetryStore::open(scratch.path()).expect("open");
+    // Three overlapping-hour batches, sealed + synced separately so the
+    // directory accumulates small segments.
+    for b in 0..3u64 {
+        let batch: Vec<_> = (0..300u64).map(|i| rec_at(b * 1000 + i, i % 50)).collect();
+        reference.extend(batch.iter().copied());
+        store.extend(batch);
+        store.seal();
+        store.sync().expect("sync batch");
+    }
+    store.compact_segments();
+    assert_eq!(store.run_count(), 1, "overlapping runs must fold into one");
+    store.sync().expect("commit compaction");
+    assert_eq!(live_segments(scratch.path()).len(), 1);
+    drop(store);
+
+    let reopened = TelemetryStore::open(scratch.path()).expect("reopen");
+    assert_eq!(reopened.run_count(), 1);
+    assert_agrees(&reference, &reopened);
 }
