@@ -1,0 +1,274 @@
+//! Fleet-scale simulation benchmarks: the rewritten engine against the
+//! preserved reference, plus the calendar event queue against the
+//! `BinaryHeap` it replaced.
+//!
+//! * `event_queue`: the classic hold model at simulation shape — a
+//!   steady-state population of 100k pending events, one million
+//!   pop-advance-push cycles with exponentially distributed gaps. The
+//!   calendar queue's O(1) ring pushes vs the binary heap's O(log n)
+//!   sift on every operation, on byte-identical event streams.
+//! * `sim_engine`: a 64k-machine simulated day (workload coarsened 8×
+//!   by `scaled_tasks`, which preserves offered load), run twice — on
+//!   the static baseline plan, and under ten concurrent flights
+//!   covering a quarter of the fleet (the steady state of a tuning
+//!   service running several A/B tests at once, per §4.1). The
+//!   reference engine re-resolves `ConfigPlan::effective` per event —
+//!   a `BTreeMap` walk plus one `BTreeSet` probe *per live flight* —
+//!   while the fleet engine serves every lookup from precomputed model
+//!   tables through a per-machine-hour config cache, so its cost is
+//!   independent of flight count. Acceptance bar for the PR: federated
+//!   ≥4× over reference at ≥4 shards on the flighted day.
+//! * `sim_week`: the headline 300k-machine week (168 h, coarsened 32×),
+//!   end to end through the tuning loop — simulate → PerformanceMonitor
+//!   → What-if fit → `optimize_max_containers`. ~50M machine-hour
+//!   records flow through the windowed ingest path. Heavyweight, so it
+//!   only runs when `KEA_BENCH_SIM_FULL=1` (the committed
+//!   `BENCH_sim.json` carries its numbers; CI runs the lighter groups).
+//!
+//! Numbers are recorded in `BENCH_sim.json` (written when
+//! `KEA_BENCH_JSON` is set; CI uploads it as an artifact).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kea_core::whatif::{FitMethod, Granularity, WhatIfEngine};
+use kea_core::{optimize_max_containers, OperatingPoint, PerformanceMonitor};
+use kea_sim::engine::reference;
+use kea_sim::{
+    run_with_exec, CalendarQueue, ClusterSpec, ConfigPatch, ExecConfig, Flight, SimConfig, SC1,
+    SC2,
+};
+use kea_telemetry::{GroupKey, MachineId};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::hint::black_box;
+
+// ---------------------------------------------------------------------
+// Event queue hold model
+// ---------------------------------------------------------------------
+
+const HOLD_POPULATION: usize = 100_000;
+const HOLD_CYCLES: usize = 1_000_000;
+
+/// Deterministic xorshift64* stream.
+fn next_u64(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// Exponential-ish gap in seconds (mean ~2s), the shape of Poisson
+/// candidate chains and task finishes.
+fn next_gap(state: &mut u64) -> f64 {
+    let u = (next_u64(state) >> 11) as f64 / (1u64 << 53) as f64;
+    -2.0 * (1.0 - u).max(1e-12).ln()
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    group.sample_size(10);
+    group.bench_function("calendar_hold_1m", |b| {
+        b.iter(|| {
+            let mut q: CalendarQueue<u32> = CalendarQueue::new();
+            let mut state = 0x9E37_79B9_7F4A_7C15u64;
+            for i in 0..HOLD_POPULATION {
+                q.push(next_gap(&mut state), i as u32);
+            }
+            let mut acc = 0u64;
+            for _ in 0..HOLD_CYCLES {
+                let Some((now, payload)) = q.pop() else { break };
+                acc = acc.wrapping_add(payload as u64);
+                q.push(now + next_gap(&mut state), payload);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("binary_heap_hold_1m", |b| {
+        b.iter(|| {
+            let mut q: BinaryHeap<Reverse<(u64, u64, u32)>> = BinaryHeap::new();
+            let mut state = 0x9E37_79B9_7F4A_7C15u64;
+            let mut seq = 0u64;
+            for i in 0..HOLD_POPULATION {
+                seq += 1;
+                q.push(Reverse((next_gap(&mut state).to_bits(), seq, i as u32)));
+            }
+            let mut acc = 0u64;
+            for _ in 0..HOLD_CYCLES {
+                let Some(Reverse((bits, _, payload))) = q.pop() else { break };
+                let now = f64::from_bits(bits);
+                acc = acc.wrapping_add(payload as u64);
+                seq += 1;
+                q.push(Reverse(((now + next_gap(&mut state)).to_bits(), seq, payload)));
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+// ---------------------------------------------------------------------
+// Engine-scale fixtures
+// ---------------------------------------------------------------------
+
+/// A cluster of at least `total_machines`, built by multiplying the
+/// default catalog's per-SKU counts (keeping the fleet mix).
+fn cluster_of(total_machines: u32, n_subclusters: u32) -> ClusterSpec {
+    let mut skus = kea_sim::default_skus(1);
+    let base: u32 = skus.iter().map(|s| s.machine_count).sum();
+    let mult = total_machines.div_ceil(base).max(1);
+    for s in &mut skus {
+        s.machine_count *= mult;
+    }
+    ClusterSpec::build(skus, n_subclusters)
+}
+
+fn sim_config(machines: u32, subclusters: u32, hours: u64, coarsen: u32, seed: u64) -> SimConfig {
+    let cluster = cluster_of(machines, subclusters);
+    let mut cfg = SimConfig::baseline(cluster, hours, seed);
+    cfg.workload = cfg.workload.scaled_tasks(coarsen);
+    // Keep the sampled logs proportionate at fleet scale.
+    cfg.task_log_every = 1_000;
+    cfg.adhoc_job_log_every = 64;
+    cfg
+}
+
+/// Adds `n_flights` concurrent flights jointly covering `pct` percent of
+/// the fleet (disjoint machine sets, each with its own patch) — the
+/// shape of a production tuning service running several A/B experiments
+/// at once.
+fn with_flights(cfg: &mut SimConfig, pct: u32, n_flights: u32) {
+    let hours = cfg.duration_hours;
+    let step = (100 * n_flights.max(1) / pct.clamp(1, 100)).max(1) as usize;
+    for f in 0..n_flights.max(1) as usize {
+        let targets: BTreeSet<MachineId> = cfg
+            .cluster
+            .machines
+            .iter()
+            .skip(f)
+            .step_by(step)
+            .map(|m| m.id)
+            .collect();
+        cfg.plan.add_flight(Flight {
+            label: format!("bench-flight-{f}"),
+            machines: targets,
+            start_hour: hours / 4,
+            end_hour: hours - hours / 4,
+            patch: ConfigPatch {
+                power_cap_fraction: Some(0.05 + 0.05 * (f % 3) as f64),
+                feature_on: Some(f % 2 == 0),
+                sc: Some(SC2),
+                ..ConfigPatch::default()
+            },
+        });
+    }
+}
+
+fn bench_sim_engine(c: &mut Criterion) {
+    let cfg = sim_config(64_000, 8, 24, 8, 4242);
+    println!(
+        "sim_engine fixture: {} machines, {} sub-clusters, {} h",
+        cfg.cluster.n_machines(),
+        cfg.cluster.n_subclusters,
+        cfg.duration_hours
+    );
+    let mut group = c.benchmark_group("sim_engine");
+    group.sample_size(2);
+    group.bench_function("reference_64k_day", |b| {
+        b.iter(|| black_box(reference::run(&cfg)).counters.total)
+    });
+    group.bench_function("fleet_1shard_64k_day", |b| {
+        b.iter(|| {
+            black_box(run_with_exec(
+                &cfg,
+                ExecConfig {
+                    shards: 1,
+                    emit_window_hours: 24,
+                },
+            ))
+            .counters
+            .total
+        })
+    });
+    group.bench_function("federated_4shard_64k_day", |b| {
+        b.iter(|| {
+            black_box(run_with_exec(
+                &cfg,
+                ExecConfig {
+                    shards: 4,
+                    emit_window_hours: 24,
+                },
+            ))
+            .counters
+            .total
+        })
+    });
+    // The same day under ten concurrent flights covering 25% of the
+    // fleet — the fixture the PR's ≥4× acceptance bar is measured on.
+    let mut flighted = sim_config(64_000, 8, 24, 8, 4242);
+    with_flights(&mut flighted, 25, 10);
+    group.bench_function("reference_64k_day_flighted", |b| {
+        b.iter(|| black_box(reference::run(&flighted)).counters.total)
+    });
+    group.bench_function("federated_4shard_64k_day_flighted", |b| {
+        b.iter(|| {
+            black_box(run_with_exec(
+                &flighted,
+                ExecConfig {
+                    shards: 4,
+                    emit_window_hours: 24,
+                },
+            ))
+            .counters
+            .total
+        })
+    });
+    group.finish();
+}
+
+fn bench_sim_week(c: &mut Criterion) {
+    if std::env::var("KEA_BENCH_SIM_FULL").map_or(true, |v| v != "1") {
+        println!("sim_week: skipped (set KEA_BENCH_SIM_FULL=1 to run the 300k-machine week)");
+        return;
+    }
+    let cfg = sim_config(300_000, 8, 168, 32, 777);
+    let counts: BTreeMap<GroupKey, usize> = cfg
+        .cluster
+        .skus
+        .iter()
+        .map(|s| (GroupKey::new(s.id, SC1), s.machine_count as usize))
+        .collect();
+    println!(
+        "sim_week fixture: {} machines, 168 h (~{}M machine-hour records)",
+        cfg.cluster.n_machines(),
+        cfg.cluster.n_machines() * 168 / 1_000_000
+    );
+    let mut group = c.benchmark_group("sim_week");
+    group.sample_size(2);
+    group.bench_function("fleet_300k_week_end_to_end", |b| {
+        b.iter(|| {
+            let out = run_with_exec(
+                &cfg,
+                ExecConfig {
+                    shards: 0,
+                    emit_window_hours: 24,
+                },
+            );
+            let monitor = PerformanceMonitor::new(&out.telemetry);
+            let engine = WhatIfEngine::fit_at(&monitor, FitMethod::Huber, Granularity::Hourly, 24)
+                .expect("fleet telemetry fits");
+            let plan = optimize_max_containers(&engine, &counts, 1.0, OperatingPoint::Median)
+                .expect("optimizer finds a plan");
+            black_box((out.counters.total, plan.steps().len()))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_sim_engine,
+    bench_sim_week
+);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Quick wall-clock profiling of the simulation engines at arbitrary
+//! scale, without the bench harness. Useful for calibrating `sim_scale`
+//! fixtures and for before/after checks on engine changes.
+//!
+//! ```text
+//! simprof <engine> [machines] [hours] [coarsen] [shards] [flight_pct]
+//!   engine     reference | fleet | federated
+//!   machines   target machine count (default 64000)
+//!   hours      simulated duration   (default 24)
+//!   coarsen    scaled_tasks factor  (default 8)
+//!   shards     worker count for `federated` (default 4; 0 = per-domain)
+//!   flight_pct percent of machines under active flights (default 0)
+//!   n_flights  number of concurrent flights sharing that share (default 1)
+//! ```
+
+use kea_sim::engine::reference;
+use kea_sim::{run_with_exec, ClusterSpec, ConfigPatch, ExecConfig, Flight, SimConfig, SC2};
+use kea_telemetry::MachineId;
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+fn arg<T: std::str::FromStr>(n: usize, default: T) -> T {
+    std::env::args()
+        .nth(n)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let engine = std::env::args().nth(1).unwrap_or_else(|| "fleet".into());
+    let machines: u32 = arg(2, 64_000);
+    let hours: u64 = arg(3, 24);
+    let coarsen: u32 = arg(4, 8);
+    let shards: usize = arg(5, 4);
+    let flight_pct: u32 = arg(6, 0);
+    let n_flights: u32 = arg(7, 1);
+
+    let mut skus = kea_sim::default_skus(1);
+    let base: u32 = skus.iter().map(|s| s.machine_count).sum();
+    let mult = machines.div_ceil(base).max(1);
+    for s in &mut skus {
+        s.machine_count *= mult;
+    }
+    let cluster = ClusterSpec::build(skus, 8);
+    let mut cfg = SimConfig::baseline(cluster, hours, 4242);
+    cfg.workload = cfg.workload.scaled_tasks(coarsen);
+    cfg.task_log_every = 1_000;
+    cfg.adhoc_job_log_every = 64;
+    if flight_pct > 0 {
+        // `n_flights` disjoint machine sets jointly covering `flight_pct`
+        // percent of the fleet, each with its own patch — the shape of a
+        // production tuning service running several A/B tests at once.
+        let step = (100 * n_flights.max(1) / flight_pct.clamp(1, 100)).max(1) as usize;
+        for f in 0..n_flights.max(1) as usize {
+            let targets: BTreeSet<MachineId> = cfg
+                .cluster
+                .machines
+                .iter()
+                .skip(f)
+                .step_by(step)
+                .map(|m| m.id)
+                .collect();
+            cfg.plan.add_flight(Flight {
+                label: format!("simprof-flight-{f}"),
+                machines: targets,
+                start_hour: hours / 4,
+                end_hour: hours - hours / 4,
+                patch: ConfigPatch {
+                    power_cap_fraction: Some(0.05 + 0.05 * (f % 3) as f64),
+                    feature_on: Some(f % 2 == 0),
+                    sc: Some(SC2),
+                    ..ConfigPatch::default()
+                },
+            });
+        }
+    }
+    println!(
+        "fixture: {} machines, {} h, coarsen {coarsen}, engine {engine}, flight {flight_pct}%",
+        cfg.cluster.n_machines(),
+        hours
+    );
+
+    let t0 = Instant::now();
+    let out = match engine.as_str() {
+        "reference" => reference::run(&cfg),
+        "fleet" => run_with_exec(
+            &cfg,
+            ExecConfig {
+                shards: 1,
+                emit_window_hours: 24,
+            },
+        ),
+        _ => run_with_exec(
+            &cfg,
+            ExecConfig {
+                shards,
+                emit_window_hours: 24,
+            },
+        ),
+    };
+    let dt = t0.elapsed().as_secs_f64();
+    println!(
+        "wall {dt:.2}s  tasks {}  tasks/s {:.0}  records {}  jobs {}",
+        out.counters.total,
+        out.counters.total as f64 / dt,
+        out.telemetry.len(),
+        out.jobs.len()
+    );
+}

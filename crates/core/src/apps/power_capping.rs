@@ -260,7 +260,7 @@ mod tests {
     }
 
     #[test]
-    #[ignore = "slow (~16 s) Monte-Carlo suite; run with `cargo test -- --ignored` or KEA_SLOW_TESTS=1"]
+    #[ignore = "slow (~4 s on the sharded engine, was ~16 s) Monte-Carlo suite; run with `cargo test -- --ignored` or KEA_SLOW_TESTS=1"]
     fn reproduces_figure_15_shape() {
         reproduces_figure_15_shape_impl();
     }

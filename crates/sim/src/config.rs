@@ -7,8 +7,38 @@
 //! [`ConfigPatch`] a partial override, and [`ConfigPlan`] the composition
 //! of per-SKU baselines with a list of [`Flight`]s.
 
+use crate::cluster::Machine;
 use kea_telemetry::{MachineId, ScId, SkuId};
 use std::collections::{BTreeMap, BTreeSet};
+
+/// Execution knobs for the fleet-scale engine — *how* a scenario runs,
+/// orthogonal to *what* is simulated (which stays in `SimConfig`, so the
+/// simulated system is bit-identical under every `ExecConfig`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Worker-thread budget. `1` (the default) runs a single global
+    /// scheduling domain with exactly the reference engine's semantics.
+    /// `0` or `>= 2` federates scheduling per sub-cluster and runs
+    /// `min(shards, sub-clusters)` scoped workers over the domains (`0`
+    /// means "one worker per sub-cluster"). Output is invariant in the
+    /// worker count: domains are deterministic given the cluster, and
+    /// results merge in domain order.
+    pub shards: usize,
+    /// Telemetry flush cadence in simulated hours: completed machine-hours
+    /// stream into the output store once per window instead of
+    /// materializing the whole run, bounding memory at fleet scale.
+    /// `0` is treated as 1.
+    pub emit_window_hours: u64,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            shards: 1,
+            emit_window_hours: 24,
+        }
+    }
+}
 
 /// The per-machine tunable configuration — the knobs of Table 3.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -155,6 +185,118 @@ impl ConfigPlan {
     }
 }
 
+/// Defensive value for out-of-range lookups in [`ResolvedPlan`]; never
+/// reached when the plan was resolved against the machine set in use.
+const FALLBACK_CONFIG: MachineConfig = MachineConfig {
+    max_running_containers: 1,
+    power_cap_fraction: 0.0,
+    feature_on: false,
+    sc: ScId(1),
+    max_queue_length: u32::MAX,
+};
+
+/// A [`ConfigPlan`] resolved against a fixed machine set and horizon.
+///
+/// [`ConfigPlan::effective`] is a BTreeMap lookup plus a linear flight
+/// scan — fine per telemetry row, ruinous on the event hot path where the
+/// engine needs the machine's configuration at every placement, start,
+/// and finish. Flights activate and end on integer hour boundaries, so
+/// the effective configuration is piecewise-constant per machine-hour;
+/// this resolver interns the few distinct [`MachineConfig`] values and
+/// tabulates, per machine position, either one constant index (machines
+/// in no flight — the overwhelming majority) or a dense per-hour index
+/// table. Lookup is then two array reads.
+#[derive(Debug, Clone)]
+pub struct ResolvedPlan {
+    /// The distinct configurations that occur anywhere in the run.
+    configs: Vec<MachineConfig>,
+    /// Per machine position: index into `configs` when the machine is in
+    /// no flight (constant over the whole run).
+    base_idx: Vec<u32>,
+    /// Per machine position: `Some` per-hour index table (length
+    /// `hours + 1`) for machines targeted by at least one flight.
+    overrides: Vec<Option<Box<[u32]>>>,
+    /// Simulation horizon the tables were built for.
+    hours: u64,
+}
+
+/// Interns `cfg` into `configs`, returning its index. The distinct-config
+/// population is tiny (per-SKU baselines plus flight variants), so a
+/// linear scan beats any hashing.
+fn intern_config(configs: &mut Vec<MachineConfig>, cfg: MachineConfig) -> u32 {
+    if let Some(i) = configs.iter().position(|c| *c == cfg) {
+        return i as u32;
+    }
+    configs.push(cfg);
+    (configs.len() - 1) as u32
+}
+
+impl ResolvedPlan {
+    /// Resolves `plan` for `machines` over `[0, duration_hours]`.
+    ///
+    /// # Panics
+    /// Propagates [`ConfigPlan::effective`]'s contract: every machine's
+    /// SKU must exist in the plan.
+    pub fn resolve(plan: &ConfigPlan, machines: &[Machine], duration_hours: u64) -> Self {
+        let mut configs = Vec::new();
+        let mut base_idx = Vec::with_capacity(machines.len());
+        let mut overrides = Vec::with_capacity(machines.len());
+        for m in machines {
+            let in_flight = plan.flights.iter().any(|f| f.machines.contains(&m.id));
+            if in_flight {
+                let tab: Box<[u32]> = (0..=duration_hours)
+                    .map(|h| {
+                        intern_config(&mut configs, plan.effective(m.id, m.sku, h as f64))
+                    })
+                    .collect();
+                // The base slot still needs a valid value; hour 0 serves.
+                base_idx.push(tab.first().copied().unwrap_or(0));
+                overrides.push(Some(tab));
+            } else {
+                // No flight targets this machine, so `effective` is the
+                // per-SKU baseline at every hour.
+                base_idx.push(intern_config(&mut configs, plan.effective(m.id, m.sku, 0.0)));
+                overrides.push(None);
+            }
+        }
+        ResolvedPlan {
+            configs,
+            base_idx,
+            overrides,
+            hours: duration_hours,
+        }
+    }
+
+    /// The distinct configurations; `config_index` values index this.
+    pub fn configs(&self) -> &[MachineConfig] {
+        &self.configs
+    }
+
+    /// Index (into [`Self::configs`]) of machine position `m`'s effective
+    /// configuration during hour `hour`.
+    pub fn config_index(&self, m: usize, hour: u64) -> u32 {
+        if let Some(Some(tab)) = self.overrides.get(m) {
+            let h = hour.min(self.hours) as usize;
+            if let Some(i) = tab.get(h) {
+                return *i;
+            }
+        }
+        self.base_idx.get(m).copied().unwrap_or(0)
+    }
+
+    /// Effective configuration of machine position `m` during hour `hour`.
+    pub fn config_at(&self, m: usize, hour: u64) -> MachineConfig {
+        let idx = self.config_index(m, hour) as usize;
+        self.configs.get(idx).copied().unwrap_or(FALLBACK_CONFIG)
+    }
+
+    /// True when machine position `m` is targeted by any flight (its
+    /// configuration may change between hours).
+    pub fn is_flighted(&self, m: usize) -> bool {
+        matches!(self.overrides.get(m), Some(Some(_)))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -267,5 +409,59 @@ mod tests {
             p.effective(MachineId(0), SkuId(5), 0.0).max_running_containers,
             25
         );
+    }
+
+    #[test]
+    fn resolved_plan_agrees_with_effective_everywhere() {
+        let cluster = crate::cluster::ClusterSpec::tiny();
+        let mut p = ConfigPlan::baseline(&cluster.skus, SC1);
+        // Two overlapping flights (later wins) plus a disjoint one.
+        p.add_flight(Flight {
+            label: "a".into(),
+            machines: [MachineId(0), MachineId(3), MachineId(7)].into_iter().collect(),
+            start_hour: 2,
+            end_hour: 6,
+            patch: ConfigPatch {
+                max_running_containers: Some(30),
+                ..Default::default()
+            },
+        });
+        p.add_flight(Flight {
+            label: "b".into(),
+            machines: [MachineId(3)].into_iter().collect(),
+            start_hour: 4,
+            end_hour: 8,
+            patch: ConfigPatch {
+                sc: Some(SC2),
+                feature_on: Some(true),
+                ..Default::default()
+            },
+        });
+        let hours = 10;
+        let r = ResolvedPlan::resolve(&p, &cluster.machines, hours);
+        assert!(r.configs().len() >= 3, "baselines + flight variants interned");
+        for (pos, m) in cluster.machines.iter().enumerate() {
+            for h in 0..=hours {
+                // Sample fractional offsets inside the hour too: the
+                // effective config is constant within an integer hour.
+                for frac in [0.0, 0.25, 0.999] {
+                    let want = p.effective(m.id, m.sku, h as f64 + frac);
+                    // Past the horizon the table clamps; skip those.
+                    if h as f64 + frac > hours as f64 {
+                        continue;
+                    }
+                    assert_eq!(r.config_at(pos, h), want, "machine {pos} hour {h}");
+                }
+            }
+        }
+        assert!(r.is_flighted(3));
+        assert!(!r.is_flighted(1));
+    }
+
+    #[test]
+    fn exec_config_default_is_single_shard_daily_window() {
+        let e = ExecConfig::default();
+        assert_eq!(e.shards, 1);
+        assert_eq!(e.emit_window_hours, 24);
     }
 }

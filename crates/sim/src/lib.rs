@@ -17,7 +17,10 @@
 //!   seasonality, TPC-derived benchmark templates;
 //! * [`machine`] — the per-machine performance model (utilization,
 //!   interference, power, throttling, SSD/RAM usage);
-//! * [`engine`] — the event loop and telemetry emission;
+//! * [`engine`] — the fleet-scale event loop (calendar queue, model
+//!   tables, windowed telemetry, optional federated sharding) plus the
+//!   preserved reference engine it must agree with;
+//! * [`calendar`] — the hierarchical calendar event queue;
 //! * [`output`] — job/task logs and exact counters;
 //! * [`rng`] — seeded distribution samplers.
 //!
@@ -34,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod calendar;
 pub mod catalog;
 pub mod cluster;
 pub mod config;
@@ -43,9 +47,10 @@ pub mod output;
 pub mod rng;
 pub mod workload;
 
+pub use calendar::CalendarQueue;
 pub use catalog::{default_scs, default_skus, ScSpec, SkuSpec, SC1, SC2};
 pub use cluster::{ClusterSpec, Machine, RackId, SubClusterId, MACHINES_PER_RACK};
-pub use config::{ConfigPatch, ConfigPlan, Flight, MachineConfig};
-pub use engine::{run, SimConfig};
+pub use config::{ConfigPatch, ConfigPlan, ExecConfig, Flight, MachineConfig};
+pub use engine::{run, run_with_exec, SimConfig};
 pub use output::{JobRecord, SimOutput, TaskCounters, TaskRecord};
 pub use workload::{JobTemplate, Schedule, Seasonality, StageSpec, TaskType, WorkloadSpec};

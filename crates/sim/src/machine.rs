@@ -96,6 +96,34 @@ pub struct ServiceTime {
     pub cpu_time_s: f64,
 }
 
+/// Combines pre-resolved service-time factors into a [`ServiceTime`].
+///
+/// This is the single place the multiplication order is written down:
+/// [`service_time`] resolves the factors from the machine environment and
+/// delegates here, and the fleet-scale engine calls this directly with
+/// factors looked up from its precomputed per-configuration tables. Both
+/// paths therefore evaluate the exact same floating-point expression and
+/// agree bit for bit.
+pub fn service_time_parts(
+    base_cpu_s: f64,
+    speed: f64,
+    throttle: f64,
+    feature: f64,
+    interference: f64,
+    sc_mult: f64,
+) -> ServiceTime {
+    // CPU time: intrinsic work, scaled by hardware generation, the clock
+    // (throttle), and the microarchitectural Feature.
+    let cpu_time_s = base_cpu_s * speed * throttle * feature;
+    // Wall time additionally suffers co-runner interference and the SC's
+    // I/O path for temp-store-heavy tasks.
+    let duration_s = cpu_time_s * interference * sc_mult;
+    ServiceTime {
+        duration_s,
+        cpu_time_s,
+    }
+}
+
 /// Computes a task's service time from its intrinsic work and the machine
 /// environment at start.
 ///
@@ -119,18 +147,9 @@ pub fn service_time(
         1.0
     };
     let throttle = throttle_multiplier(sku, config, util);
-    // CPU time: intrinsic work, scaled by hardware generation, the clock
-    // (throttle), and the microarchitectural Feature.
-    let cpu_time_s = base_cpu_s * speed * throttle * feature;
-    // Wall time additionally suffers co-runner interference and the SC's
-    // I/O path for temp-store-heavy tasks.
     let interference = 1.0 + INTERFERENCE_GAMMA * util * util;
     let sc_mult = if io_heavy { sc.io_heavy_multiplier } else { 1.0 };
-    let duration_s = cpu_time_s * interference * sc_mult;
-    ServiceTime {
-        duration_s,
-        cpu_time_s,
-    }
+    service_time_parts(base_cpu_s, speed, throttle, feature, interference, sc_mult)
 }
 
 /// Instantaneous resource usage of a machine running `containers`

@@ -112,6 +112,24 @@ impl TaskCounters {
             .collect();
         shares(&counts)
     }
+
+    /// Folds another counter set into this one (key-wise sums). Racks and
+    /// SKUs may span scheduling domains, so colliding keys add.
+    pub fn absorb(&mut self, other: TaskCounters) {
+        for (k, v) in other.by_sku {
+            *self.by_sku.entry(k).or_insert(0) += v;
+        }
+        for (k, v) in other.critical_by_sku {
+            *self.critical_by_sku.entry(k).or_insert(0) += v;
+        }
+        for (k, v) in other.by_rack_type {
+            *self.by_rack_type.entry(k).or_insert(0) += v;
+        }
+        for (k, v) in other.by_sku_type {
+            *self.by_sku_type.entry(k).or_insert(0) += v;
+        }
+        self.total += other.total;
+    }
 }
 
 fn shares(counts: &[u64]) -> Option<[f64; 4]> {
@@ -141,6 +159,10 @@ pub struct SimOutput {
     pub tasks_in_flight_at_end: u64,
     /// Jobs not yet finished when the simulation ended.
     pub jobs_in_flight_at_end: u64,
+    /// Telemetry records rejected at ingest because a metric was
+    /// non-finite (the same validation CSV ingest applies). Zero in any
+    /// healthy run; non-zero flags a degenerate workload calibration.
+    pub nonfinite_dropped: u64,
 }
 
 impl SimOutput {
@@ -151,6 +173,20 @@ impl SimOutput {
             .filter(|j| j.template_name == template_name)
             .map(|j| j.runtime_s)
             .collect()
+    }
+
+    /// Folds one scheduling domain's output into this one. The federated
+    /// engine calls this in domain order, so job/task logs concatenate
+    /// deterministically; telemetry merges through the store's validating
+    /// path and counters add key-wise.
+    pub fn absorb(&mut self, other: SimOutput) {
+        self.telemetry.merge(other.telemetry);
+        self.jobs.extend(other.jobs);
+        self.tasks.extend(other.tasks);
+        self.counters.absorb(other.counters);
+        self.tasks_in_flight_at_end += other.tasks_in_flight_at_end;
+        self.jobs_in_flight_at_end += other.jobs_in_flight_at_end;
+        self.nonfinite_dropped += other.nonfinite_dropped;
     }
 }
 

@@ -376,6 +376,113 @@ impl WorkloadSpec {
         self.backlog = None;
         self
     }
+
+    /// The slice of this workload owned by one scheduling domain of the
+    /// federated engine: a domain holding `machines_in_part` of
+    /// `total_machines` machines, with `machines_before` machines in the
+    /// domains ahead of it.
+    ///
+    /// Work divides so the union over domains reproduces the whole spec
+    /// exactly, with no double counting and no remainder:
+    ///
+    /// * **Recurring stages and the backlog** split task counts by the
+    ///   machine-weighted Bresenham rule
+    ///   `floor((before+own)·T/total) − floor(before·T/total)` — the
+    ///   telescoping sum over domains is exactly `T`. A slice may round a
+    ///   small stage to zero tasks; the engine skips empty stages.
+    /// * **Poisson templates** keep their full per-job stage structure
+    ///   (an ad-hoc job runs wholly inside one domain, as a real
+    ///   scheduler would place it) and scale the arrival *rate* by the
+    ///   domain's machine fraction — splitting a Poisson process is
+    ///   thinning, so the superposition matches the global process in
+    ///   distribution.
+    pub fn sliced(
+        &self,
+        machines_before: u64,
+        machines_in_part: u64,
+        total_machines: u64,
+    ) -> Self {
+        let total = total_machines.max(1);
+        let share = |t: u32| -> u32 {
+            let t = t as u64;
+            let hi = (machines_before + machines_in_part).min(total) * t / total;
+            let lo = machines_before.min(total) * t / total;
+            (hi - lo) as u32
+        };
+        let fraction = machines_in_part as f64 / total as f64;
+        let templates = self
+            .templates
+            .iter()
+            .map(|tpl| {
+                let mut tpl = tpl.clone();
+                match &mut tpl.schedule {
+                    Schedule::Recurring { .. } => {
+                        for stage in &mut tpl.stages {
+                            stage.tasks = share(stage.tasks);
+                        }
+                    }
+                    Schedule::Poisson { rate_per_hour } => {
+                        *rate_per_hour *= fraction;
+                    }
+                }
+                tpl
+            })
+            .collect();
+        let backlog = self.backlog.map(|mut b| {
+            b.concurrent_tasks = share(b.concurrent_tasks);
+            b
+        });
+        WorkloadSpec {
+            templates,
+            seasonality: self.seasonality,
+            backlog,
+        }
+    }
+
+    /// A coarsened variant preserving offered *load* while dividing the
+    /// *event count* by `factor`: task counts (and Poisson rates) shrink
+    /// by `factor`, mean per-task work grows by `factor`. Utilization,
+    /// power, and resource telemetry stay calibrated while a fleet-week
+    /// simulates with `factor`× fewer events — how the 300k-machine bench
+    /// stays tractable. `factor = 1` (or 0) is the identity.
+    pub fn scaled_tasks(&self, factor: u32) -> Self {
+        let f = factor.max(1);
+        if f == 1 {
+            return self.clone();
+        }
+        let templates = self
+            .templates
+            .iter()
+            .map(|tpl| {
+                let mut tpl = tpl.clone();
+                match &mut tpl.schedule {
+                    Schedule::Recurring { .. } => {
+                        for stage in &mut tpl.stages {
+                            stage.tasks = stage.tasks.div_ceil(f);
+                            stage.mean_cpu_s *= f as f64;
+                        }
+                    }
+                    Schedule::Poisson { rate_per_hour } => {
+                        *rate_per_hour /= f as f64;
+                        for stage in &mut tpl.stages {
+                            stage.mean_cpu_s *= f as f64;
+                        }
+                    }
+                }
+                tpl
+            })
+            .collect();
+        let backlog = self.backlog.map(|mut b| {
+            b.concurrent_tasks = (b.concurrent_tasks / f).max(1);
+            b.mean_cpu_s *= f as f64;
+            b
+        });
+        WorkloadSpec {
+            templates,
+            seasonality: self.seasonality,
+            backlog,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -482,5 +589,87 @@ mod tests {
     #[should_panic(expected = "target_occupancy")]
     fn bad_target_panics() {
         WorkloadSpec::default_for(&ClusterSpec::tiny(), 0.0);
+    }
+
+    #[test]
+    fn slices_partition_work_exactly() {
+        let spec = WorkloadSpec::default_for(&ClusterSpec::small(), 0.75);
+        // A skewed 3-way split of 100 machines: 90 / 7 / 3.
+        let parts = [(0u64, 90u64), (90, 7), (97, 3)];
+        let slices: Vec<WorkloadSpec> =
+            parts.iter().map(|&(b, n)| spec.sliced(b, n, 100)).collect();
+        // Recurring task counts telescope back to the original exactly.
+        for (ti, tpl) in spec.templates.iter().enumerate() {
+            if matches!(tpl.schedule, Schedule::Poisson { .. }) {
+                // Poisson keeps stage structure, splits the rate.
+                let rate = |w: &WorkloadSpec| match w.templates[ti].schedule {
+                    Schedule::Poisson { rate_per_hour } => rate_per_hour,
+                    _ => unreachable!("poisson template"),
+                };
+                let sum: f64 = slices.iter().map(rate).sum();
+                assert!((sum - rate(&spec)).abs() < 1e-9 * rate(&spec));
+                for s in &slices {
+                    assert_eq!(
+                        s.templates[ti].stages.iter().map(|s| s.tasks).collect::<Vec<_>>(),
+                        tpl.stages.iter().map(|s| s.tasks).collect::<Vec<_>>()
+                    );
+                }
+                continue;
+            }
+            for (si, stage) in tpl.stages.iter().enumerate() {
+                let sum: u32 = slices.iter().map(|s| s.templates[ti].stages[si].tasks).sum();
+                assert_eq!(sum, stage.tasks, "template {ti} stage {si}");
+            }
+        }
+        let backlog_sum: u32 = slices
+            .iter()
+            .map(|s| s.backlog.map(|b| b.concurrent_tasks).unwrap_or(0))
+            .sum();
+        assert_eq!(backlog_sum, spec.backlog.unwrap().concurrent_tasks);
+    }
+
+    #[test]
+    fn tiny_slice_of_small_stage_can_be_empty() {
+        let spec = WorkloadSpec::default_for(&ClusterSpec::tiny(), 0.75);
+        // 1 machine of 1000: most recurring stages round to zero tasks.
+        let slice = spec.sliced(0, 1, 1000);
+        let zero_stages = slice
+            .templates
+            .iter()
+            .filter(|t| matches!(t.schedule, Schedule::Recurring { .. }))
+            .flat_map(|t| t.stages.iter())
+            .filter(|s| s.tasks == 0)
+            .count();
+        assert!(zero_stages > 0, "engine must tolerate empty stages");
+    }
+
+    #[test]
+    fn scaled_tasks_preserves_offered_load() {
+        let spec = WorkloadSpec::default_for(&ClusterSpec::small(), 0.75);
+        let coarse = spec.scaled_tasks(8);
+        for (a, b) in spec.templates.iter().zip(&coarse.templates) {
+            match (a.schedule, b.schedule) {
+                (
+                    Schedule::Poisson { rate_per_hour: ra },
+                    Schedule::Poisson { rate_per_hour: rb },
+                ) => {
+                    // Rate drops 8×, per-job work grows 8×: load constant.
+                    assert!((ra / rb - 8.0).abs() < 1e-9);
+                    assert!((b.expected_cpu_s() / a.expected_cpu_s() - 8.0).abs() < 1e-9);
+                }
+                _ => {
+                    // Recurring: total CPU-seconds per instance within
+                    // ceil-rounding of the original.
+                    assert!(b.total_tasks() <= a.total_tasks());
+                    assert!(b.expected_cpu_s() >= a.expected_cpu_s() - 1e-9);
+                }
+            }
+        }
+        let (a, b) = (spec.backlog.unwrap(), coarse.backlog.unwrap());
+        assert_eq!(b.concurrent_tasks, a.concurrent_tasks / 8);
+        assert!((b.mean_cpu_s / a.mean_cpu_s - 8.0).abs() < 1e-9);
+        // Identity at factor 1 and 0.
+        assert_eq!(spec.scaled_tasks(1), spec);
+        assert_eq!(spec.scaled_tasks(0), spec);
     }
 }

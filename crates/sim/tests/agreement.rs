@@ -1,0 +1,229 @@
+//! Agreement suite: the fleet-scale engine vs. the reference engine.
+//!
+//! Two contracts, enforced exactly (no tolerances):
+//!
+//! 1. **Single-shard bit-equality.** `kea_sim::run` (one global scheduling
+//!    domain) must reproduce `engine::reference::run` bit for bit — every
+//!    telemetry metric, job record, sampled task, and counter. The fleet
+//!    engine's calendar queue, model tables, and windowed emission are
+//!    pure reorganizations; any drift is a bug.
+//! 2. **Shard-count invariance.** Federated execution (`shards != 1`)
+//!    must give identical output for every worker count — 2, 4, 8, or
+//!    one-per-domain — including on pathologically skewed topologies.
+//!    The federation itself is a *different scheduling model* than the
+//!    global domain (per-sub-cluster placement scope), so shards=1 and
+//!    shards=2 legitimately differ; determinism within the federated
+//!    family is what's guaranteed.
+
+use kea_sim::cluster::SubClusterId;
+use kea_sim::engine::reference;
+use kea_sim::{
+    run, run_with_exec, ClusterSpec, ConfigPatch, ExecConfig, Flight, SimConfig, SimOutput, SC2,
+};
+use kea_telemetry::MachineId;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Telemetry as a canonically ordered record list. The fleet engine
+/// streams records window-by-window while the reference emits them
+/// machine-by-machine, so store iteration order differs; the record
+/// *multisets* must not.
+fn canonical_telemetry(out: &SimOutput) -> Vec<kea_telemetry::MachineHourRecord> {
+    let mut v: Vec<_> = out.telemetry.iter().cloned().collect();
+    v.sort_by_key(|r| (r.machine.0, r.hour));
+    v
+}
+
+/// Asserts full bitwise equality of two outputs (telemetry order
+/// canonicalized, everything else compared directly).
+fn assert_identical(a: &SimOutput, b: &SimOutput) {
+    let ta = canonical_telemetry(a);
+    let tb = canonical_telemetry(b);
+    assert_eq!(ta.len(), tb.len(), "telemetry record counts differ");
+    for (ra, rb) in ta.iter().zip(&tb) {
+        assert_eq!(ra.machine, rb.machine);
+        assert_eq!(ra.hour, rb.hour);
+        assert_eq!(ra.group, rb.group);
+        assert_eq!(
+            ra.metrics, rb.metrics,
+            "metrics differ at machine {:?} hour {}",
+            ra.machine, ra.hour
+        );
+    }
+    assert_eq!(a.jobs, b.jobs, "job logs differ");
+    assert_eq!(a.tasks, b.tasks, "task logs differ");
+    assert_eq!(a.counters, b.counters, "counters differ");
+    assert_eq!(a.tasks_in_flight_at_end, b.tasks_in_flight_at_end);
+    assert_eq!(a.jobs_in_flight_at_end, b.jobs_in_flight_at_end);
+    assert_eq!(a.nonfinite_dropped, b.nonfinite_dropped);
+}
+
+#[test]
+fn single_shard_matches_reference_bit_for_bit() {
+    for (hours, seed) in [(6u64, 42u64), (24, 7), (13, 1001)] {
+        let cfg = SimConfig::baseline(ClusterSpec::tiny(), hours, seed);
+        let fleet = run(&cfg);
+        let oracle = reference::run(&cfg);
+        assert_identical(&fleet, &oracle);
+    }
+}
+
+#[test]
+fn single_shard_matches_reference_under_flights() {
+    // Flights exercise the per-hour configuration tables (the part of the
+    // model-table precomputation most likely to drift from the on-demand
+    // `ConfigPlan::effective` path).
+    let mut cfg = SimConfig::baseline(ClusterSpec::tiny(), 24, 91);
+    let targets: BTreeSet<MachineId> = cfg
+        .cluster
+        .machines
+        .iter()
+        .filter(|m| m.id.0 % 3 == 0)
+        .map(|m| m.id)
+        .collect();
+    cfg.plan.add_flight(Flight {
+        label: "agreement-flight".into(),
+        machines: targets,
+        start_hour: 6,
+        end_hour: 18,
+        patch: ConfigPatch {
+            max_running_containers: Some(6),
+            power_cap_fraction: Some(0.25),
+            feature_on: Some(true),
+            sc: Some(SC2),
+            max_queue_length: Some(4),
+        },
+    });
+    let fleet = run(&cfg);
+    let oracle = reference::run(&cfg);
+    assert_identical(&fleet, &oracle);
+}
+
+#[test]
+fn single_shard_matches_reference_with_every_emit_window() {
+    // The emission cadence is an execution knob, not a semantic one.
+    let cfg = SimConfig::baseline(ClusterSpec::tiny(), 9, 3);
+    let oracle = reference::run(&cfg);
+    for window in [1u64, 2, 5, 24, 1_000] {
+        let fleet = run_with_exec(
+            &cfg,
+            ExecConfig {
+                shards: 1,
+                emit_window_hours: window,
+            },
+        );
+        assert_identical(&fleet, &oracle);
+    }
+}
+
+#[test]
+fn federated_output_is_shard_count_invariant() {
+    let cfg = SimConfig::baseline(ClusterSpec::small(), 12, 17);
+    let outs: Vec<SimOutput> = [2usize, 4, 8, 0]
+        .iter()
+        .map(|&shards| {
+            run_with_exec(
+                &cfg,
+                ExecConfig {
+                    shards,
+                    emit_window_hours: 24,
+                },
+            )
+        })
+        .collect();
+    for other in &outs[1..] {
+        assert_identical(&outs[0], other);
+    }
+    // Sanity: the federation covered the whole fleet.
+    assert_eq!(
+        outs[0].telemetry.len(),
+        cfg.cluster.n_machines() * cfg.duration_hours as usize
+    );
+    assert!(outs[0].counters.total > 0);
+}
+
+#[test]
+fn federated_execution_is_deterministic_across_runs() {
+    let cfg = SimConfig::baseline(ClusterSpec::tiny(), 8, 23);
+    let exec = ExecConfig {
+        shards: 3,
+        emit_window_hours: 6,
+    };
+    assert_identical(&run_with_exec(&cfg, exec), &run_with_exec(&cfg, exec));
+}
+
+/// A deliberately pathological topology: 90% of the fleet in one
+/// sub-cluster, the remainder dealt across three slivers. Worker load is
+/// maximally unbalanced, so any schedule-dependence (a worker finishing
+/// early and racing for the next domain) would surface here.
+fn skewed_cluster() -> ClusterSpec {
+    let mut spec = ClusterSpec::build(kea_sim::default_skus(50), 4);
+    let n = spec.machines.len();
+    let cutoff = n * 9 / 10;
+    for (i, m) in spec.machines.iter_mut().enumerate() {
+        m.subcluster = if i < cutoff {
+            SubClusterId(0)
+        } else {
+            SubClusterId(1 + ((i - cutoff) % 3) as u32)
+        };
+    }
+    spec
+}
+
+#[test]
+fn federated_invariance_survives_pathological_skew() {
+    let cfg = SimConfig::baseline(skewed_cluster(), 10, 29);
+    let outs: Vec<SimOutput> = [2usize, 4, 8, 0]
+        .iter()
+        .map(|&shards| {
+            run_with_exec(
+                &cfg,
+                ExecConfig {
+                    shards,
+                    emit_window_hours: 24,
+                },
+            )
+        })
+        .collect();
+    for other in &outs[1..] {
+        assert_identical(&outs[0], other);
+    }
+    assert_eq!(
+        outs[0].telemetry.len(),
+        cfg.cluster.n_machines() * cfg.duration_hours as usize
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Randomized single-shard agreement: any (seed, duration) must agree
+    /// with the oracle exactly.
+    #[test]
+    fn prop_single_shard_agreement(seed in 0u64..1_000_000, hours in 2u64..16) {
+        let cfg = SimConfig::baseline(ClusterSpec::tiny(), hours, seed);
+        let fleet = run(&cfg);
+        let oracle = reference::run(&cfg);
+        let ta = canonical_telemetry(&fleet);
+        let tb = canonical_telemetry(&oracle);
+        prop_assert_eq!(ta, tb);
+        prop_assert_eq!(fleet.jobs, oracle.jobs);
+        prop_assert_eq!(fleet.tasks, oracle.tasks);
+        prop_assert_eq!(fleet.counters, oracle.counters);
+    }
+
+    /// Randomized shard-count invariance on the fixed seed family.
+    #[test]
+    fn prop_shard_count_invariance(seed in 0u64..1_000_000, hours in 2u64..10) {
+        let cfg = SimConfig::baseline(ClusterSpec::tiny(), hours, seed);
+        let exec = |shards| ExecConfig { shards, emit_window_hours: 24 };
+        let two = run_with_exec(&cfg, exec(2));
+        let four = run_with_exec(&cfg, exec(4));
+        let all = run_with_exec(&cfg, exec(0));
+        prop_assert_eq!(canonical_telemetry(&two), canonical_telemetry(&four));
+        prop_assert_eq!(canonical_telemetry(&two), canonical_telemetry(&all));
+        prop_assert_eq!(&two.counters, &four.counters);
+        prop_assert_eq!(&two.counters, &all.counters);
+        prop_assert_eq!(&two.jobs, &four.jobs);
+    }
+}

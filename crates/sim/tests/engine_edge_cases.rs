@@ -157,3 +157,43 @@ fn sc_flight_relabels_telemetry_groups() {
         );
     }
 }
+
+#[test]
+fn degenerate_calibration_cannot_smuggle_nonfinite_telemetry() {
+    // A poisoned workload calibration (infinite mean input size) makes
+    // every affected task report `inf` data read, which poisons the
+    // machine-hour records of the hours those tasks complete in. The
+    // engine must stream telemetry through the same non-finite validation
+    // CSV ingest applies — dropping and *counting* poisoned records in
+    // every build profile — so downstream aggregates never see a NaN.
+    // Before the engine flushed through the validated path, these records
+    // landed in the store untouched in release builds (debug-only assert).
+    let mut cfg = SimConfig::baseline(kea_sim::ClusterSpec::tiny(), 6, 61);
+    for tpl in &mut cfg.workload.templates {
+        if tpl.name == "ingest-hourly" {
+            if let Some(s) = tpl.stages.first_mut() {
+                s.mean_input_gb = f64::INFINITY;
+            }
+        }
+    }
+    let out = run(&cfg);
+    assert!(
+        out.nonfinite_dropped > 0,
+        "poisoned records must be counted, not silently absent"
+    );
+    let machines = cfg.cluster.n_machines() as u64;
+    let expected_grid = machines * cfg.duration_hours;
+    assert_eq!(
+        out.telemetry.len() as u64 + out.nonfinite_dropped,
+        expected_grid,
+        "every machine-hour is either stored or counted as dropped"
+    );
+    for rec in out.telemetry.iter() {
+        assert!(rec.metrics.is_finite(), "non-finite record smuggled into the store");
+    }
+    // The reference engine flushes through the same validated path and
+    // must account identically.
+    let oracle = kea_sim::engine::reference::run(&cfg);
+    assert_eq!(oracle.nonfinite_dropped, out.nonfinite_dropped);
+    assert_eq!(oracle.telemetry.len(), out.telemetry.len());
+}

@@ -194,7 +194,7 @@ pub fn write_manifest(dir: &Path, manifest: &Manifest) -> Result<(), PersistErro
         return Err(PersistError::Io {
             op: "rename manifest (injected crash)",
             path,
-            source: std::io::Error::new(std::io::ErrorKind::Other, "injected manifest-flip failure"),
+            source: std::io::Error::other("injected manifest-flip failure"),
         });
     }
     std::fs::rename(&tmp, &path).map_err(io_err("rename manifest", &path))?;

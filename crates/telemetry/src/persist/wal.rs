@@ -220,10 +220,7 @@ impl Wal {
             return Err(PersistError::Io {
                 op: "append wal frame (injected failure)",
                 path: self.path.clone(),
-                source: std::io::Error::new(
-                    std::io::ErrorKind::Other,
-                    "injected mid-frame append failure",
-                ),
+                source: std::io::Error::other("injected mid-frame append failure"),
             });
         }
         if let Err(e) = self.file.write_all(&frame) {
@@ -245,10 +242,7 @@ impl Wal {
             return Err(PersistError::Io {
                 op: "fsync wal (injected failure)",
                 path: self.path.clone(),
-                source: std::io::Error::new(
-                    std::io::ErrorKind::Other,
-                    "injected wal fsync failure",
-                ),
+                source: std::io::Error::other("injected wal fsync failure"),
             });
         }
         self.file.sync_data().map_err(io_err("fsync wal", &self.path))

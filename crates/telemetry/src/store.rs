@@ -957,6 +957,34 @@ impl TelemetryStore {
         self.maybe_compact();
     }
 
+    /// Appends a batch like [`extend`](TelemetryStore::extend), but with
+    /// the non-finite validation CSV ingest applies enforced in *every*
+    /// build profile: records carrying a NaN or infinite metric are
+    /// dropped and counted instead of debug-asserted. Returns the number
+    /// of records rejected (zero for any healthy producer).
+    ///
+    /// This is the ingest path for machine-generated record streams — the
+    /// simulator flushes through it — where a debug-only assertion would
+    /// let a poisoned metric (e.g. a lognormal sampler overflowing to
+    /// `inf` under a degenerate calibration) slip into release-mode
+    /// stores and surface later as NaN aggregates.
+    pub fn extend_validated(
+        &mut self,
+        records: impl IntoIterator<Item = MachineHourRecord>,
+    ) -> usize {
+        self.delta.take();
+        let mut dropped = 0usize;
+        for record in records {
+            if record.metrics.is_finite() {
+                self.tail.push(record);
+            } else {
+                dropped += 1;
+            }
+        }
+        self.maybe_compact();
+        dropped
+    }
+
     /// Merges another store into this one (e.g. combining experiment and
     /// control windows collected separately). Routed through the same
     /// batch append — and therefore the same non-finite validation — as
@@ -1554,6 +1582,25 @@ mod tests {
         );
         assert_eq!(store.by_hours(0, 1).count(), 2);
         assert_eq!(store.by_hours(1, 2).count(), 1);
+    }
+
+    #[test]
+    fn extend_validated_rejects_non_finite_in_all_profiles() {
+        let mut store = TelemetryStore::new();
+        // Plain `extend` only debug-asserts; `extend_validated` must
+        // reject these even in release builds.
+        let dropped = store.extend_validated(vec![
+            rec(1, 0, 0, 10.0),
+            rec(1, 0, 1, f64::NAN),
+            rec(1, 0, 2, f64::INFINITY),
+            rec(2, 0, 0, 20.0),
+        ]);
+        assert_eq!(dropped, 2);
+        assert_eq!(store.len(), 2);
+        assert!(store.iter().all(|r| r.metrics.is_finite()));
+        // Clean batches pass through untouched.
+        assert_eq!(store.extend_validated(vec![rec(3, 0, 0, 5.0)]), 0);
+        assert_eq!(store.len(), 3);
     }
 
     #[test]
